@@ -1,0 +1,450 @@
+(* minpower: command-line front end of the device-circuit power optimizer.
+
+   Examples:
+     minpower optimize s298
+     minpower optimize path/to/netlist.bench --fc 200e6 --activity 0.3
+     minpower baseline s382 --vt 0.7
+     minpower compare s400
+     minpower stats s510
+     minpower list *)
+
+module Flow = Dcopt_core.Flow
+module Solution = Dcopt_opt.Solution
+module Suite = Dcopt_suite.Suite
+module Circuit = Dcopt_netlist.Circuit
+module Stats = Dcopt_netlist.Circuit_stats
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Print flow progress (budgeting, repair, optima) to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let load_circuit spec =
+  if Sys.file_exists spec then Dcopt_netlist.Bench_format.parse_file spec
+  else Suite.find spec
+
+let circuit_arg =
+  let doc =
+    "Circuit to optimize: a suite name (see $(b,minpower list)) or a path \
+     to an ISCAS-89 .bench file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let fc_arg =
+  let doc = "Clock frequency in Hz." in
+  Arg.(value & opt float 300e6 & info [ "fc"; "frequency" ] ~docv:"HZ" ~doc)
+
+let activity_arg =
+  let doc = "Transition density at every primary input (per cycle)." in
+  Arg.(value & opt float 0.1 & info [ "activity" ] ~docv:"D" ~doc)
+
+let probability_arg =
+  let doc = "Signal probability at every primary input." in
+  Arg.(value & opt float 0.5 & info [ "probability" ] ~docv:"P" ~doc)
+
+let m_steps_arg =
+  let doc = "Binary-search steps (the paper's M)." in
+  Arg.(value & opt int 16 & info [ "m-steps" ] ~docv:"M" ~doc)
+
+let exact_arg =
+  let doc = "Use BDD-exact transition densities when the circuit is small \
+             enough." in
+  Arg.(value & flag & info [ "exact-activity" ] ~doc)
+
+let grid_arg =
+  let doc = "Use the grid-refine search instead of the paper's nested \
+             binary search." in
+  Arg.(value & flag & info [ "grid" ] ~doc)
+
+let vt_arg =
+  let doc = "Fixed threshold voltage for the baseline, in volts." in
+  Arg.(value & opt float 0.7 & info [ "vt" ] ~docv:"V" ~doc)
+
+let n_vt_arg =
+  let doc = "Number of distinct threshold voltages (n_v)." in
+  Arg.(value & opt int 1 & info [ "n-vt" ] ~docv:"N" ~doc)
+
+let tech_arg =
+  let doc = "Technology file (key = value format; see `minpower tech`)." in
+  Arg.(value & opt (some file) None & info [ "tech" ] ~docv:"FILE" ~doc)
+
+let load_tech = function
+  | None -> Dcopt_device.Tech.default
+  | Some path -> Dcopt_device.Tech_io.parse_file path
+
+let config_of ?tech fc activity probability m_steps exact =
+  {
+    Flow.default_config with
+    Flow.tech = load_tech tech;
+    Flow.clock_frequency = fc;
+    input_density = activity;
+    input_probability = probability;
+    m_steps;
+    engine = (if exact then Flow.Exact_when_small else Flow.First_order);
+  }
+
+let with_prepared spec config f =
+  match load_circuit spec with
+  | exception Not_found ->
+    Printf.eprintf "unknown circuit %S (try `minpower list`)\n" spec;
+    1
+  | exception Dcopt_netlist.Bench_format.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" spec line message;
+    1
+  | circuit -> f (Flow.prepare ~config circuit)
+
+let print_solution p = function
+  | Some sol ->
+    print_endline (Flow.report p sol);
+    0
+  | None ->
+    Printf.printf
+      "no feasible design at %.0f MHz: the cycle time is unreachable at \
+       this corner\n"
+      (p.Flow.config.Flow.clock_frequency /. 1e6);
+    1
+
+let optimize_cmd =
+  let run spec fc activity probability m_steps exact grid n_vt verbose tech =
+    setup_logs verbose;
+    let config = config_of ?tech fc activity probability m_steps exact in
+    with_prepared spec config (fun p ->
+        let sol =
+          if n_vt > 1 then Flow.run_multi_vt ~n_vt p
+          else
+            Flow.run_joint
+              ~strategy:
+                (if grid then Dcopt_opt.Heuristic.Grid_refine
+                 else Dcopt_opt.Heuristic.Paper_binary)
+              p
+        in
+        print_solution p sol)
+  in
+  let doc = "Jointly optimize Vdd, Vt and device widths (Procedure 2)." in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
+      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ verbose_arg
+      $ tech_arg)
+
+let baseline_cmd =
+  let run spec fc activity probability m_steps exact vt =
+    let config = config_of fc activity probability m_steps exact in
+    with_prepared spec config (fun p ->
+        print_solution p (Flow.run_baseline ~vt p))
+  in
+  let doc = "Optimize only Vdd and widths at a fixed threshold (Table 1)." in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(
+      const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
+      $ m_steps_arg $ exact_arg $ vt_arg)
+
+let compare_cmd =
+  let run spec fc activity probability m_steps exact vt =
+    let config = config_of fc activity probability m_steps exact in
+    with_prepared spec config (fun p ->
+        let base = Flow.run_baseline ~vt p in
+        let joint =
+          Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+        in
+        match (base, joint) with
+        | Some base, Some joint ->
+          print_endline (Flow.report p base);
+          print_endline "";
+          print_endline (Flow.report p joint);
+          Printf.printf "\npower savings: %.1fx\n"
+            (Solution.savings ~baseline:base joint);
+          0
+        | None, _ ->
+          print_endline "baseline infeasible at this threshold/frequency";
+          1
+        | _, None ->
+          print_endline "joint optimization infeasible";
+          1)
+  in
+  let doc = "Run baseline and joint optimization and report the savings." in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
+      $ m_steps_arg $ exact_arg $ vt_arg)
+
+let stats_cmd =
+  let run spec =
+    match load_circuit spec with
+    | exception Not_found ->
+      Printf.eprintf "unknown circuit %S\n" spec;
+      1
+    | circuit ->
+      print_endline (Stats.to_string (Stats.compute circuit));
+      let core = Circuit.combinational_core circuit in
+      print_endline ("core: " ^ Stats.to_string (Stats.compute core));
+      0
+  in
+  let doc = "Print structural statistics of a circuit." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ circuit_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let c = Suite.find name in
+        Printf.printf "%-6s %s\n" name (Stats.to_string (Stats.compute c)))
+      Suite.names;
+    0
+  in
+  let doc = "List the built-in benchmark circuits." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let body_bias_cmd =
+  let run vt =
+    let tech = Dcopt_device.Tech.default in
+    (match Dcopt_device.Body_bias.bias_for_vt tech ~vt with
+    | Some vsb ->
+      Printf.printf
+        "threshold %.0f mV from natural %.0f mV requires %.2f V reverse \
+         body bias (substrate/n-well, Fig. 1 scheme)\n"
+        (vt *. 1000.0)
+        (tech.Dcopt_device.Tech.vt_natural *. 1000.0)
+        vsb
+    | None ->
+      Printf.printf
+        "threshold %.0f mV is not reachable by reverse body bias (natural \
+         %.0f mV, max %.0f mV)\n"
+        (vt *. 1000.0)
+        (tech.Dcopt_device.Tech.vt_natural *. 1000.0)
+        (Dcopt_device.Body_bias.max_reachable_vt tech *. 1000.0));
+    0
+  in
+  let doc = "Translate an optimizer threshold into a static body bias." in
+  let vt =
+    Arg.(
+      required
+      & pos 0 (some float) None
+      & info [] ~docv:"VT" ~doc:"Target threshold, V.")
+  in
+  Cmd.v (Cmd.info "body-bias" ~doc) Term.(const run $ vt)
+
+let dump_cmd =
+  let run spec max_fanin =
+    match load_circuit spec with
+    | exception Not_found ->
+      Printf.eprintf "unknown circuit %S\n" spec;
+      1
+    | circuit ->
+      let circuit =
+        match max_fanin with
+        | Some k -> Dcopt_netlist.Tech_map.decompose ~max_fanin:k circuit
+        | None -> circuit
+      in
+      print_string (Dcopt_netlist.Bench_format.to_string circuit);
+      0
+  in
+  let doc = "Write a circuit as ISCAS-89 .bench text to stdout." in
+  let max_fanin =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "decompose" ] ~docv:"K"
+          ~doc:"Decompose to gates of at most $(docv) fanins first.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ circuit_arg $ max_fanin)
+
+let pareto_cmd =
+  let run spec activity probability m_steps points fc_lo fc_hi =
+    let frequencies =
+      Dcopt_util.Numeric.log_interp_points ~lo:fc_lo ~hi:fc_hi ~n:points
+    in
+    match load_circuit spec with
+    | exception Not_found ->
+      Printf.eprintf "unknown circuit %S\n" spec;
+      1
+    | circuit ->
+      let table =
+        Dcopt_util.Text_table.create
+          ~headers:
+            [ "Clock"; "Vdd (V)"; "Vt (mV)"; "Energy/cycle"; "Power";
+              "Energy*Delay" ]
+      in
+      Array.iter
+        (fun fc ->
+          let config =
+            config_of fc activity probability m_steps false
+          in
+          let p = Flow.prepare ~config circuit in
+          match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
+          | None ->
+            Dcopt_util.Text_table.add_row table
+              [ Printf.sprintf "%.0f MHz" (fc /. 1e6); "-"; "-"; "-"; "-";
+                "infeasible" ]
+          | Some sol ->
+            let e = Solution.total_energy sol in
+            Dcopt_util.Text_table.add_row table
+              [
+                Printf.sprintf "%.0f MHz" (fc /. 1e6);
+                Printf.sprintf "%.2f" (Solution.vdd sol);
+                Printf.sprintf "%.0f"
+                  ((match Solution.vt_values sol with
+                   | v :: _ -> v
+                   | [] -> nan)
+                  *. 1000.0);
+                Dcopt_util.Si.format ~unit:"J" e;
+                Dcopt_util.Si.format ~unit:"W" (e *. fc);
+                Dcopt_util.Si.format ~unit:"Js" (e /. fc);
+              ])
+        frequencies;
+      Dcopt_util.Text_table.print table;
+      0
+  in
+  let doc = "Sweep the clock target and print the energy-performance \
+             Pareto frontier of the joint optimizer." in
+  let points =
+    Arg.(value & opt int 6 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let fc_lo =
+    Arg.(value & opt float 25e6 & info [ "fc-min" ] ~docv:"HZ" ~doc:"Lowest clock.")
+  in
+  let fc_hi =
+    Arg.(value & opt float 400e6 & info [ "fc-max" ] ~docv:"HZ" ~doc:"Highest clock.")
+  in
+  Cmd.v
+    (Cmd.info "pareto" ~doc)
+    Term.(
+      const run $ circuit_arg $ activity_arg $ probability_arg $ m_steps_arg
+      $ points $ fc_lo $ fc_hi)
+
+let characterize_cmd =
+  let run vdd vt width =
+    let tech = Dcopt_device.Tech.default in
+    let cells =
+      List.concat_map
+        (fun (kind, fanin) ->
+          [ Dcopt_device.Char_table.characterize tech ~kind ~fanin ~width
+              ~vdd ~vt ])
+        [ (Dcopt_netlist.Gate.Not, 1); (Dcopt_netlist.Gate.Nand, 2);
+          (Dcopt_netlist.Gate.Nand, 3); (Dcopt_netlist.Gate.Nor, 2);
+          (Dcopt_netlist.Gate.And, 2); (Dcopt_netlist.Gate.Or, 2);
+          (Dcopt_netlist.Gate.Xor, 2) ]
+    in
+    print_string (Dcopt_device.Char_table.to_liberty cells);
+    0
+  in
+  let doc = "Characterize the standard gate set at an operating point and \
+             print liberty-flavoured lookup tables." in
+  let vdd =
+    Arg.(value & opt float 1.0 & info [ "vdd" ] ~docv:"V" ~doc:"Supply voltage.")
+  in
+  let vt =
+    Arg.(value & opt float 0.15 & info [ "vt" ] ~docv:"V" ~doc:"Threshold voltage.")
+  in
+  let width =
+    Arg.(value & opt float 4.0 & info [ "width" ] ~docv:"W" ~doc:"Device width, w-units.")
+  in
+  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ vdd $ vt $ width)
+
+let spice_cmd =
+  let run spec vdd vt optimize =
+    match load_circuit spec with
+    | exception Not_found ->
+      Printf.eprintf "unknown circuit %S\n" spec;
+      1
+    | circuit ->
+      let core = Circuit.combinational_core circuit in
+      let tech = Dcopt_device.Tech.default in
+      let widths =
+        if not optimize then None
+        else
+          let p = Flow.prepare circuit in
+          Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+          |> Option.map (fun sol ->
+                 sol.Solution.design.Dcopt_opt.Power_model.widths)
+      in
+      print_string (Dcopt_device.Spice_export.deck ~vdd ~vt ?widths tech core);
+      0
+  in
+  let doc = "Expand the combinational core to transistors and print a \
+             level-1 SPICE deck (sized from the optimizer with \
+             $(b,--optimize))." in
+  let vdd =
+    Arg.(value & opt float 1.0 & info [ "vdd" ] ~docv:"V" ~doc:"Supply voltage.")
+  in
+  let vt =
+    Arg.(value & opt float 0.15 & info [ "vt" ] ~docv:"V" ~doc:"Threshold voltage.")
+  in
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ] ~doc:"Size widths with the joint optimizer first.")
+  in
+  Cmd.v (Cmd.info "spice" ~doc) Term.(const run $ circuit_arg $ vdd $ vt $ optimize)
+
+let equiv_cmd =
+  let run spec_a spec_b =
+    match (load_circuit spec_a, load_circuit spec_b) with
+    | exception Not_found ->
+      Printf.eprintf "unknown circuit\n";
+      2
+    | a, b -> (
+      let core_a = Circuit.combinational_core a in
+      let core_b = Circuit.combinational_core b in
+      match Dcopt_activity.Equiv.check core_a core_b with
+      | Dcopt_activity.Equiv.Equivalent ->
+        print_endline "equivalent";
+        0
+      | Dcopt_activity.Equiv.Different { output_index; witness } ->
+        Printf.printf "DIFFERENT at output %d; witness inputs:\n" output_index;
+        Array.iteri
+          (fun i id ->
+            Printf.printf "  %s = %d\n"
+              (Circuit.node core_a id).Circuit.name
+              (if witness.(i) then 1 else 0))
+          (Circuit.inputs core_a);
+        1
+      | Dcopt_activity.Equiv.Inconclusive reason ->
+        Printf.printf "inconclusive: %s\n" reason;
+        2)
+  in
+  let doc = "Check two circuits for combinational equivalence (BDD-based; \
+             inputs matched by name, outputs by position)." in
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First circuit.") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Second circuit.") in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a $ b)
+
+let tech_cmd =
+  let run scale_factor =
+    let tech = Dcopt_device.Tech.default in
+    let tech =
+      match scale_factor with
+      | Some f -> Dcopt_device.Tech.scale tech ~factor:f
+      | None -> tech
+    in
+    print_string (Dcopt_device.Tech_io.to_string tech);
+    0
+  in
+  let doc = "Print the default technology as an editable tech file \
+             (optionally constant-field scaled)." in
+  let factor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scale" ] ~docv:"F" ~doc:"Constant-field scale factor (< 1).")
+  in
+  Cmd.v (Cmd.info "tech" ~doc) Term.(const run $ factor)
+
+let () =
+  let doc =
+    "Device-circuit optimization for minimal energy in CMOS random logic \
+     (Pant, De & Chatterjee, DAC 1997)."
+  in
+  let info = Cmd.info "minpower" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ optimize_cmd; baseline_cmd; compare_cmd; stats_cmd; list_cmd;
+            body_bias_cmd; dump_cmd; pareto_cmd; characterize_cmd; spice_cmd;
+            tech_cmd; equiv_cmd ]))

@@ -1,0 +1,275 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Bdd = Dcopt_bdd.Bdd
+
+type input_spec = { probability : float; density : float }
+type profile = { probabilities : float array; densities : float array }
+
+let uniform_inputs circuit ~probability ~density =
+  Array.map
+    (fun _ -> { probability; density })
+    (Circuit.inputs circuit)
+
+let product = Array.fold_left ( *. ) 1.0
+
+let xor_probability probs =
+  (* Pr[odd number of 1s] folds as p <- p(1-q) + q(1-p). *)
+  Array.fold_left
+    (fun p q -> (p *. (1.0 -. q)) +. (q *. (1.0 -. p)))
+    0.0 probs
+
+let gate_probability kind probs =
+  match kind with
+  | Gate.And -> product probs
+  | Gate.Nand -> 1.0 -. product probs
+  | Gate.Or -> 1.0 -. product (Array.map (fun p -> 1.0 -. p) probs)
+  | Gate.Nor -> product (Array.map (fun p -> 1.0 -. p) probs)
+  | Gate.Not -> 1.0 -. probs.(0)
+  | Gate.Buf -> probs.(0)
+  | Gate.Xor -> xor_probability probs
+  | Gate.Xnor -> 1.0 -. xor_probability probs
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Activity.gate_probability: not a combinational gate"
+
+(* Pr[dy/dx_i] under fanin independence. For AND-class gates the output is
+   sensitive to x_i exactly when every other input is non-controlling. For
+   parity gates the output is always sensitive. *)
+let gate_sensitization_probability kind probs i =
+  let others f =
+    let acc = ref 1.0 in
+    Array.iteri (fun j p -> if j <> i then acc := !acc *. f p) probs;
+    !acc
+  in
+  match kind with
+  | Gate.And | Gate.Nand -> others Fun.id
+  | Gate.Or | Gate.Nor -> others (fun p -> 1.0 -. p)
+  | Gate.Not | Gate.Buf | Gate.Xor | Gate.Xnor -> 1.0
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Activity.gate_sensitization_probability: not a gate"
+
+let check_specs circuit specs =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Activity: circuit is sequential (take combinational_core)";
+  if Array.length specs <> Array.length (Circuit.inputs circuit) then
+    invalid_arg "Activity: one input_spec per primary input required";
+  Array.iter
+    (fun { probability; density } ->
+      if not (probability >= 0.0 && probability <= 1.0) then
+        invalid_arg "Activity: input probability out of [0, 1]";
+      if not (density >= 0.0) then
+        invalid_arg "Activity: input density negative")
+    specs
+
+let local_profile circuit specs =
+  check_specs circuit specs;
+  let n = Circuit.size circuit in
+  let probabilities = Array.make n 0.0 in
+  let densities = Array.make n 0.0 in
+  Array.iteri
+    (fun i id ->
+      probabilities.(id) <- specs.(i).probability;
+      densities.(id) <- specs.(i).density)
+    (Circuit.inputs circuit);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> assert false
+      | kind ->
+        let fanin_probs =
+          Array.map (fun f -> probabilities.(f)) nd.Circuit.fanins
+        in
+        probabilities.(id) <- gate_probability kind fanin_probs;
+        let d = ref 0.0 in
+        Array.iteri
+          (fun i f ->
+            d :=
+              !d
+              +. gate_sensitization_probability kind fanin_probs i
+                 *. densities.(f))
+          nd.Circuit.fanins;
+        densities.(id) <- !d)
+    (Circuit.topo_order circuit);
+  { probabilities; densities }
+
+let exact_profile ?(node_limit = 200_000) circuit specs =
+  check_specs circuit specs;
+  let input_ids = Circuit.inputs circuit in
+  let var_count = Array.length input_ids in
+  let m = Bdd.manager ~node_limit ~var_count () in
+  let n = Circuit.size circuit in
+  let input_var = Hashtbl.create var_count in
+  Array.iteri (fun i id -> Hashtbl.add input_var id i) input_ids;
+  let p_input = Array.map (fun s -> s.probability) specs in
+  let d_input = Array.map (fun s -> s.density) specs in
+  try
+    let funcs = Array.make n (Bdd.bdd_false m) in
+    Array.iteri (fun i id -> funcs.(id) <- Bdd.var m i) input_ids;
+    Array.iter
+      (fun id ->
+        let nd = Circuit.node circuit id in
+        match nd.Circuit.kind with
+        | Gate.Input -> ()
+        | Gate.Dff -> assert false
+        | kind ->
+          let fs = Array.map (fun f -> funcs.(f)) nd.Circuit.fanins in
+          let pairwise op =
+            let acc = ref fs.(0) in
+            for i = 1 to Array.length fs - 1 do
+              acc := op m !acc fs.(i)
+            done;
+            !acc
+          in
+          funcs.(id) <-
+            (match kind with
+            | Gate.And -> pairwise Bdd.bdd_and
+            | Gate.Nand -> Bdd.bdd_not m (pairwise Bdd.bdd_and)
+            | Gate.Or -> pairwise Bdd.bdd_or
+            | Gate.Nor -> Bdd.bdd_not m (pairwise Bdd.bdd_or)
+            | Gate.Not -> Bdd.bdd_not m fs.(0)
+            | Gate.Buf -> fs.(0)
+            | Gate.Xor -> pairwise Bdd.bdd_xor
+            | Gate.Xnor -> Bdd.bdd_not m (pairwise Bdd.bdd_xor)
+            | Gate.Input | Gate.Dff -> assert false))
+      (Circuit.topo_order circuit);
+    let probabilities = Array.make n 0.0 in
+    let densities = Array.make n 0.0 in
+    Array.iteri (fun i id ->
+        probabilities.(id) <- p_input.(i);
+        densities.(id) <- d_input.(i))
+      input_ids;
+    Array.iter
+      (fun id ->
+        let nd = Circuit.node circuit id in
+        match nd.Circuit.kind with
+        | Gate.Input -> ()
+        | Gate.Dff -> assert false
+        | _ ->
+          probabilities.(id) <- Bdd.probability m funcs.(id) p_input;
+          (* Najm: D(y) = sum over primary inputs of Pr[dy/dx] D(x); only
+             variables in the support contribute. *)
+          let d = ref 0.0 in
+          List.iter
+            (fun v ->
+              let diff = Bdd.boolean_difference m funcs.(id) v in
+              d := !d +. (Bdd.probability m diff p_input *. d_input.(v)))
+            (Bdd.support m funcs.(id));
+          densities.(id) <- !d)
+      (Circuit.topo_order circuit);
+    Some { probabilities; densities }
+  with Bdd.Too_large _ -> None
+
+(* Windowed correlation-aware propagation: exact within a depth-bounded
+   fanin cone, first-order at the frontier. The frontier of node y is the
+   set of signals reached by walking fanins from y for [window] levels (or
+   hitting a primary input); y's function over the frontier is built as a
+   BDD, so any reconvergence inside the window is resolved exactly. *)
+let windowed_profile ?(window = 3) ?(node_limit = 20_000) circuit specs =
+  if window < 1 then invalid_arg "Activity.windowed_profile: window < 1";
+  check_specs circuit specs;
+  let n = Circuit.size circuit in
+  let probabilities = Array.make n 0.0 in
+  let densities = Array.make n 0.0 in
+  Array.iteri
+    (fun i id ->
+      probabilities.(id) <- specs.(i).probability;
+      densities.(id) <- specs.(i).density)
+    (Circuit.inputs circuit);
+  let first_order id =
+    let nd = Circuit.node circuit id in
+    let kind = nd.Circuit.kind in
+    let fanin_probs = Array.map (fun f -> probabilities.(f)) nd.Circuit.fanins in
+    probabilities.(id) <- gate_probability kind fanin_probs;
+    let d = ref 0.0 in
+    Array.iteri
+      (fun i f ->
+        d :=
+          !d
+          +. gate_sensitization_probability kind fanin_probs i *. densities.(f))
+      nd.Circuit.fanins;
+    densities.(id) <- !d
+  in
+  (* Frontier discovery: nodes at exactly [window] fanin hops from the
+     target, or primary inputs met earlier, deduplicated. *)
+  let frontier_of id =
+    let depth_of = Hashtbl.create 32 in
+    let frontier = ref [] in
+    let rec walk node depth =
+      let known = Hashtbl.find_opt depth_of node in
+      match known with
+      | Some d when d >= depth -> () (* already explored at least as deep *)
+      | _ ->
+        Hashtbl.replace depth_of node depth;
+        let nd = Circuit.node circuit node in
+        if nd.Circuit.kind = Gate.Input || depth = 0 then begin
+          if not (List.mem node !frontier) then frontier := node :: !frontier
+        end
+        else
+          Array.iter (fun f -> walk f (depth - 1)) nd.Circuit.fanins
+    in
+    let nd = Circuit.node circuit id in
+    Array.iter (fun f -> walk f (window - 1)) nd.Circuit.fanins;
+    Array.of_list (List.rev !frontier)
+  in
+  let windowed id =
+    let frontier = frontier_of id in
+    let var_count = Array.length frontier in
+    let m = Bdd.manager ~node_limit ~var_count () in
+    let var_of = Hashtbl.create var_count in
+    Array.iteri (fun i node -> Hashtbl.add var_of node i) frontier;
+    let memo = Hashtbl.create 64 in
+    let rec build node =
+      match Hashtbl.find_opt var_of node with
+      | Some v -> Bdd.var m v
+      | None -> (
+        match Hashtbl.find_opt memo node with
+        | Some f -> f
+        | None ->
+          let nd = Circuit.node circuit node in
+          let fs = Array.map build nd.Circuit.fanins in
+          let pairwise op =
+            let acc = ref fs.(0) in
+            for i = 1 to Array.length fs - 1 do
+              acc := op m !acc fs.(i)
+            done;
+            !acc
+          in
+          let f =
+            match nd.Circuit.kind with
+            | Gate.And -> pairwise Bdd.bdd_and
+            | Gate.Nand -> Bdd.bdd_not m (pairwise Bdd.bdd_and)
+            | Gate.Or -> pairwise Bdd.bdd_or
+            | Gate.Nor -> Bdd.bdd_not m (pairwise Bdd.bdd_or)
+            | Gate.Not -> Bdd.bdd_not m fs.(0)
+            | Gate.Buf -> fs.(0)
+            | Gate.Xor -> pairwise Bdd.bdd_xor
+            | Gate.Xnor -> Bdd.bdd_not m (pairwise Bdd.bdd_xor)
+            | Gate.Input | Gate.Dff -> assert false
+          in
+          Hashtbl.add memo node f;
+          f)
+    in
+    let f = build id in
+    let p_frontier = Array.map (fun node -> probabilities.(node)) frontier in
+    probabilities.(id) <- Bdd.probability m f p_frontier;
+    let d = ref 0.0 in
+    List.iter
+      (fun v ->
+        let diff = Bdd.boolean_difference m f v in
+        d :=
+          !d
+          +. (Bdd.probability m diff p_frontier *. densities.(frontier.(v))))
+      (Bdd.support m f);
+    densities.(id) <- !d
+  in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> assert false
+      | _ -> (
+        try windowed id with Bdd.Too_large _ -> first_order id))
+    (Circuit.topo_order circuit);
+  { probabilities; densities }

@@ -1,0 +1,72 @@
+(** Signal-probability and transition-density estimation (paper §4.1).
+
+    Given the probability and transition density of every primary input,
+    internal node activities are computed with Najm's transition-density
+    propagation (ref [8]): [D(y) = sum_i Pr(dy/dx_i) D(x_i)], where
+    [dy/dx_i] is the Boolean difference of the node function w.r.t. its
+    i-th input.
+
+    Two engines are provided:
+    - {!local_profile}, the paper's first-order method — gate-local Boolean
+      differences under an input-independence assumption (no spatial
+      correlation, no simultaneous-switching correction);
+    - {!exact_profile}, a BDD-based reference that computes each node's
+      global function over the primary inputs, so Boolean-difference
+      probabilities account for reconvergent fanout exactly.
+
+    All functions expect a combinational circuit (run
+    {!Dcopt_netlist.Circuit.combinational_core} first); densities are in
+    transitions per clock cycle. *)
+
+type input_spec = {
+  probability : float;  (** Pr\[input = 1\], in \[0, 1\] *)
+  density : float;      (** expected transitions per cycle, >= 0 *)
+}
+
+type profile = {
+  probabilities : float array;  (** indexed by node id *)
+  densities : float array;      (** indexed by node id *)
+}
+
+val uniform_inputs :
+  Dcopt_netlist.Circuit.t -> probability:float -> density:float ->
+  input_spec array
+(** The paper's experimental setting: "the activity levels are the same
+    over all the inputs". One spec per primary input, in {!Dcopt_netlist.Circuit.inputs}
+    order. *)
+
+val local_profile :
+  Dcopt_netlist.Circuit.t -> input_spec array -> profile
+(** First-order propagation in one topological pass; O(edges). Raises
+    [Invalid_argument] on sequential circuits, arity mismatch, or specs out
+    of range. *)
+
+val exact_profile :
+  ?node_limit:int ->
+  Dcopt_netlist.Circuit.t -> input_spec array -> profile option
+(** BDD-based reference; [None] when the BDD grows past [node_limit]
+    (default 200_000 nodes) — callers then fall back to {!local_profile}. *)
+
+val windowed_profile :
+  ?window:int ->      (* reconvergence window depth, default 3 *)
+  ?node_limit:int ->  (* per-node BDD cap, default 20_000 *)
+  Dcopt_netlist.Circuit.t -> input_spec array -> profile
+(** Correlation-aware middle ground (the paper cites Stamoulis & Hajj,
+    ref [11], as the "more complex" alternative to first-order
+    propagation): each node's function is built exactly — as a BDD — over
+    the frontier of its depth-[window] fanin cone, capturing local
+    reconvergent-fanout correlation, while frontier signals are treated as
+    independent with their propagated statistics. [window = 1] coincides
+    with {!local_profile}; [window = infinity] would coincide with
+    {!exact_profile}. Nodes whose window BDD exceeds [node_limit] fall back
+    to the first-order rule. *)
+
+val gate_sensitization_probability :
+  Dcopt_netlist.Gate.kind -> float array -> int -> float
+(** [gate_sensitization_probability kind probs i] is Pr\[dy/dx_i\] for a
+    gate of [kind] whose fanins are independent with 1-probabilities
+    [probs] — the closed forms used by {!local_profile} (e.g. for AND it is
+    the product of the other input probabilities; for XOR it is 1). *)
+
+val gate_probability : Dcopt_netlist.Gate.kind -> float array -> float
+(** Output 1-probability of a gate under fanin independence. *)

@@ -1,0 +1,92 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Bdd = Dcopt_bdd.Bdd
+
+type verdict =
+  | Equivalent
+  | Different of { output_index : int; witness : bool array }
+  | Inconclusive of string
+
+let input_names circuit =
+  Array.to_list (Circuit.inputs circuit)
+  |> List.map (fun id -> (Circuit.node circuit id).Circuit.name)
+
+let build_outputs m circuit var_of_name =
+  let n = Circuit.size circuit in
+  let funcs = Array.make n (Bdd.bdd_false m) in
+  Array.iter
+    (fun id ->
+      let name = (Circuit.node circuit id).Circuit.name in
+      funcs.(id) <- Bdd.var m (Hashtbl.find var_of_name name))
+    (Circuit.inputs circuit);
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> assert false
+      | kind ->
+        let fs = Array.map (fun f -> funcs.(f)) nd.Circuit.fanins in
+        let pairwise op =
+          let acc = ref fs.(0) in
+          for i = 1 to Array.length fs - 1 do
+            acc := op m !acc fs.(i)
+          done;
+          !acc
+        in
+        funcs.(id) <-
+          (match kind with
+          | Gate.And -> pairwise Bdd.bdd_and
+          | Gate.Nand -> Bdd.bdd_not m (pairwise Bdd.bdd_and)
+          | Gate.Or -> pairwise Bdd.bdd_or
+          | Gate.Nor -> Bdd.bdd_not m (pairwise Bdd.bdd_or)
+          | Gate.Not -> Bdd.bdd_not m fs.(0)
+          | Gate.Buf -> fs.(0)
+          | Gate.Xor -> pairwise Bdd.bdd_xor
+          | Gate.Xnor -> Bdd.bdd_not m (pairwise Bdd.bdd_xor)
+          | Gate.Input | Gate.Dff -> assert false))
+    (Circuit.topo_order circuit);
+  Array.map (fun id -> funcs.(id)) (Circuit.outputs circuit)
+
+let check ?(node_limit = 500_000) c1 c2 =
+  if not (Circuit.is_combinational c1 && Circuit.is_combinational c2) then
+    Inconclusive "sequential circuit (take the combinational core first)"
+  else
+    let names1 = input_names c1 and names2 = input_names c2 in
+    if List.sort compare names1 <> List.sort compare names2 then
+      Inconclusive "primary input names differ"
+    else if
+      Array.length (Circuit.outputs c1) <> Array.length (Circuit.outputs c2)
+    then Inconclusive "output counts differ"
+    else begin
+      let var_of_name = Hashtbl.create 32 in
+      List.iteri (fun i n -> Hashtbl.add var_of_name n i) names1;
+      let m = Bdd.manager ~node_limit ~var_count:(List.length names1) () in
+      match
+        (build_outputs m c1 var_of_name, build_outputs m c2 var_of_name)
+      with
+      | exception Bdd.Too_large n ->
+        Inconclusive (Printf.sprintf "BDD exceeded %d nodes" n)
+      | outs1, outs2 ->
+        let rec compare_outputs i =
+          if i = Array.length outs1 then Equivalent
+          else if Bdd.equal outs1.(i) outs2.(i) then compare_outputs (i + 1)
+          else
+            let diff = Bdd.bdd_xor m outs1.(i) outs2.(i) in
+            (match Bdd.any_sat m diff with
+            | Some assignment_by_var ->
+              (* express the witness in c1's input order *)
+              let witness =
+                Array.map
+                  (fun id ->
+                    let name = (Circuit.node c1 id).Circuit.name in
+                    assignment_by_var.(Hashtbl.find var_of_name name))
+                  (Circuit.inputs c1)
+              in
+              Different { output_index = i; witness }
+            | None -> assert false)
+        in
+        compare_outputs 0
+    end
+
+let equivalent c1 c2 = check c1 c2 = Equivalent

@@ -1,0 +1,25 @@
+(** BDD-based combinational equivalence checking.
+
+    Used to verify structural transforms (e.g.
+    {!Dcopt_netlist.Tech_map.decompose}) and as a general library utility:
+    two circuits are equivalent when every pair of corresponding outputs
+    computes the same Boolean function of the (name-matched) primary
+    inputs. *)
+
+type verdict =
+  | Equivalent
+  | Different of { output_index : int; witness : bool array }
+    (** the first differing output and an input assignment (in the first
+        circuit's input order) on which the two circuits disagree *)
+  | Inconclusive of string
+    (** interface mismatch (input/output counts or names) or BDD blow-up *)
+
+val check :
+  ?node_limit:int ->   (* BDD cap, default 500_000 *)
+  Dcopt_netlist.Circuit.t -> Dcopt_netlist.Circuit.t -> verdict
+(** Inputs are matched by net name (order-independent); outputs are matched
+    positionally. Requires combinational circuits (take the
+    {!Dcopt_netlist.Circuit.combinational_core} first). *)
+
+val equivalent : Dcopt_netlist.Circuit.t -> Dcopt_netlist.Circuit.t -> bool
+(** [check] collapsed to a boolean ([Inconclusive] counts as false). *)

@@ -1,0 +1,180 @@
+module Circuit = Dcopt_netlist.Circuit
+module Activity = Dcopt_activity.Activity
+module Delay_assign = Dcopt_timing.Delay_assign
+module Power_model = Dcopt_opt.Power_model
+module Heuristic = Dcopt_opt.Heuristic
+module Baseline = Dcopt_opt.Baseline
+module Annealing = Dcopt_opt.Annealing
+module Multi_vt = Dcopt_opt.Multi_vt
+module Multi_vdd = Dcopt_opt.Multi_vdd
+module Solution = Dcopt_opt.Solution
+module Budget_repair = Dcopt_opt.Budget_repair
+module Tech = Dcopt_device.Tech
+
+let log_src = Logs.Src.create "dcopt.flow" ~doc:"end-to-end optimization flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type activity_engine =
+  | First_order
+  | Exact_when_small
+  | Windowed of int
+  | Monte_carlo of { vectors : int; seed : int64 }
+  | Sequential_trace of { cycles : int; seed : int64 }
+
+type config = {
+  tech : Dcopt_device.Tech.t;
+  clock_frequency : float;
+  input_probability : float;
+  input_density : float;
+  engine : activity_engine;
+  skew_factor : float;
+  m_steps : int;
+  include_short_circuit : bool;
+}
+
+let default_config =
+  {
+    tech = Dcopt_device.Tech.default;
+    clock_frequency = 300.0e6;
+    input_probability = 0.5;
+    input_density = 0.1;
+    engine = First_order;
+    skew_factor = 0.95;
+    m_steps = 16;
+    include_short_circuit = false;
+  }
+
+type prepared = {
+  config : config;
+  core : Circuit.t;
+  profile : Activity.profile;
+  used_exact_activity : bool;
+  env : Power_model.env;
+  budget : Delay_assign.t;
+}
+
+let prepare ?(config = default_config) circuit =
+  let core = Circuit.combinational_core circuit in
+  let sequential_profile cycles seed =
+    let r =
+      Dcopt_sim.Seq_sim.simulate ~seed ~cycles
+        ~input_probability:config.input_probability
+        ~input_density:config.input_density circuit
+    in
+    Dcopt_sim.Seq_sim.profile r
+  in
+  let specs =
+    Activity.uniform_inputs core ~probability:config.input_probability
+      ~density:config.input_density
+  in
+  let profile, used_exact_activity =
+    match config.engine with
+    | First_order -> (Activity.local_profile core specs, false)
+    | Exact_when_small ->
+      (match Activity.exact_profile core specs with
+      | Some p -> (p, true)
+      | None -> (Activity.local_profile core specs, false))
+    | Windowed window ->
+      (Activity.windowed_profile ~window core specs, false)
+    | Monte_carlo { vectors; seed } ->
+      let local = Activity.local_profile core specs in
+      let measured =
+        Dcopt_sim.Event_sim.monte_carlo_activity core
+          ~rng:(Dcopt_util.Prng.create seed) ~vectors
+          ~input_probability:config.input_probability
+          ~input_density:config.input_density
+      in
+      ( { local with
+          Activity.densities = measured.Dcopt_sim.Event_sim.densities },
+        false )
+    | Sequential_trace { cycles; seed } ->
+      (sequential_profile cycles seed, false)
+  in
+  let env =
+    Power_model.make_env
+      ~include_short_circuit:config.include_short_circuit ~tech:config.tech
+      ~fc:config.clock_frequency core profile
+  in
+  let budget =
+    Delay_assign.assign ~skew_factor:config.skew_factor core
+      ~cycle_time:(1.0 /. config.clock_frequency)
+  in
+  Log.info (fun m ->
+      m "prepared %s: %d gates, depth %d, fc %.0f MHz, %d paths budgeted, %d fallback, %d slope-lifted"
+        (Circuit.name core) (Circuit.gate_count core) (Circuit.depth core)
+        (config.clock_frequency /. 1e6)
+        budget.Delay_assign.paths_used budget.Delay_assign.fallback_gates
+        budget.Delay_assign.slope_adjusted);
+  { config; core; profile; used_exact_activity; env; budget }
+
+let budgets p = p.budget.Delay_assign.t_max
+
+let repaired_budgets p ~vt =
+  let tech = p.config.tech in
+  match
+    Budget_repair.repair p.env ~budgets:(budgets p) ~vdd:tech.Tech.vdd_max ~vt
+  with
+  | Budget_repair.Repaired { budgets; lifted; iterations } ->
+    Log.debug (fun m ->
+        m "budget repair at vt=%.0f mV: %d gates lifted in %d iterations"
+          (vt *. 1000.0) lifted iterations);
+    Some budgets
+  | Budget_repair.Infeasible { limiting_gate } ->
+    Log.warn (fun m ->
+        m "cycle time unreachable at vt=%.0f mV (limiting gate %s)"
+          (vt *. 1000.0)
+          (Circuit.node p.core limiting_gate).Circuit.name);
+    None
+
+let fast_budgets p = repaired_budgets p ~vt:p.config.tech.Tech.vt_min
+
+let run_baseline ?(vt = Baseline.default_vt) p =
+  match repaired_budgets p ~vt with
+  | None -> None
+  | Some budgets -> Baseline.optimize ~vt ~m_steps:p.config.m_steps p.env ~budgets
+
+let run_joint ?(strategy = Heuristic.Paper_binary) p =
+  match fast_budgets p with
+  | None -> None
+  | Some budgets ->
+    let sol =
+      Heuristic.optimize
+        ~options:
+          { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
+        p.env ~budgets
+    in
+    (match sol with
+    | Some sol ->
+      Log.info (fun m ->
+          m "joint optimum: Vdd %.2f V, Vt %s mV, %s per cycle"
+            (Solution.vdd sol)
+            (Solution.vt_values sol
+            |> List.map (fun v -> Printf.sprintf "%.0f" (v *. 1000.0))
+            |> String.concat "/")
+            (Dcopt_util.Si.format ~unit:"J" (Solution.total_energy sol)))
+    | None -> Log.warn (fun m -> m "joint optimization found no feasible design"));
+    sol
+
+let run_annealing ?options p =
+  match fast_budgets p with
+  | None -> None
+  | Some budgets -> Annealing.optimize ?options p.env ~budgets
+
+let run_multi_vt ?(n_vt = 2) p =
+  match fast_budgets p with
+  | None -> None
+  | Some budgets -> Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets
+
+let run_tilos p =
+  Dcopt_opt.Tilos.optimize ~m_steps:p.config.m_steps p.env
+
+let run_multi_vdd p =
+  match fast_budgets p with
+  | None -> None
+  | Some budgets -> Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets
+
+let report p sol =
+  Printf.sprintf "circuit %s (%d gates, depth %d)\n%s"
+    (Circuit.name p.core) (Circuit.gate_count p.core) (Circuit.depth p.core)
+    (Solution.describe p.env sol)

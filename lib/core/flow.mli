@@ -1,0 +1,88 @@
+(** End-to-end optimization flow — the paper's CAD tool.
+
+    [prepare] takes any circuit (sequential or combinational) through the
+    full front end: combinational-core extraction, activity estimation
+    (§4.1), wire-load estimation (§2) and Procedure-1 delay budgeting
+    (§4.2). The [run_*] functions then execute the optimizers of §4.3 and
+    §5 on the prepared circuit. *)
+
+type activity_engine =
+  | First_order        (** the paper's method: gate-local propagation *)
+  | Exact_when_small   (** BDD-exact when it fits, else first-order *)
+  | Windowed of int
+    (** correlation-aware within a fanin window of the given depth
+        ({!Dcopt_activity.Activity.windowed_profile}) *)
+  | Monte_carlo of { vectors : int; seed : int64 }
+    (** glitch-aware measured densities from event-driven simulation of
+        random vector pairs ({!Dcopt_sim.Event_sim.monte_carlo_activity});
+        probabilities still come from first-order propagation *)
+  | Sequential_trace of { cycles : int; seed : int64 }
+    (** the paper's "activity profiling of the architecture": cycle
+        simulation of the sequential circuit derives measured state-bit
+        statistics ({!Dcopt_sim.Seq_sim}) instead of assuming uniform
+        pseudo-input activities *)
+
+type config = {
+  tech : Dcopt_device.Tech.t;
+  clock_frequency : float;       (** fc, Hz (paper: 300 MHz) *)
+  input_probability : float;     (** Pr\[input = 1\] at every PI *)
+  input_density : float;         (** transitions/cycle at every PI *)
+  engine : activity_engine;
+  skew_factor : float;           (** Procedure 1's b, <= 1 *)
+  m_steps : int;                 (** Procedure 2's M *)
+  include_short_circuit : bool;
+    (** cost the Veendrick crowbar term too (the paper's announced
+        extension; default false = Appendix A.1) *)
+}
+
+val default_config : config
+(** 300 MHz, probability 0.5, density 0.1, first-order activities,
+    b = 0.95, M = 16, [Tech.default]. *)
+
+type prepared = {
+  config : config;
+  core : Dcopt_netlist.Circuit.t;   (** combinational core *)
+  profile : Dcopt_activity.Activity.profile;
+  used_exact_activity : bool;
+  env : Dcopt_opt.Power_model.env;
+  budget : Dcopt_timing.Delay_assign.t;
+}
+
+val prepare : ?config:config -> Dcopt_netlist.Circuit.t -> prepared
+
+val budgets : prepared -> float array
+(** The raw Procedure-1 per-gate budgets. *)
+
+val repaired_budgets : prepared -> vt:float -> float array option
+(** Budgets after {!Dcopt_opt.Budget_repair} at the (max-Vdd, [vt])
+    corner; [None] when the circuit cannot make the cycle time at that
+    corner at all. Every [run_*] function uses these internally — the
+    joint optimizers at the fast corner ([vt_min]), the baseline at its
+    pinned threshold. *)
+
+val run_baseline : ?vt:float -> prepared -> Dcopt_opt.Solution.t option
+(** Table-1 baseline: fixed threshold (default 700 mV), Vdd and widths
+    optimized. *)
+
+val run_joint :
+  ?strategy:Dcopt_opt.Heuristic.strategy ->
+  prepared -> Dcopt_opt.Solution.t option
+(** Procedure 2 (default [Paper_binary]). *)
+
+val run_annealing :
+  ?options:Dcopt_opt.Annealing.options ->
+  prepared -> Dcopt_opt.Solution.t option
+
+val run_multi_vt : ?n_vt:int -> prepared -> Dcopt_opt.Solution.t option
+(** n_vt distinct thresholds (default 2). *)
+
+val run_multi_vdd : prepared -> Dcopt_opt.Multi_vdd.result option
+(** Dual-supply clustered-voltage-scaling extension. *)
+
+val run_tilos : prepared -> Dcopt_opt.Solution.t option
+(** Budget-free TILOS sensitivity sizing (slower; typically finds lower
+    energy than Procedure 2 because it never over-constrains individual
+    gates). *)
+
+val report : prepared -> Dcopt_opt.Solution.t -> string
+(** Human-readable single-solution report. *)

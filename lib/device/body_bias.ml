@@ -1,0 +1,20 @@
+let bias_safety_limit = 10.0
+
+let vt_of_bias tech ~vsb =
+  assert (vsb >= 0.0);
+  tech.Tech.vt_natural
+  +. (tech.Tech.body_gamma
+      *. (sqrt (tech.Tech.body_phi +. vsb) -. sqrt tech.Tech.body_phi))
+
+let max_reachable_vt tech = vt_of_bias tech ~vsb:bias_safety_limit
+
+let bias_for_vt tech ~vt =
+  if vt < tech.Tech.vt_natural then None
+  else if vt > max_reachable_vt tech then None
+  else
+    (* invert vt = vt0 + gamma (sqrt(phi + vsb) - sqrt(phi)) *)
+    let root =
+      ((vt -. tech.Tech.vt_natural) /. tech.Tech.body_gamma)
+      +. sqrt tech.Tech.body_phi
+    in
+    Some ((root *. root) -. tech.Tech.body_phi)

@@ -1,0 +1,18 @@
+(** Static body-bias threshold adjustment (paper Fig. 1 and §1).
+
+    The paper's manufacturing route to arbitrary thresholds: skip the
+    threshold-adjust implant (leaving "natural" low-Vt devices) and apply a
+    static reverse bias to the p-substrate / n-well. The standard body
+    effect relates the two:
+    [vt(vsb) = vt_natural + gamma (sqrt(phi + vsb) - sqrt(phi))]. *)
+
+val vt_of_bias : Tech.t -> vsb:float -> float
+(** Threshold magnitude realized by reverse bias [vsb >= 0], V. *)
+
+val bias_for_vt : Tech.t -> vt:float -> float option
+(** Reverse bias realizing threshold [vt]; [None] when [vt] is below the
+    natural threshold (a forward bias would be needed) or beyond the bias
+    reachable at 10 V (junction-safety bound). *)
+
+val max_reachable_vt : Tech.t -> float
+(** Threshold at the 10 V reverse-bias safety bound. *)

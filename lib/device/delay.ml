@@ -1,0 +1,62 @@
+type load = {
+  fanin_count : int;
+  stack_depth : int;
+  cap_fanout_gates : float;
+  cap_wire : float;
+  res_wire_terms : float;
+  flight_time : float;
+  max_fanin_delay : float;
+}
+
+let no_load =
+  {
+    fanin_count = 1;
+    stack_depth = 1;
+    cap_fanout_gates = 0.0;
+    cap_wire = 0.0;
+    res_wire_terms = 0.0;
+    flight_time = 0.0;
+    max_fanin_delay = 0.0;
+  }
+
+let slope_coefficient tech ~vdd ~vt =
+  let raw = 0.5 -. ((1.0 -. (vt /. vdd)) /. (1.0 +. tech.Tech.alpha)) in
+  Dcopt_util.Numeric.clamp ~lo:0.0 ~hi:0.9 raw
+
+let output_capacitance tech ~w load =
+  (tech.Tech.c_parasitic *. w)
+  +. (float_of_int (max 0 (load.fanin_count - 1)) *. tech.Tech.c_intermediate *. w)
+  +. load.cap_fanout_gates +. load.cap_wire
+
+let effective_drive tech ~vdd ~vt ~w load =
+  let drive = Mosfet.i_drive tech ~vdd ~vt *. w /. float_of_int load.stack_depth in
+  let opposing = float_of_int load.fanin_count *. Mosfet.i_off tech ~vt *. w in
+  drive -. opposing
+
+let switching_delay tech ~vdd ~vt ~w load =
+  let i_eff = effective_drive tech ~vdd ~vt ~w load in
+  if i_eff <= 0.0 then infinity
+  else output_capacitance tech ~w load *. vdd /. (2.0 *. i_eff)
+
+(* Each of the (f_ii - 1) internal nodes of a series stack swings by up to
+   vdd through the single devices above it (eq. A3's C_mi sum); widths
+   cancel because both the node cap and the device current scale with w. *)
+let stack_delay tech ~vdd ~vt load =
+  let internal_nodes = max 0 (load.fanin_count - 1) in
+  if internal_nodes = 0 then 0.0
+  else
+    let i_single = Mosfet.i_drive tech ~vdd ~vt in
+    if i_single <= 0.0 then infinity
+    else
+      float_of_int internal_nodes *. tech.Tech.c_intermediate *. vdd
+      /. (2.0 *. i_single)
+
+let gate_delay tech ~vdd ~vt ~w load =
+  let switching = switching_delay tech ~vdd ~vt ~w load in
+  if switching = infinity then infinity
+  else
+    let stack = stack_delay tech ~vdd ~vt load in
+    if stack = infinity then infinity
+    else
+      (slope_coefficient tech ~vdd ~vt *. load.max_fanin_delay)
+      +. switching +. stack +. load.res_wire_terms +. load.flight_time

@@ -1,0 +1,15 @@
+let static_power tech ~vdd ~vt ~w = vdd *. w *. Mosfet.i_off tech ~vt
+
+let static_energy tech ~fc ~vdd ~vt ~w =
+  assert (fc > 0.0);
+  static_power tech ~vdd ~vt ~w /. fc
+
+let dynamic_energy tech ~vdd ~w ~activity ~load =
+  0.5 *. activity *. vdd *. vdd *. Delay.output_capacitance tech ~w load
+
+let dynamic_power tech ~fc ~vdd ~w ~activity ~load =
+  dynamic_energy tech ~vdd ~w ~activity ~load *. fc
+
+let total_energy tech ~fc ~vdd ~vt ~w ~activity ~load =
+  static_energy tech ~fc ~vdd ~vt ~w
+  +. dynamic_energy tech ~vdd ~w ~activity ~load

@@ -1,0 +1,26 @@
+(** Static and dynamic energy/power of a gate (paper Appendix A.1,
+    eqs. A1 and A2). *)
+
+val static_power : Tech.t -> vdd:float -> vt:float -> w:float -> float
+(** Leakage power [vdd * w * I_off(vt)], in W (eq. A1's power form). *)
+
+val static_energy : Tech.t -> fc:float -> vdd:float -> vt:float -> w:float -> float
+(** Leakage energy charged to one clock cycle: {!static_power} / [fc], J. *)
+
+val dynamic_energy :
+  Tech.t ->
+  vdd:float -> w:float -> activity:float -> load:Delay.load -> float
+(** Switching energy per cycle [1/2 a vdd^2 C_out] with C_out from
+    {!Delay.output_capacitance} (eq. A2), in J. [activity] is the node's
+    transition density per cycle. *)
+
+val dynamic_power :
+  Tech.t ->
+  fc:float -> vdd:float -> w:float -> activity:float -> load:Delay.load -> float
+(** {!dynamic_energy} * [fc], W. *)
+
+val total_energy :
+  Tech.t ->
+  fc:float -> vdd:float -> vt:float -> w:float -> activity:float ->
+  load:Delay.load -> float
+(** Static + dynamic energy per cycle, the optimizer's per-gate cost. *)

@@ -1,0 +1,19 @@
+(* Numerically safe softplus: for large x, ln(1 + e^x) = x + ln(1 + e^-x). *)
+let softplus x =
+  if x > 30.0 then x else if x < -30.0 then exp x else log1p (exp x)
+
+let overdrive tech ~vgs ~vt =
+  let scale = Tech.subthreshold_scale tech in
+  scale *. softplus ((vgs -. vt) /. scale)
+
+let i_drive tech ~vdd ~vt =
+  tech.Tech.k_drive *. (overdrive tech ~vgs:vdd ~vt ** tech.Tech.alpha)
+
+let i_off_subthreshold tech ~vt =
+  tech.Tech.k_drive *. (overdrive tech ~vgs:0.0 ~vt ** tech.Tech.alpha)
+
+let i_off tech ~vt = i_off_subthreshold tech ~vt +. tech.Tech.i_junction
+
+let on_off_ratio tech ~vdd ~vt = i_drive tech ~vdd ~vt /. i_off tech ~vt
+
+let is_subthreshold (_ : Tech.t) ~vdd ~vt = vdd <= vt

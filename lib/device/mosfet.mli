@@ -1,0 +1,32 @@
+(** Transregional MOSFET drain-current model.
+
+    Superthreshold behaviour follows the Sakurai-Newton alpha-power law
+    (ref [9]); the subthreshold region is joined smoothly with a softplus
+    overdrive, giving one expression valid across both regimes — the
+    paper's "transregional" requirement (Appendix A.2), which is what lets
+    the optimizer exploit subthreshold operation at relaxed delay targets.
+    Currents are per w-unit unless a [w] argument says otherwise. *)
+
+val overdrive : Tech.t -> vgs:float -> vt:float -> float
+(** Smoothed overdrive [n*vT * ln(1 + exp((vgs - vt)/(n*vT)))]: tends to
+    [vgs - vt] far above threshold and decays exponentially below. *)
+
+val i_drive : Tech.t -> vdd:float -> vt:float -> float
+(** Saturation drive current per w-unit with the gate at [vdd]:
+    [k_drive * overdrive^alpha]. *)
+
+val i_off : Tech.t -> vt:float -> float
+(** Total off-state leakage per w-unit at [vgs = 0]: subthreshold channel
+    conduction plus the drain-junction floor [i_junction]. Monotone
+    decreasing in [vt]. *)
+
+val i_off_subthreshold : Tech.t -> vt:float -> float
+(** The channel component of {!i_off} alone. *)
+
+val on_off_ratio : Tech.t -> vdd:float -> vt:float -> float
+(** [i_drive / i_off]; a design is losing static control when this falls
+    toward 1. *)
+
+val is_subthreshold : Tech.t -> vdd:float -> vt:float -> bool
+(** True when the gate switches with [vdd <= vt] (paper's subthreshold
+    operation case). *)

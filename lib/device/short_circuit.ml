@@ -1,0 +1,16 @@
+let overlap_fraction (_ : Tech.t) ~vdd ~vt =
+  Float.max 0.0 ((vdd -. (2.0 *. vt)) /. vdd)
+
+let peak_current tech ~vdd ~vt ~w =
+  w *. Mosfet.i_drive tech ~vdd:(vdd /. 2.0) ~vt
+
+let energy tech ~vdd ~vt ~w ~activity ~input_transition_time =
+  assert (input_transition_time >= 0.0);
+  let overlap = overlap_fraction tech ~vdd ~vt in
+  if overlap <= 0.0 then 0.0
+  else
+    activity *. vdd
+    *. (peak_current tech ~vdd ~vt ~w /. 6.0)
+    *. overlap *. input_transition_time
+
+let transition_time_of_delay driver_delay = 2.0 *. driver_delay

@@ -1,0 +1,36 @@
+(** Short-circuit (crowbar) dissipation — the paper's announced extension.
+
+    Appendix A.1 neglects the short-circuit component "since under typical
+    input signal rise time and output load conditions it is an order of
+    magnitude smaller than the switching energy" but notes it is "being
+    incorporated in the next version of the optimization tool". This module
+    is that next version: a Veendrick-style model (ref [12]) in which both
+    networks conduct while the input traverses \[Vt, Vdd - Vt\], drawing a
+    triangular current whose peak is the drive at half-swing.
+
+    [E_sc = a * Vdd * (I_peak / 6) * overlap_fraction * tau_in] with
+    [I_peak = k w OD(Vdd/2, Vt)^alpha] and
+    [overlap_fraction = max 0 ((Vdd - 2 Vt) / Vdd)].
+
+    The model vanishes smoothly when [Vdd <= 2 Vt] (no overlap — the
+    classic reason low-Vdd/high-Vt designs have no crowbar current) and
+    grows linearly with the input transition time, penalizing weakly-driven
+    gates exactly as Veendrick's analysis prescribes. *)
+
+val overlap_fraction : Tech.t -> vdd:float -> vt:float -> float
+(** Fraction of the swing during which both networks conduct; 0 when
+    [vdd <= 2 vt]. *)
+
+val peak_current : Tech.t -> vdd:float -> vt:float -> w:float -> float
+(** Crowbar current at the mid-swing input, A. *)
+
+val energy :
+  Tech.t ->
+  vdd:float -> vt:float -> w:float -> activity:float ->
+  input_transition_time:float ->
+  float
+(** Short-circuit energy per cycle, J. [input_transition_time] is the
+    0-100%% input ramp, typically twice the driving gate's delay. *)
+
+val transition_time_of_delay : float -> float
+(** The rise-time proxy used by the power model: [2 * driver_delay]. *)

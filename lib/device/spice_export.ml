@@ -1,0 +1,223 @@
+module Gate = Dcopt_netlist.Gate
+module Circuit = Dcopt_netlist.Circuit
+
+type network = Device of int | Series of network list | Parallel of network list
+
+let pull_down kind ~fanin =
+  let pins = List.init fanin (fun i -> Device i) in
+  match kind with
+  | Gate.Nand | Gate.And -> Series pins
+  | Gate.Nor | Gate.Or -> Parallel pins
+  | Gate.Not | Gate.Buf -> Device 0
+  | Gate.Xor ->
+    if fanin <> 2 then
+      invalid_arg "Spice_export.pull_down: XOR network is 2-input";
+    (* output low when a = b *)
+    Parallel [ Series [ Device 0; Device 1 ]; Series [ Device 2; Device 3 ] ]
+  | Gate.Xnor ->
+    if fanin <> 2 then
+      invalid_arg "Spice_export.pull_down: XNOR network is 2-input";
+    (* output low when a <> b *)
+    Parallel [ Series [ Device 0; Device 3 ]; Series [ Device 2; Device 1 ] ]
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Spice_export.pull_down: not a combinational gate"
+
+let rec dual = function
+  | Device i -> Device i
+  | Series nets -> Parallel (List.map dual nets)
+  | Parallel nets -> Series (List.map dual nets)
+
+let rec network_device_count = function
+  | Device _ -> 1
+  | Series nets | Parallel nets ->
+    List.fold_left (fun acc n -> acc + network_device_count n) 0 nets
+
+let transistor_count kind ~fanin =
+  match kind with
+  | Gate.Not -> 2
+  | Gate.Buf -> 4
+  | Gate.Nand | Gate.Nor -> 2 * fanin
+  | Gate.And | Gate.Or -> (2 * fanin) + 2
+  | Gate.Xor | Gate.Xnor ->
+    (* cascade of (fanin - 1) two-input stages, each an 8T AOI plus two
+       input inverters *)
+    12 * max 1 (fanin - 1)
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Spice_export.transistor_count: not a combinational gate"
+
+let circuit_transistor_count circuit =
+  Array.fold_left
+    (fun acc nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> acc
+      | kind ->
+        acc + transistor_count kind ~fanin:(Array.length nd.Circuit.fanins))
+    0 (Circuit.nodes circuit)
+
+(* ------------------------------------------------------------------ *)
+(* Deck emission                                                       *)
+
+type emitter = {
+  buf : Buffer.t;
+  tech : Tech.t;
+  mutable fresh_net : int;
+  mutable fresh_dev : int;
+}
+
+let addf e fmt = Printf.ksprintf (Buffer.add_string e.buf) fmt
+
+let fresh_net e prefix =
+  e.fresh_net <- e.fresh_net + 1;
+  Printf.sprintf "%s_i%d" prefix e.fresh_net
+
+let emit_mosfet e ~polarity ~drain ~gate ~source ~width_units =
+  e.fresh_dev <- e.fresh_dev + 1;
+  let f_um = e.tech.Tech.feature_size *. 1e6 in
+  let model, bulk, w =
+    match polarity with
+    | `N -> ("nmos_opt", "0", width_units)
+    | `P -> ("pmos_opt", "vdd", width_units *. e.tech.Tech.beta_ratio)
+  in
+  addf e "M%d %s %s %s %s %s W=%.3fu L=%.3fu\n" e.fresh_dev drain gate source
+    bulk model (w *. f_um) f_um
+
+(* Emit a transistor network between [top] and [bottom]; [pin_net i] gives
+   the gate net of pin i. Series chains allocate internal nodes. *)
+let rec emit_network e ~polarity ~top ~bottom ~pin_net ~prefix ~width_units net =
+  match net with
+  | Device i ->
+    emit_mosfet e ~polarity ~drain:top ~gate:(pin_net i) ~source:bottom
+      ~width_units
+  | Parallel nets ->
+    List.iter
+      (emit_network e ~polarity ~top ~bottom ~pin_net ~prefix ~width_units)
+      nets
+  | Series nets ->
+    let rec chain current = function
+      | [] -> ()
+      | [ last ] ->
+        emit_network e ~polarity ~top:current ~bottom ~pin_net ~prefix
+          ~width_units last
+      | first :: rest ->
+        let mid = fresh_net e prefix in
+        emit_network e ~polarity ~top:current ~bottom:mid ~pin_net ~prefix
+          ~width_units first;
+        chain mid rest
+    in
+    chain top nets
+
+(* One inverting CMOS stage computing NOT(stack function) of the pins. *)
+let emit_stage e ~output ~pin_net ~prefix ~width_units pd =
+  emit_network e ~polarity:`N ~top:output ~bottom:"0" ~pin_net ~prefix
+    ~width_units pd;
+  emit_network e ~polarity:`P ~top:"vdd" ~bottom:output ~pin_net ~prefix
+    ~width_units (dual pd)
+
+let emit_inverter e ~output ~input ~prefix ~width_units =
+  emit_stage e ~output ~pin_net:(fun _ -> input) ~prefix ~width_units
+    (Device 0)
+
+(* Two-input XOR/XNOR stage with its own input inverters. *)
+let emit_xor2 e ~kind ~output ~a ~b ~prefix ~width_units =
+  let na = fresh_net e prefix and nb = fresh_net e prefix in
+  emit_inverter e ~output:na ~input:a ~prefix ~width_units;
+  emit_inverter e ~output:nb ~input:b ~prefix ~width_units;
+  let pins = [| a; b; na; nb |] in
+  emit_stage e ~output ~pin_net:(fun i -> pins.(i)) ~prefix ~width_units
+    (pull_down kind ~fanin:2)
+
+let emit_gate e ~output ~fanin_nets ~prefix ~width_units kind =
+  let fanin = Array.length fanin_nets in
+  let pin_net i = fanin_nets.(i) in
+  match kind with
+  | Gate.Not ->
+    emit_inverter e ~output ~input:fanin_nets.(0) ~prefix ~width_units
+  | Gate.Buf ->
+    let mid = fresh_net e prefix in
+    emit_inverter e ~output:mid ~input:fanin_nets.(0) ~prefix ~width_units;
+    emit_inverter e ~output ~input:mid ~prefix ~width_units
+  | Gate.Nand | Gate.Nor ->
+    emit_stage e ~output ~pin_net ~prefix ~width_units
+      (pull_down kind ~fanin)
+  | Gate.And | Gate.Or ->
+    let mid = fresh_net e prefix in
+    emit_stage e ~output:mid ~pin_net ~prefix ~width_units
+      (pull_down kind ~fanin);
+    emit_inverter e ~output ~input:mid ~prefix ~width_units
+  | Gate.Xor | Gate.Xnor ->
+    (* left-to-right cascade; only the last stage keeps the XNOR flavour *)
+    if fanin = 2 then
+      emit_xor2 e ~kind ~output ~a:fanin_nets.(0) ~b:fanin_nets.(1) ~prefix
+        ~width_units
+    else begin
+      let acc = ref fanin_nets.(0) in
+      for i = 1 to fanin - 2 do
+        let mid = fresh_net e prefix in
+        emit_xor2 e ~kind:Gate.Xor ~output:mid ~a:!acc ~b:fanin_nets.(i)
+          ~prefix ~width_units;
+        acc := mid
+      done;
+      emit_xor2 e ~kind ~output ~a:!acc ~b:fanin_nets.(fanin - 1) ~prefix
+        ~width_units
+    end
+  | Gate.Input | Gate.Dff ->
+    invalid_arg "Spice_export.emit_gate: not a combinational gate"
+
+let deck ?(vdd = 1.0) ?(vt = 0.15) ?widths tech circuit =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Spice_export.deck: circuit is sequential";
+  let e = { buf = Buffer.create 16384; tech; fresh_net = 0; fresh_dev = 0 } in
+  let net id = Printf.sprintf "n%d" id in
+  let width_of id =
+    match widths with
+    | Some w -> w.(id)
+    | None -> 4.0
+  in
+  addf e "* %s: level-1 SPICE deck generated by dcopt\n" (Circuit.name circuit);
+  addf e "* %d gates, %d transistors, Vdd=%.3gV Vt=%.3gV\n"
+    (Circuit.gate_count circuit)
+    (circuit_transistor_count circuit)
+    vdd vt;
+  (* level-1 model cards: match the saturation current of the transregional
+     model at full gate drive (a first-order interchange approximation) *)
+  let od = Mosfet.overdrive tech ~vgs:vdd ~vt in
+  let kp =
+    if od > 0.0 then
+      2.0 *. tech.Tech.k_drive *. (od ** tech.Tech.alpha) /. (od *. od)
+    else tech.Tech.k_drive
+  in
+  addf e ".model nmos_opt NMOS (LEVEL=1 VTO=%.4f KP=%.4e LAMBDA=0.05)\n" vt kp;
+  addf e ".model pmos_opt PMOS (LEVEL=1 VTO=%.4f KP=%.4e LAMBDA=0.05)\n"
+    (-.vt)
+    (kp /. tech.Tech.beta_ratio);
+  addf e "Vsupply vdd 0 DC %.4f\n" vdd;
+  (* pulse sources on the inputs, staggered so transitions are visible *)
+  Array.iteri
+    (fun i id ->
+      addf e "Vin%d %s 0 PULSE(0 %.4f %dn 0.05n 0.05n 5n 10n) ; input %s\n" i
+        (net id) vdd (1 + (i mod 4))
+        (Circuit.node circuit id).Circuit.name)
+    (Circuit.inputs circuit);
+  (* gates in topological order *)
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> assert false
+      | kind ->
+        addf e "* gate %s (%s)\n" nd.Circuit.name (Gate.to_string kind);
+        emit_gate e ~output:(net id)
+          ~fanin_nets:(Array.map net nd.Circuit.fanins)
+          ~prefix:(net id) ~width_units:(width_of id) kind)
+    (Circuit.topo_order circuit);
+  (* output loads *)
+  Array.iteri
+    (fun i id ->
+      addf e "Cload%d %s 0 %.4gf ; output %s\n" i (net id)
+        (4.0 *. tech.Tech.c_gate *. 1e15)
+        (Circuit.node circuit id).Circuit.name)
+    (Circuit.outputs circuit);
+  let horizon = 10 * (2 + Circuit.depth circuit) in
+  addf e ".tran 0.01n %dn\n.end\n" horizon;
+  Buffer.contents e.buf

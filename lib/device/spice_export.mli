@@ -1,0 +1,47 @@
+(** Transistor-level expansion and SPICE-deck export.
+
+    The paper's problem statement assigns a threshold to "each MOSFET" and
+    validates its models with HSPICE; this module provides the matching
+    transistor-level view: every gate expands into its static CMOS pull-up /
+    pull-down networks, and a whole circuit (with a sized design) renders
+    as a level-1 SPICE deck — sized widths, the optimizer's Vdd and Vt
+    baked into the model cards, inputs driven by pulse sources. The deck is
+    an interchange/inspection artifact (and a counting tool); it is not a
+    substitute for this library's own {!Dcopt_sim} transient engine. *)
+
+type network =
+  | Device of int          (** driven by fanin pin [i] *)
+  | Series of network list
+  | Parallel of network list
+
+val pull_down : Dcopt_netlist.Gate.kind -> fanin:int -> network
+(** NMOS network of a single-stage gate (NAND: series, NOR: parallel,
+    NOT/BUF stage: one device). AND/OR are their inverting core (the
+    output inverter is accounted separately); XOR/XNOR of arity 2 are the
+    standard 2x2 AOI over true and complemented inputs, where pins
+    [fanin..2*fanin-1] denote complemented inputs. Raises
+    [Invalid_argument] on non-combinational kinds. *)
+
+val dual : network -> network
+(** De Morgan dual: series <-> parallel — the PMOS network. *)
+
+val network_device_count : network -> int
+
+val transistor_count : Dcopt_netlist.Gate.kind -> fanin:int -> int
+(** Total MOSFETs of the full static CMOS realization, including output
+    inverters of AND/OR/BUF and input inverters of XOR-class gates;
+    multi-input XOR/XNOR count as cascades of 2-input stages. *)
+
+val circuit_transistor_count : Dcopt_netlist.Circuit.t -> int
+(** Sum over all combinational gates. *)
+
+val deck :
+  ?vdd:float -> ?vt:float -> ?widths:float array ->
+  Tech.t -> Dcopt_netlist.Circuit.t -> string
+(** Renders a combinational circuit as a SPICE deck: `.model` cards derived
+    from the technology (level-1 approximations: VTO from [vt], KP from the
+    drive coefficient), one `.subckt` per gate flavour used, an instance
+    per gate with its sized width (from [widths], default 4 w-units),
+    pulse sources on primary inputs and a `.tran` statement sized to the
+    circuit depth. Defaults: [vdd = 1.0], [vt = 0.15]. Raises
+    [Invalid_argument] on sequential circuits. *)

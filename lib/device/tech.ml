@@ -1,0 +1,130 @@
+type t = {
+  tech_name : string;
+  feature_size : float;
+  alpha : float;
+  k_drive : float;
+  s_swing : float;
+  thermal_voltage : float;
+  i_junction : float;
+  beta_ratio : float;
+  c_gate : float;
+  c_parasitic : float;
+  c_intermediate : float;
+  wire_cap_per_m : float;
+  wire_res_per_m : float;
+  wire_velocity : float;
+  vdd_min : float;
+  vdd_max : float;
+  vt_min : float;
+  vt_max : float;
+  w_min : float;
+  w_max : float;
+  body_gamma : float;
+  body_phi : float;
+  vt_natural : float;
+}
+
+(* Calibration notes: alpha ~ 1.05 reflects the paper's strongly
+   velocity-saturated ("quasi-ballistic") transport — with alpha near 1 the
+   delay ratio Vdd/(Vdd - Vt)^alpha is nearly flat in Vdd at low Vt, which
+   is precisely what lets the joint optimum sit at Vdd ~ 0.6-1.2 V while a
+   Vt = 0.7 V design must stay near 3.3 V to make 300 MHz (the paper's
+   Table 1/2 shape). k_drive gives Idsat ~ 100 uA/um at 3.3 V / 0.7 V, a
+   low-power 1997 process; capacitances correspond to ~1.7 fF/um of gate
+   and ~1 fF/um of diffusion; wire constants are mid-1990s Al/SiO2 metal-2
+   figures. *)
+let default =
+  {
+    tech_name = "cmos035";
+    feature_size = 0.35e-6;
+    alpha = 1.05;
+    k_drive = 2.0e-5;
+    s_swing = 0.100;
+    thermal_voltage = 0.0259;
+    i_junction = 1.0e-15;
+    beta_ratio = 2.0;
+    c_gate = 0.70e-15;
+    c_parasitic = 0.20e-15;
+    c_intermediate = 0.10e-15;
+    wire_cap_per_m = 0.20e-9;
+    wire_res_per_m = 1.5e5;
+    wire_velocity = 1.5e8;
+    vdd_min = 0.1;
+    vdd_max = 3.3;
+    vt_min = 0.1;
+    vt_max = 0.7;
+    w_min = 1.0;
+    w_max = 100.0;
+    body_gamma = 0.40;
+    body_phi = 0.70;
+    vt_natural = 0.05;
+  }
+
+let subthreshold_scale t = t.alpha *. t.s_swing /. log 10.0
+
+(* Constant-field scaling: geometry and voltages shrink together, vertical
+   fields stay constant. kT/q does not scale, so s_swing stays put; wire
+   cross-sections shrink in both dimensions, so resistance per length grows
+   quadratically. *)
+let scale t ~factor =
+  assert (factor > 0.0 && factor <= 1.0);
+  let f = factor in
+  {
+    t with
+    tech_name =
+      Printf.sprintf "%s_scaled_%.0fnm" t.tech_name
+        (t.feature_size *. f *. 1e9);
+    feature_size = t.feature_size *. f;
+    c_gate = t.c_gate *. f;
+    c_parasitic = t.c_parasitic *. f;
+    c_intermediate = t.c_intermediate *. f;
+    wire_res_per_m = t.wire_res_per_m /. (f *. f);
+    vdd_max = t.vdd_max *. f;
+    vdd_min = t.vdd_min;
+    i_junction = t.i_junction *. f;
+  }
+
+let at_temperature t ~celsius =
+  assert (celsius > -273.0);
+  let t0 = 273.15 +. 25.0 in
+  let tk = 273.15 +. celsius in
+  let ratio = tk /. t0 in
+  {
+    t with
+    tech_name = Printf.sprintf "%s@%.0fC" t.tech_name celsius;
+    thermal_voltage = t.thermal_voltage *. ratio;
+    s_swing = t.s_swing *. ratio;
+    k_drive = t.k_drive *. (ratio ** -1.5);
+  }
+
+let validate t =
+  let positive =
+    [
+      ("feature_size", t.feature_size); ("alpha", t.alpha);
+      ("k_drive", t.k_drive); ("s_swing", t.s_swing);
+      ("thermal_voltage", t.thermal_voltage); ("beta_ratio", t.beta_ratio);
+      ("c_gate", t.c_gate); ("c_parasitic", t.c_parasitic);
+      ("c_intermediate", t.c_intermediate);
+      ("wire_cap_per_m", t.wire_cap_per_m);
+      ("wire_res_per_m", t.wire_res_per_m);
+      ("wire_velocity", t.wire_velocity);
+    ]
+  in
+  let rec check = function
+    | [] -> Ok ()
+    | (name, v) :: rest ->
+      if v <= 0.0 then Error (name ^ " must be positive") else check rest
+  in
+  match check positive with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.i_junction < 0.0 then Error "i_junction must be non-negative"
+    else if not (0.0 < t.vdd_min && t.vdd_min < t.vdd_max) then
+      Error "vdd range is empty"
+    else if not (0.0 < t.vt_min && t.vt_min < t.vt_max) then
+      Error "vt range is empty"
+    else if not (0.0 < t.w_min && t.w_min < t.w_max) then
+      Error "width range is empty"
+    else if t.body_gamma < 0.0 || t.body_phi <= 0.0 then
+      Error "body-effect parameters out of range"
+    else Ok ()

@@ -1,0 +1,60 @@
+(** CMOS technology description.
+
+    Device widths are expressed throughout the library in units of the
+    minimum feature size F (the paper's [w_i >= 1] convention), so every
+    per-width constant here is per *w-unit*: multiply by [w] to get the
+    device value. The default instance is a representative 0.35 um / 3.3 V
+    process of the paper's era (DESIGN.md, substitution 3). *)
+
+type t = {
+  tech_name : string;
+  feature_size : float;  (** F in metres *)
+  alpha : float;         (** alpha-power-law velocity-saturation index *)
+  k_drive : float;       (** drive transconductance, A / w-unit / V^alpha *)
+  s_swing : float;       (** subthreshold swing of the composite I-V, V/decade *)
+  thermal_voltage : float; (** kT/q at operating temperature, V *)
+  i_junction : float;    (** drain-junction leakage, A / w-unit *)
+  beta_ratio : float;    (** PMOS/NMOS width ratio (the paper's beta >= 1) *)
+  c_gate : float;        (** gate input capacitance, F / w-unit *)
+  c_parasitic : float;   (** output overlap+junction+fringe cap, F / w-unit *)
+  c_intermediate : float;(** series-stack internal node cap, F / w-unit *)
+  wire_cap_per_m : float;   (** F/m *)
+  wire_res_per_m : float;   (** ohm/m *)
+  wire_velocity : float;    (** signal propagation speed, m/s *)
+  vdd_min : float;       (** optimizer search range, V (paper: 0.1) *)
+  vdd_max : float;       (** V (paper: 3.3) *)
+  vt_min : float;        (** V (paper: 0.1) *)
+  vt_max : float;        (** V (paper: 0.7) *)
+  w_min : float;         (** w-units (paper: 1) *)
+  w_max : float;         (** w-units (paper: 100) *)
+  body_gamma : float;    (** body-effect coefficient, sqrt(V) *)
+  body_phi : float;      (** 2*phi_F surface potential, V *)
+  vt_natural : float;    (** threshold with no adjust implant and zero bias, V *)
+}
+
+val default : t
+(** The representative 0.35 um process used by all experiments. *)
+
+val scale : t -> factor:float -> t
+(** Constant-field scaling to a finer node: [factor] < 1 shrinks the
+    feature size (e.g. 0.7 per generation). Dimensions, capacitances and
+    the supply ceiling scale by [factor]; drive per w-unit stays constant
+    to first order (shorter channel offsets narrower per-unit width); wire
+    resistance per metre grows as 1/factor^2 while capacitance per metre is
+    roughly constant; the subthreshold swing does not scale (it is set by
+    kT/q), which is precisely why leakage grows in scaled technologies.
+    The name is suffixed with the new feature size. *)
+
+val at_temperature : t -> celsius:float -> t
+(** The same process at another junction temperature: the thermal voltage
+    kT/q and the subthreshold swing scale linearly with absolute
+    temperature (so leakage grows exponentially on hot dies), and carrier
+    mobility degrades drive as (T/T0)^-1.5. The reference record is taken
+    to be characterized at 25 C. *)
+
+val subthreshold_scale : t -> float
+(** n*vT of the composite transregional model, derived from [s_swing] and
+    [alpha] so that the model's I_off slope equals [s_swing] per decade. *)
+
+val validate : t -> (unit, string) result
+(** Sanity bounds: positive constants, non-empty search ranges. *)

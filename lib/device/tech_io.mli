@@ -1,0 +1,34 @@
+(** Technology-file parsing and serialization.
+
+    A plain `key = value` format (one parameter per line, [#] comments) so
+    users can describe their own process instead of patching
+    {!Tech.default} in code:
+
+    {v
+    # my 0.25um low-power process
+    name        = lp025
+    feature_size = 0.25e-6
+    alpha       = 1.1
+    k_drive     = 1.8e-5
+    ...
+    v}
+
+    Unknown keys are rejected (typos should not silently become defaults);
+    omitted keys inherit from a base technology (default {!Tech.default}).
+    [to_string] then [parse_string] round-trips exactly. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?base:Tech.t -> string -> Tech.t
+(** Raises {!Parse_error} on syntax errors/unknown keys and
+    [Invalid_argument] when the resulting record fails {!Tech.validate}. *)
+
+val parse_file : ?base:Tech.t -> string -> Tech.t
+
+val to_string : Tech.t -> string
+(** Every field, one per line, parseable by {!parse_string}. *)
+
+val write_file : string -> Tech.t -> unit
+
+val known_keys : string list
+(** Accepted parameter names, for error messages and documentation. *)

@@ -1,0 +1,113 @@
+exception Parse_error of { line : int; message : string }
+
+let errorf line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* Accepts "HEAD(arg1, arg2, ...)" and returns (HEAD, args). *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> errorf line "expected '(' in %S" s
+  | Some open_paren ->
+    if s.[String.length s - 1] <> ')' then errorf line "expected ')' in %S" s;
+    let head = strip (String.sub s 0 open_paren) in
+    let inner =
+      String.sub s (open_paren + 1) (String.length s - open_paren - 2)
+    in
+    let args =
+      if strip inner = "" then []
+      else String.split_on_char ',' inner |> List.map strip
+    in
+    (head, args)
+
+let parse_string ~name text =
+  let nodes = ref [] and outputs = ref [] in
+  let declared_inputs = ref [] in
+  let add_node entry = nodes := entry :: !nodes in
+  let handle_line lineno raw =
+    let line =
+      match String.index_opt raw '#' with
+      | Some i -> String.sub raw 0 i
+      | None -> raw
+    in
+    let line = strip line in
+    if line <> "" then
+      match String.index_opt line '=' with
+      | Some eq ->
+        let net = strip (String.sub line 0 eq) in
+        let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        if net = "" then errorf lineno "missing net name before '='";
+        let head, args = parse_call lineno rhs in
+        (match Gate.of_string head with
+        | None -> errorf lineno "unknown gate kind %S" head
+        | Some Gate.Input -> errorf lineno "INPUT is not a gate definition"
+        | Some kind ->
+          if args = [] then errorf lineno "gate %S has no fanins" net;
+          add_node (net, kind, args))
+      | None ->
+        let head, args = parse_call lineno line in
+        (match (String.uppercase_ascii head, args) with
+        | "INPUT", [ net ] -> declared_inputs := net :: !declared_inputs
+        | "OUTPUT", [ net ] -> outputs := net :: !outputs
+        | ("INPUT" | "OUTPUT"), _ ->
+          errorf lineno "%s takes exactly one net" head
+        | _ -> errorf lineno "unrecognized declaration %S" line)
+  in
+  String.split_on_char '\n' text |> List.iteri (fun i l -> handle_line (i + 1) l);
+  let input_nodes =
+    List.rev_map (fun net -> (net, Gate.Input, [])) !declared_inputs
+  in
+  Circuit.create ~name
+    ~nodes:(input_nodes @ List.rev !nodes)
+    ~outputs:(List.rev !outputs)
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string circuit =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.name circuit));
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "INPUT(%s)\n" (Circuit.node circuit id).Circuit.name))
+    (Circuit.inputs circuit);
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Circuit.node circuit id).Circuit.name))
+    (Circuit.outputs circuit);
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let fanin_names =
+          Array.to_list nd.Circuit.fanins
+          |> List.map (fun f -> (Circuit.node circuit f).Circuit.name)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" nd.Circuit.name (Gate.to_string kind)
+             (String.concat ", " fanin_names)))
+    (Circuit.nodes circuit);
+  Buffer.contents buf
+
+let write_file path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string circuit))

@@ -1,0 +1,23 @@
+(** ISCAS-89 `.bench` netlist reader and writer.
+
+    The format: one declaration per line, [#] comments,
+    [INPUT(n)] / [OUTPUT(n)] pin declarations and
+    [n = KIND(a, b, ...)] gate definitions. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : name:string -> string -> Circuit.t
+(** [parse_string ~name text] parses `.bench` [text] into a validated
+    circuit called [name]. Raises {!Parse_error} on syntax errors and
+    {!Circuit.Invalid} on semantic ones. *)
+
+val parse_file : string -> Circuit.t
+(** Reads a file; the circuit takes the file's basename (without extension)
+    as its name. *)
+
+val to_string : Circuit.t -> string
+(** Renders a circuit back to `.bench` text (header comment, INPUT/OUTPUT
+    declarations, then gate definitions in id order). [parse_string] of the
+    result reconstructs an identical circuit. *)
+
+val write_file : string -> Circuit.t -> unit

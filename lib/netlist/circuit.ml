@@ -1,0 +1,205 @@
+type node = {
+  id : int;
+  name : string;
+  kind : Gate.kind;
+  fanins : int array;
+}
+
+type t = {
+  circuit_name : string;
+  node_array : node array;
+  by_name : (string, int) Hashtbl.t;
+  input_ids : int array;
+  output_ids : int array;
+  dff_ids : int array;
+  fanout_ids : int array array;
+  output_flags : bool array;
+  order : int array;       (* combinational topological order *)
+  node_levels : int array;
+}
+
+exception Invalid of string
+
+let invalidf fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* Kahn's algorithm on the combinational edge set: edges into DFF data pins
+   are cut, so registered feedback loops are legal while combinational loops
+   are rejected. The FIFO makes the order deterministic. *)
+let compute_topo_order node_array fanout_ids =
+  let n = Array.length node_array in
+  let indegree = Array.make n 0 in
+  Array.iter
+    (fun nd ->
+      match nd.kind with
+      | Gate.Dff | Gate.Input -> ()
+      | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Not | Gate.Buf
+      | Gate.Xor | Gate.Xnor -> indegree.(nd.id) <- Array.length nd.fanins)
+    node_array;
+  let queue = Queue.create () in
+  Array.iter (fun nd -> if indegree.(nd.id) = 0 then Queue.add nd.id queue) node_array;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!filled) <- u;
+    incr filled;
+    Array.iter
+      (fun v ->
+        match node_array.(v).kind with
+        | Gate.Dff -> ()
+        | _ ->
+          indegree.(v) <- indegree.(v) - 1;
+          if indegree.(v) = 0 then Queue.add v queue)
+      fanout_ids.(u)
+  done;
+  if !filled <> n then invalidf "circuit contains a combinational cycle";
+  order
+
+let compute_levels node_array order =
+  let levels = Array.make (Array.length node_array) 0 in
+  Array.iter
+    (fun id ->
+      let nd = node_array.(id) in
+      match nd.kind with
+      | Gate.Input | Gate.Dff -> levels.(id) <- 0
+      | _ ->
+        let m = Array.fold_left (fun acc f -> max acc levels.(f)) 0 nd.fanins in
+        levels.(id) <- m + 1)
+    order;
+  levels
+
+let create ~name ~nodes ~outputs =
+  let by_name = Hashtbl.create (List.length nodes * 2) in
+  List.iteri
+    (fun i (net, _, _) ->
+      if Hashtbl.mem by_name net then invalidf "duplicate net name %S" net;
+      Hashtbl.add by_name net i)
+    nodes;
+  let resolve context net =
+    match Hashtbl.find_opt by_name net with
+    | Some id -> id
+    | None -> invalidf "%s references undefined net %S" context net
+  in
+  let node_array =
+    Array.of_list
+      (List.mapi
+         (fun i (net, kind, fanin_names) ->
+           let fanins = Array.of_list (List.map (resolve net) fanin_names) in
+           if not (Gate.arity_ok kind (Array.length fanins)) then
+             invalidf "gate %S: %s cannot have %d fanin(s)" net
+               (Gate.to_string kind) (Array.length fanins);
+           { id = i; name = net; kind; fanins })
+         nodes)
+  in
+  let n = Array.length node_array in
+  if n = 0 then invalidf "empty circuit";
+  let fanout_lists = Array.make n [] in
+  Array.iter
+    (fun nd ->
+      Array.iter (fun f -> fanout_lists.(f) <- nd.id :: fanout_lists.(f)) nd.fanins)
+    node_array;
+  let fanout_ids = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
+  let output_ids = Array.of_list (List.map (resolve "outputs") outputs) in
+  let output_flags = Array.make n false in
+  Array.iter (fun id -> output_flags.(id) <- true) output_ids;
+  let collect kind_pred =
+    Array.of_list
+      (Array.to_list node_array
+      |> List.filter (fun nd -> kind_pred nd.kind)
+      |> List.map (fun nd -> nd.id))
+  in
+  let input_ids = collect (fun k -> k = Gate.Input) in
+  let dff_ids = collect (fun k -> k = Gate.Dff) in
+  let order = compute_topo_order node_array fanout_ids in
+  let node_levels = compute_levels node_array order in
+  {
+    circuit_name = name;
+    node_array;
+    by_name;
+    input_ids;
+    output_ids;
+    dff_ids;
+    fanout_ids;
+    output_flags;
+    order;
+    node_levels;
+  }
+
+let name t = t.circuit_name
+let size t = Array.length t.node_array
+let node t i = t.node_array.(i)
+let nodes t = t.node_array
+
+let find t net =
+  match Hashtbl.find_opt t.by_name net with
+  | Some id -> id
+  | None -> raise Not_found
+
+let inputs t = t.input_ids
+let outputs t = t.output_ids
+let dffs t = t.dff_ids
+let fanouts t i = t.fanout_ids.(i)
+let is_output t i = t.output_flags.(i)
+
+let fanout_count t i =
+  Array.length t.fanout_ids.(i) + if t.output_flags.(i) then 1 else 0
+
+let gate_count t =
+  Array.fold_left
+    (fun acc nd ->
+      match nd.kind with
+      | Gate.Input | Gate.Dff -> acc
+      | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Not | Gate.Buf
+      | Gate.Xor | Gate.Xnor -> acc + 1)
+    0 t.node_array
+
+let is_combinational t = Array.length t.dff_ids = 0
+let topo_order t = Array.copy t.order
+let level t i = t.node_levels.(i)
+let depth t = Array.fold_left max 0 t.node_levels
+
+let combinational_core t =
+  if is_combinational t then t
+  else
+    let nodes =
+      Array.to_list t.node_array
+      |> List.map (fun nd ->
+           match nd.kind with
+           | Gate.Dff -> (nd.name, Gate.Input, [])
+           | _ ->
+             ( nd.name,
+               nd.kind,
+               Array.to_list nd.fanins
+               |> List.map (fun f -> t.node_array.(f).name) ))
+    in
+    let pseudo_outputs =
+      Array.to_list t.dff_ids
+      |> List.map (fun id -> t.node_array.(t.node_array.(id).fanins.(0)).name)
+    in
+    let outputs =
+      (Array.to_list t.output_ids |> List.map (fun id -> t.node_array.(id).name))
+      @ pseudo_outputs
+    in
+    create ~name:t.circuit_name ~nodes ~outputs
+
+let eval t input_values =
+  if not (is_combinational t) then
+    invalid_arg "Circuit.eval: circuit is sequential";
+  if Array.length input_values <> Array.length t.input_ids then
+    invalid_arg "Circuit.eval: input arity mismatch";
+  let values = Array.make (size t) false in
+  Array.iteri (fun i id -> values.(id) <- input_values.(i)) t.input_ids;
+  Array.iter
+    (fun id ->
+      let nd = t.node_array.(id) in
+      match nd.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | kind ->
+        let vs = Array.map (fun f -> values.(f)) nd.fanins in
+        values.(id) <- Gate.eval kind vs)
+    t.order;
+  values
+
+let output_values t input_values =
+  let values = eval t input_values in
+  Array.map (fun id -> values.(id)) t.output_ids

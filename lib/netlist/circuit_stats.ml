@@ -1,0 +1,65 @@
+type t = {
+  circuit : string;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  gates : int;
+  depth : int;
+  total_fanout : int;
+  max_fanout : int;
+  mean_fanin : float;
+  kind_counts : (Gate.kind * int) list;
+}
+
+let compute c =
+  let core = Circuit.combinational_core c in
+  let counts = Hashtbl.create 11 in
+  let bump k =
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  let total_fanout = ref 0 and max_fanout = ref 0 in
+  let fanin_sum = ref 0 and gate_n = ref 0 in
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | k ->
+        bump k;
+        incr gate_n;
+        fanin_sum := !fanin_sum + Array.length nd.Circuit.fanins;
+        let fo = Circuit.fanout_count core nd.Circuit.id in
+        total_fanout := !total_fanout + fo;
+        if fo > !max_fanout then max_fanout := fo)
+    (Circuit.nodes core);
+  {
+    circuit = Circuit.name c;
+    primary_inputs = Array.length (Circuit.inputs c);
+    primary_outputs = Array.length (Circuit.outputs c);
+    flip_flops = Array.length (Circuit.dffs c);
+    gates = Circuit.gate_count c;
+    depth = Circuit.depth core;
+    total_fanout = !total_fanout;
+    max_fanout = !max_fanout;
+    mean_fanin =
+      (if !gate_n = 0 then 0.0
+       else float_of_int !fanin_sum /. float_of_int !gate_n);
+    kind_counts =
+      List.filter_map
+        (fun k ->
+          match Hashtbl.find_opt counts k with
+          | Some n -> Some (k, n)
+          | None -> None)
+        Gate.all;
+  }
+
+let to_string s =
+  let kinds =
+    s.kind_counts
+    |> List.map (fun (k, n) -> Printf.sprintf "%s:%d" (Gate.to_string k) n)
+    |> String.concat " "
+  in
+  Printf.sprintf
+    "%s: %d PI, %d PO, %d DFF, %d gates, depth %d, fanout total %d max %d, \
+     mean fanin %.2f [%s]"
+    s.circuit s.primary_inputs s.primary_outputs s.flip_flops s.gates s.depth
+    s.total_fanout s.max_fanout s.mean_fanin kinds

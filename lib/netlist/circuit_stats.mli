@@ -1,0 +1,21 @@
+(** Structural statistics of a circuit, for reports and for checking that
+    generated stand-in benchmarks match their target profiles. *)
+
+type t = {
+  circuit : string;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  gates : int;            (** combinational gates *)
+  depth : int;            (** logic depth of the combinational core *)
+  total_fanout : int;     (** sum over gates of {!Circuit.fanout_count} *)
+  max_fanout : int;
+  mean_fanin : float;     (** over combinational gates *)
+  kind_counts : (Gate.kind * int) list;  (** non-zero counts, fixed order *)
+}
+
+val compute : Circuit.t -> t
+
+val to_string : t -> string
+(** One-line summary, e.g.
+    ["s298: 3 PI, 6 PO, 14 DFF, 119 gates, depth 9, ..."]. *)

@@ -1,0 +1,233 @@
+type profile = {
+  profile_name : string;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  gates : int;
+  logic_depth : int;
+  seed : int64 option;
+}
+
+let validate p =
+  if p.primary_inputs < 1 then Error "primary_inputs must be >= 1"
+  else if p.primary_outputs < 1 then Error "primary_outputs must be >= 1"
+  else if p.flip_flops < 0 then Error "flip_flops must be >= 0"
+  else if p.logic_depth < 1 then Error "logic_depth must be >= 1"
+  else if p.gates < p.logic_depth then Error "gates must be >= logic_depth"
+  else Ok ()
+
+type building_gate = {
+  gate_name : string;
+  gate_kind : Gate.kind;
+  gate_level : int;
+  mutable gate_fanins : string list; (* reversed pin order *)
+}
+
+let kind_weights =
+  [| (Gate.Nand, 0.28); (Gate.Nor, 0.18); (Gate.And, 0.14); (Gate.Or, 0.14);
+     (Gate.Not, 0.18); (Gate.Buf, 0.02); (Gate.Xor, 0.04); (Gate.Xnor, 0.02) |]
+
+let fanin_weights = [| (2, 0.70); (3, 0.25); (4, 0.05) |]
+
+let absorbing = function
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> true
+  | Gate.Not | Gate.Buf | Gate.Xor | Gate.Xnor | Gate.Input | Gate.Dff -> false
+
+(* Split [p.gates] over [p.logic_depth] levels: one gate per level to pin the
+   depth, the last level capped by the number of available sinks (POs and DFF
+   data pins) so every deepest gate finds a consumer, and the remainder
+   spread with a bias toward shallow levels (real netlists taper). *)
+let distribute_levels rng p =
+  let depth = p.logic_depth in
+  let counts = Array.make (depth + 1) 0 in
+  for lvl = 1 to depth do
+    counts.(lvl) <- 1
+  done;
+  let last_cap = max 1 (p.primary_outputs + p.flip_flops) in
+  let weights =
+    Array.init depth (fun i ->
+        let lvl = i + 1 in
+        (lvl, 1.0 +. (2.0 *. float_of_int (depth - lvl))))
+  in
+  for _ = 1 to p.gates - depth do
+    let rec pick tries =
+      let lvl = Dcopt_util.Prng.choose_weighted rng weights in
+      if lvl = depth && counts.(depth) >= last_cap && tries < 32 then
+        pick (tries + 1)
+      else if lvl = depth && counts.(depth) >= last_cap then depth - 1
+      else lvl
+    in
+    let lvl = if depth = 1 then 1 else pick 0 in
+    let lvl = max 1 lvl in
+    counts.(lvl) <- counts.(lvl) + 1
+  done;
+  counts
+
+let generate p =
+  (match validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator.generate: " ^ msg));
+  let rng =
+    match p.seed with
+    | Some s -> Dcopt_util.Prng.create s
+    | None -> Dcopt_util.Prng.of_string p.profile_name
+  in
+  let pi_names = Array.init p.primary_inputs (Printf.sprintf "pi%d") in
+  let ff_names = Array.init p.flip_flops (Printf.sprintf "ff%d") in
+  let sources = Array.append pi_names ff_names in
+  let counts = distribute_levels rng p in
+  let depth = p.logic_depth in
+  (* pool.(lvl) = names of nodes whose level is exactly lvl *)
+  let pool = Array.make (depth + 1) [||] in
+  pool.(0) <- sources;
+  let dangling : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter (fun s -> Hashtbl.replace dangling s 0) sources;
+  let gates_by_level = Array.make (depth + 1) [] in
+  let all_gates = ref [] in
+  let fresh_gate_id = ref 0 in
+  let consume net = Hashtbl.remove dangling net in
+  let pick_fanin_level lvl =
+    (* geometric bias toward the immediately preceding level *)
+    let rec hop current =
+      if current = 0 then 0
+      else if Dcopt_util.Prng.float rng 1.0 < 0.6 then current
+      else hop (current - 1)
+    in
+    hop (lvl - 1)
+  in
+  let pick_extra_fanin lvl =
+    (* prefer re-using a dangling node so few nets end up unconsumed *)
+    let from_dangling () =
+      let candidates =
+        Hashtbl.fold
+          (fun net l acc -> if l < lvl then net :: acc else acc)
+          dangling []
+      in
+      match candidates with
+      | [] -> None
+      | _ ->
+        let arr = Array.of_list (List.sort compare candidates) in
+        Some (Dcopt_util.Prng.choose rng arr)
+    in
+    if Dcopt_util.Prng.float rng 1.0 < 0.5 then
+      match from_dangling () with
+      | Some net -> net
+      | None ->
+        let l = pick_fanin_level lvl in
+        Dcopt_util.Prng.choose rng pool.(l)
+    else
+      let l = pick_fanin_level lvl in
+      Dcopt_util.Prng.choose rng pool.(l)
+  in
+  for lvl = 1 to depth do
+    let level_gates =
+      List.init counts.(lvl) (fun _ ->
+          let kind = Dcopt_util.Prng.choose_weighted rng kind_weights in
+          let target_arity =
+            match kind with
+            | Gate.Not | Gate.Buf -> 1
+            | _ -> Dcopt_util.Prng.choose_weighted rng fanin_weights
+          in
+          let name = Printf.sprintf "g%d" !fresh_gate_id in
+          incr fresh_gate_id;
+          (* anchor fanin from level - 1 pins the gate's level exactly *)
+          let anchor = Dcopt_util.Prng.choose rng pool.(lvl - 1) in
+          consume anchor;
+          let fanins = ref [ anchor ] in
+          for _ = 2 to target_arity do
+            let rec distinct tries =
+              let cand = pick_extra_fanin lvl in
+              if List.mem cand !fanins && tries < 8 then distinct (tries + 1)
+              else cand
+            in
+            let extra = distinct 0 in
+            consume extra;
+            fanins := extra :: !fanins
+          done;
+          { gate_name = name; gate_kind = kind; gate_level = lvl;
+            gate_fanins = !fanins })
+    in
+    gates_by_level.(lvl) <- level_gates;
+    pool.(lvl) <-
+      Array.of_list (List.map (fun g -> g.gate_name) level_gates);
+    List.iter (fun g -> Hashtbl.replace dangling g.gate_name lvl) level_gates;
+    all_gates := !all_gates @ [ level_gates ]
+  done;
+  let gates = List.concat !all_gates in
+  (* Sink assignment: primary outputs then DFF data pins, consuming the
+     deepest-level gates first (they have no other possible consumer), then
+     remaining dangling gates deepest-first, then arbitrary gates. *)
+  let deepest_first =
+    List.stable_sort
+      (fun a b -> compare b.gate_level a.gate_level)
+      gates
+  in
+  let last_level = List.filter (fun g -> g.gate_level = depth) deepest_first in
+  let sink_candidates =
+    let dangling_gates =
+      List.filter
+        (fun g -> g.gate_level < depth && Hashtbl.mem dangling g.gate_name)
+        deepest_first
+    in
+    let rest =
+      List.filter
+        (fun g -> g.gate_level < depth && not (Hashtbl.mem dangling g.gate_name))
+        deepest_first
+    in
+    List.map (fun g -> g.gate_name) (last_level @ dangling_gates @ rest)
+    @ Array.to_list sources
+  in
+  let take_sinks n =
+    let rec go n acc = function
+      | _ when n = 0 -> List.rev acc
+      | [] ->
+        (* tiny circuit: recycle candidates cyclically *)
+        go n acc sink_candidates
+      | net :: rest -> go (n - 1) (net :: acc) rest
+    in
+    go n [] sink_candidates
+  in
+  let sinks = take_sinks (p.primary_outputs + p.flip_flops) in
+  let po_drivers, dff_drivers =
+    let rec split i acc = function
+      | rest when i = p.primary_outputs -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | net :: rest -> split (i + 1) (net :: acc) rest
+    in
+    split 0 [] sinks
+  in
+  List.iter consume po_drivers;
+  List.iter consume dff_drivers;
+  (* Absorb still-dangling nodes as extra fanins of AND/OR-class gates at
+     strictly greater levels, preserving depth and acyclicity. *)
+  let absorbers_above lvl =
+    List.filter
+      (fun g -> g.gate_level > lvl && absorbing g.gate_kind)
+      gates
+  in
+  let dangling_list =
+    Hashtbl.fold (fun net lvl acc -> (net, lvl) :: acc) dangling []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (net, lvl) ->
+      match absorbers_above lvl with
+      | [] -> () (* leave dangling; validated circuits allow unused nets *)
+      | candidates ->
+        let arr = Array.of_list candidates in
+        let g = Dcopt_util.Prng.choose rng arr in
+        if not (List.mem net g.gate_fanins) then begin
+          g.gate_fanins <- net :: g.gate_fanins;
+          consume net
+        end)
+    dangling_list;
+  let node_list =
+    List.map (fun n -> (n, Gate.Input, [])) (Array.to_list pi_names)
+    @ List.map2
+        (fun n driver -> (n, Gate.Dff, [ driver ]))
+        (Array.to_list ff_names) dff_drivers
+    @ List.map
+        (fun g -> (g.gate_name, g.gate_kind, List.rev g.gate_fanins))
+        gates
+  in
+  Circuit.create ~name:p.profile_name ~nodes:node_list ~outputs:po_drivers

@@ -1,0 +1,26 @@
+(** Deterministic random-logic-network generator.
+
+    Produces levelized random DAGs with a prescribed size profile. Used to
+    stand in for ISCAS-89 netlists that cannot be redistributed here (see
+    DESIGN.md, substitution 2): the optimizer's behaviour depends on the
+    structural statistics this generator controls — gate count, depth,
+    fanin mix, fanout spread — not on the exact Boolean functions. *)
+
+type profile = {
+  profile_name : string;
+  primary_inputs : int;   (** >= 1 *)
+  primary_outputs : int;  (** >= 1 *)
+  flip_flops : int;       (** >= 0 *)
+  gates : int;            (** combinational gates, >= depth *)
+  logic_depth : int;      (** >= 1; every generated circuit reaches it *)
+  seed : int64 option;    (** [None] = hash of [profile_name] *)
+}
+
+val validate : profile -> (unit, string) result
+(** Checks the bounds documented on the fields. *)
+
+val generate : profile -> Circuit.t
+(** Generates a circuit matching the profile exactly in #PI, #PO, #DFF and
+    combinational gate count, with logic depth equal to [logic_depth].
+    Deterministic: equal profiles give structurally equal circuits.
+    Raises [Invalid_argument] if [validate] fails. *)

@@ -1,0 +1,291 @@
+let inverter_chain ~stages =
+  assert (stages >= 1);
+  let nodes = ref [ ("a", Gate.Input, []) ] in
+  let prev = ref "a" in
+  for i = 1 to stages do
+    let name = Printf.sprintf "inv%d" i in
+    nodes := (name, Gate.Not, [ !prev ]) :: !nodes;
+    prev := name
+  done;
+  Circuit.create
+    ~name:(Printf.sprintf "inverter_chain%d" stages)
+    ~nodes:(List.rev !nodes) ~outputs:[ !prev ]
+
+(* One full adder: s = a xor b xor c; cout = ab + c(a xor b). *)
+let full_adder_nodes i a b cin =
+  let n fmt = Printf.sprintf fmt i in
+  ( [ (n "fa%d_axb", Gate.Xor, [ a; b ]);
+      (n "s%d", Gate.Xor, [ n "fa%d_axb"; cin ]);
+      (n "fa%d_ab", Gate.And, [ a; b ]);
+      (n "fa%d_cx", Gate.And, [ cin; n "fa%d_axb" ]);
+      (n "fa%d_cout", Gate.Or, [ n "fa%d_ab"; n "fa%d_cx" ]) ],
+    n "s%d",
+    n "fa%d_cout" )
+
+let ripple_carry_adder ~bits =
+  assert (bits >= 1);
+  let input name = (name, Gate.Input, []) in
+  let inputs =
+    List.concat
+      (List.init bits (fun i ->
+           [ input (Printf.sprintf "a%d" i); input (Printf.sprintf "b%d" i) ]))
+    @ [ input "cin" ]
+  in
+  let rec build i carry acc sums =
+    if i = bits then (List.rev acc, List.rev sums, carry)
+    else
+      let nodes, s, cout =
+        full_adder_nodes i (Printf.sprintf "a%d" i) (Printf.sprintf "b%d" i)
+          carry
+      in
+      build (i + 1) cout (List.rev_append nodes acc) (s :: sums)
+  in
+  let gate_nodes, sums, cout = build 0 "cin" [] [] in
+  Circuit.create
+    ~name:(Printf.sprintf "rca%d" bits)
+    ~nodes:(inputs @ gate_nodes)
+    ~outputs:(sums @ [ cout ])
+
+let parity_tree ~leaves =
+  assert (leaves >= 2);
+  let inputs = List.init leaves (Printf.sprintf "x%d") in
+  let nodes = ref (List.map (fun n -> (n, Gate.Input, [])) inputs) in
+  let fresh = ref 0 in
+  let rec reduce = function
+    | [] -> assert false
+    | [ last ] -> last
+    | layer ->
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ odd ] -> List.rev (odd :: acc)
+        | a :: b :: rest ->
+          let name = Printf.sprintf "xo%d" !fresh in
+          incr fresh;
+          nodes := (name, Gate.Xor, [ a; b ]) :: !nodes;
+          pair (name :: acc) rest
+      in
+      reduce (pair [] layer)
+  in
+  let root = reduce inputs in
+  let rename (n, k, f) = if n = root then ("parity", k, f) else (n, k, f) in
+  let fix_ref (n, k, f) = (n, k, List.map (fun x -> if x = root then "parity" else x) f) in
+  let renamed = List.rev_map (fun nd -> fix_ref (rename nd)) !nodes in
+  Circuit.create
+    ~name:(Printf.sprintf "parity%d" leaves)
+    ~nodes:renamed ~outputs:[ "parity" ]
+
+let mux_tree ~select_bits =
+  assert (select_bits >= 1 && select_bits <= 10);
+  let data_count = 1 lsl select_bits in
+  let inputs =
+    List.init data_count (fun i -> (Printf.sprintf "d%d" i, Gate.Input, []))
+    @ List.init select_bits (fun i -> (Printf.sprintf "s%d" i, Gate.Input, []))
+  in
+  let nodes = ref [] in
+  let fresh = ref 0 in
+  let add kind fanins =
+    let name = Printf.sprintf "m%d" !fresh in
+    incr fresh;
+    nodes := (name, kind, fanins) :: !nodes;
+    name
+  in
+  let sel_inv =
+    Array.init select_bits (fun i -> add Gate.Not [ Printf.sprintf "s%d" i ])
+  in
+  (* Level-by-level 2:1 muxes: level k selects on bit k. *)
+  let rec build level wires =
+    match wires with
+    | [ only ] -> only
+    | _ ->
+      let s = Printf.sprintf "s%d" level and sbar = sel_inv.(level) in
+      let rec pair acc = function
+        | [] -> List.rev acc
+        | [ odd ] -> List.rev (odd :: acc)
+        | a :: b :: rest ->
+          let lo = add Gate.And [ a; sbar ] in
+          let hi = add Gate.And [ b; s ] in
+          let y = add Gate.Or [ lo; hi ] in
+          pair (y :: acc) rest
+      in
+      build (level + 1) (pair [] wires)
+  in
+  let root = build 0 (List.init data_count (Printf.sprintf "d%d")) in
+  let all_nodes =
+    inputs
+    @ (List.rev !nodes
+      |> List.map (fun (n, k, f) ->
+             ((if n = root then "y" else n), k,
+              List.map (fun x -> if x = root then "y" else x) f)))
+  in
+  Circuit.create
+    ~name:(Printf.sprintf "mux%d" data_count)
+    ~nodes:all_nodes ~outputs:[ "y" ]
+
+let decoder ~bits =
+  assert (bits >= 1 && bits <= 10);
+  let inputs = List.init bits (fun i -> (Printf.sprintf "s%d" i, Gate.Input, [])) in
+  let invs =
+    List.init bits (fun i ->
+        (Printf.sprintf "sb%d" i, Gate.Not, [ Printf.sprintf "s%d" i ]))
+  in
+  let terms =
+    List.init (1 lsl bits) (fun code ->
+        let fanins =
+          List.init bits (fun b ->
+              if (code lsr b) land 1 = 1 then Printf.sprintf "s%d" b
+              else Printf.sprintf "sb%d" b)
+        in
+        let fanins = if bits = 1 then fanins @ fanins else fanins in
+        (Printf.sprintf "o%d" code, Gate.And, fanins))
+  in
+  Circuit.create
+    ~name:(Printf.sprintf "dec%d" bits)
+    ~nodes:(inputs @ invs @ terms)
+    ~outputs:(List.init (1 lsl bits) (Printf.sprintf "o%d"))
+
+let and_or_ladder ~rungs =
+  assert (rungs >= 1);
+  let inputs =
+    ("seed", Gate.Input, [])
+    :: List.init rungs (fun i -> (Printf.sprintf "in%d" i, Gate.Input, []))
+  in
+  let rec build i prev acc =
+    if i = rungs then (List.rev acc, prev)
+    else
+      let kind = if i mod 2 = 0 then Gate.And else Gate.Or in
+      let name = Printf.sprintf "r%d" i in
+      build (i + 1) name ((name, kind, [ prev; Printf.sprintf "in%d" i ]) :: acc)
+  in
+  let rung_nodes, last = build 0 "seed" [] in
+  Circuit.create
+    ~name:(Printf.sprintf "ladder%d" rungs)
+    ~nodes:(inputs @ rung_nodes)
+    ~outputs:[ last ]
+
+(* bits x bits array multiplier: partial products ANDed, then accumulated
+   row by row with ripple-carry adders built from full_adder_nodes. *)
+let array_multiplier ~bits =
+  assert (bits >= 1 && bits <= 8);
+  let inputs =
+    List.init bits (fun i -> (Printf.sprintf "a%d" i, Gate.Input, []))
+    @ List.init bits (fun i -> (Printf.sprintf "b%d" i, Gate.Input, []))
+  in
+  let nodes = ref [] in
+  let fresh = ref 0 in
+  let add kind fanins =
+    let name = Printf.sprintf "m%d" !fresh in
+    incr fresh;
+    nodes := (name, kind, fanins) :: !nodes;
+    name
+  in
+  (* constant zero built as XOR(a0, a0)... avoid constants: structure the
+     accumulation so no zero wire is needed by seeding the accumulator with
+     the first partial-product row. *)
+  let pp i j = add Gate.And [ Printf.sprintf "a%d" i; Printf.sprintf "b%d" j ] in
+  (* acc holds the current partial sum, least significant bit first, already
+     shifted so acc.(k) weighs 2^(row+k) *)
+  let outputs = ref [] in
+  let acc = ref (Array.init bits (fun i -> pp i 0)) in
+  outputs := [ !acc.(0) ];
+  for row = 1 to bits - 1 do
+    let row_pp = Array.init bits (fun i -> pp i row) in
+    (* add row_pp to acc shifted right by one (acc.(0) already emitted) *)
+    let width = bits in
+    let sums = Array.make width "" in
+    let carry = ref "" in
+    for k = 0 to width - 1 do
+      let a = if k + 1 < Array.length !acc then !acc.(k + 1) else "" in
+      let b = row_pp.(k) in
+      if a = "" && !carry = "" then sums.(k) <- b
+      else if a = "" then begin
+        (* half add b + carry *)
+        let s = add Gate.Xor [ b; !carry ] in
+        let c = add Gate.And [ b; !carry ] in
+        sums.(k) <- s;
+        carry := c
+      end
+      else if !carry = "" then begin
+        let s = add Gate.Xor [ a; b ] in
+        let c = add Gate.And [ a; b ] in
+        sums.(k) <- s;
+        carry := c
+      end
+      else begin
+        let axb = add Gate.Xor [ a; b ] in
+        let s = add Gate.Xor [ axb; !carry ] in
+        let c1 = add Gate.And [ a; b ] in
+        let c2 = add Gate.And [ axb; !carry ] in
+        let c = add Gate.Or [ c1; c2 ] in
+        sums.(k) <- s;
+        carry := c
+      end
+    done;
+    let next =
+      if !carry = "" then sums else Array.append sums [| !carry |]
+    in
+    acc := next;
+    outputs := !acc.(0) :: !outputs
+  done;
+  let tail = Array.to_list !acc |> List.tl in
+  let product = List.rev !outputs @ tail in
+  (* a 1x1 multiplier has no carry chain: build an explicit constant-zero
+     wire for the top product bit *)
+  let product =
+    if List.length product >= 2 * bits then product
+    else begin
+      let na0 = add Gate.Not [ "a0" ] in
+      let zero = add Gate.And [ "a0"; na0 ] in
+      product @ List.init (2 * bits - List.length product) (fun _ -> zero)
+    end
+  in
+  let product = List.filteri (fun i _ -> i < 2 * bits) product in
+  Circuit.create
+    ~name:(Printf.sprintf "mult%d" bits)
+    ~nodes:(inputs @ List.rev !nodes)
+    ~outputs:product
+
+let barrel_shifter ~bits =
+  assert (bits >= 1 && bits <= 5);
+  let n = 1 lsl bits in
+  let inputs =
+    List.init n (fun i -> (Printf.sprintf "d%d" i, Gate.Input, []))
+    @ List.init bits (fun i -> (Printf.sprintf "s%d" i, Gate.Input, []))
+  in
+  let nodes = ref [] in
+  let fresh = ref 0 in
+  let add kind fanins =
+    let name = Printf.sprintf "bs%d" !fresh in
+    incr fresh;
+    nodes := (name, kind, fanins) :: !nodes;
+    name
+  in
+  let sel_inv =
+    Array.init bits (fun i -> add Gate.Not [ Printf.sprintf "s%d" i ])
+  in
+  (* stage k shifts left by 2^k when s_k; vacated low positions fill with
+     zero, realized as AND(d, NOT s) for lanes whose source falls off *)
+  let rec stage k wires =
+    if k = bits then wires
+    else
+      let shift = 1 lsl k in
+      let s = Printf.sprintf "s%d" k and sbar = sel_inv.(k) in
+      let next =
+        Array.init n (fun i ->
+            if i >= shift then
+              let keep = add Gate.And [ wires.(i); sbar ] in
+              let moved = add Gate.And [ wires.(i - shift); s ] in
+              add Gate.Or [ keep; moved ]
+            else
+              (* the source lane would come from below 0: zero fill *)
+              add Gate.And [ wires.(i); sbar ])
+      in
+      stage (k + 1) next
+  in
+  let out = stage 0 (Array.init n (Printf.sprintf "d%d")) in
+  let out_nodes =
+    List.init n (fun i -> (Printf.sprintf "y%d" i, Gate.Buf, [ out.(i) ]))
+  in
+  Circuit.create
+    ~name:(Printf.sprintf "bshift%d" n)
+    ~nodes:(inputs @ List.rev !nodes @ out_nodes)
+    ~outputs:(List.init n (Printf.sprintf "y%d"))

@@ -1,0 +1,37 @@
+(** Structured combinational circuits with known function and shape, used by
+    the examples and as ground truth in tests (their Boolean function, depth
+    and gate count are all predictable). *)
+
+val inverter_chain : stages:int -> Circuit.t
+(** [stages >= 1] NOT gates in series; input ["a"], output the last stage. *)
+
+val ripple_carry_adder : bits:int -> Circuit.t
+(** [bits >= 1] full adders in ripple; inputs [a0..], [b0..], [cin];
+    outputs [s0..] and [cout]. Each full adder is the standard 2-XOR,
+    2-AND, 1-OR decomposition (5 gates/bit). *)
+
+val parity_tree : leaves:int -> Circuit.t
+(** Balanced XOR tree over [leaves >= 2] inputs; output ["parity"]. *)
+
+val mux_tree : select_bits:int -> Circuit.t
+(** [2^select_bits]-to-1 multiplexer built from AND-OR-NOT logic;
+    data inputs [d0..], selects [s0..], output ["y"]. Requires
+    [1 <= select_bits <= 10]. *)
+
+val decoder : bits:int -> Circuit.t
+(** [bits]-to-[2^bits] one-hot decoder; outputs [o0..]. Requires
+    [1 <= bits <= 10]. *)
+
+val array_multiplier : bits:int -> Circuit.t
+(** [bits x bits] unsigned array multiplier (AND partial products reduced
+    with ripple-carry rows); inputs [a0..], [b0..]; outputs [p0..p(2b-1)].
+    Requires [1 <= bits <= 8]. *)
+
+val barrel_shifter : bits:int -> Circuit.t
+(** Logarithmic left barrel shifter over [2^bits] data lines; data inputs
+    [d0..], shift-amount inputs [s0..], outputs [y0..] (zero fill).
+    Requires [1 <= bits <= 5]. *)
+
+val and_or_ladder : rungs:int -> Circuit.t
+(** Alternating AND/OR chain with a fresh input per rung — a circuit with
+    one long dominant path, handy for path-budgeting tests. *)

@@ -1,0 +1,127 @@
+let max_gate_fanin circuit =
+  Array.fold_left
+    (fun acc nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> acc
+      | _ -> max acc (Array.length nd.Circuit.fanins))
+    0 (Circuit.nodes circuit)
+
+(* Associative reduction: AND/OR/XOR trees keep their own kind internally;
+   the inverting kinds (NAND/NOR/XNOR) keep the inversion at the root over
+   non-inverting subtrees. *)
+let internal_kind = function
+  | Gate.Nand -> Gate.And
+  | Gate.Nor -> Gate.Or
+  | Gate.Xnor -> Gate.Xor
+  | (Gate.And | Gate.Or | Gate.Xor) as k -> k
+  | Gate.Not | Gate.Buf | Gate.Input | Gate.Dff ->
+    invalid_arg "Tech_map: not a reducible gate"
+
+let prune circuit =
+  let n = Circuit.size circuit in
+  let live = Array.make n false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark (Circuit.node circuit id).Circuit.fanins
+    end
+  in
+  Array.iter mark (Circuit.outputs circuit);
+  Array.iter
+    (fun nd -> if nd.Circuit.kind = Gate.Dff then mark nd.Circuit.id)
+    (Circuit.nodes circuit);
+  (* primary inputs always survive so the interface is stable *)
+  Array.iter mark (Circuit.inputs circuit);
+  let nodes =
+    Array.to_list (Circuit.nodes circuit)
+    |> List.filter (fun nd -> live.(nd.Circuit.id))
+    |> List.map (fun nd ->
+           ( nd.Circuit.name,
+             nd.Circuit.kind,
+             Array.to_list nd.Circuit.fanins
+             |> List.map (fun f -> (Circuit.node circuit f).Circuit.name) ))
+  in
+  let outputs =
+    Array.to_list (Circuit.outputs circuit)
+    |> List.map (fun id -> (Circuit.node circuit id).Circuit.name)
+  in
+  Circuit.create ~name:(Circuit.name circuit) ~nodes ~outputs
+
+let decompose ~max_fanin circuit =
+  if max_fanin < 2 then invalid_arg "Tech_map.decompose: max_fanin < 2";
+  let taken = Hashtbl.create (Circuit.size circuit * 2) in
+  Array.iter
+    (fun nd -> Hashtbl.replace taken nd.Circuit.name ())
+    (Circuit.nodes circuit);
+  let counter = ref 0 in
+  let fresh base =
+    let rec next () =
+      incr counter;
+      let candidate = Printf.sprintf "%s__d%d" base !counter in
+      if Hashtbl.mem taken candidate then next ()
+      else begin
+        Hashtbl.replace taken candidate ();
+        candidate
+      end
+    in
+    next ()
+  in
+  let fresh_nodes = ref [] in
+  let emit name kind fanins = fresh_nodes := (name, kind, fanins) :: !fresh_nodes in
+  (* Reduce [operands] (net names) to at most [max_fanin] of them by
+     repeatedly grouping chunks into gates of [kind]. *)
+  let rec reduce base kind operands =
+    if List.length operands <= max_fanin then operands
+    else begin
+      let rec group acc current =
+        match current with
+        | [] -> List.rev acc
+        | [ lone ] -> List.rev (lone :: acc) (* remainder passes through *)
+        | _ ->
+          let rec take n xs =
+            if n = 0 then ([], xs)
+            else
+              match xs with
+              | [] -> ([], [])
+              | x :: rest ->
+                let chunk, remainder = take (n - 1) rest in
+                (x :: chunk, remainder)
+          in
+          let chunk, remainder = take max_fanin current in
+          if List.length chunk < 2 then List.rev_append acc current
+          else begin
+            let name = fresh base in
+            emit name kind chunk;
+            group (name :: acc) remainder
+          end
+      in
+      reduce base kind (group [] operands)
+    end
+  in
+  let rewritten =
+    Array.to_list (Circuit.nodes circuit)
+    |> List.map (fun nd ->
+           let name = nd.Circuit.name in
+           let fanin_names =
+             Array.to_list nd.Circuit.fanins
+             |> List.map (fun f -> (Circuit.node circuit f).Circuit.name)
+           in
+           match nd.Circuit.kind with
+           | Gate.Input -> (name, Gate.Input, [])
+           | (Gate.Dff | Gate.Not | Gate.Buf) as kind -> (name, kind, fanin_names)
+           | (Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor)
+             as kind ->
+             if List.length fanin_names <= max_fanin then
+               (name, kind, fanin_names)
+             else
+               let reduced = reduce name (internal_kind kind) fanin_names in
+               (name, kind, reduced))
+  in
+  let outputs =
+    Array.to_list (Circuit.outputs circuit)
+    |> List.map (fun id -> (Circuit.node circuit id).Circuit.name)
+  in
+  Circuit.create
+    ~name:(Circuit.name circuit)
+    ~nodes:(rewritten @ List.rev !fresh_nodes)
+    ~outputs

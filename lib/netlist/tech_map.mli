@@ -1,0 +1,25 @@
+(** Structural decomposition to a bounded-fanin gate library.
+
+    The paper's device models assume "simple multi-input gates"; real cell
+    libraries bound the fanin (series stacks degrade quadratically). This
+    pass rewrites a circuit so no gate exceeds a given fanin: wide
+    AND/OR/NAND/NOR gates become balanced trees of narrower ones (with the
+    inversion kept at the root), wide XOR/XNOR become cascades. The result
+    is functionally equivalent (checked in the test suite with the BDD
+    equivalence checker) and usually deeper but faster per stage. *)
+
+val decompose : max_fanin:int -> Circuit.t -> Circuit.t
+(** [decompose ~max_fanin c] returns an equivalent circuit whose every
+    gate has at most [max_fanin] fanins ([>= 2]). Gates already within the
+    bound are kept untouched (same names); synthesized gates get fresh
+    [name__dN] names. Primary input/output names are preserved. DFFs pass
+    through unchanged. *)
+
+val max_gate_fanin : Circuit.t -> int
+(** Largest fanin over the combinational gates (0 for gateless circuits). *)
+
+val prune : Circuit.t -> Circuit.t
+(** Removes logic with no path to any primary output or DFF data pin (the
+    random-logic generator can leave such dead cones, and the optimizer
+    would otherwise budget, size and power them). Inputs are always kept;
+    the result is functionally identical on the surviving interface. *)

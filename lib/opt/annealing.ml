@@ -1,0 +1,131 @@
+module Tech = Dcopt_device.Tech
+module Prng = Dcopt_util.Prng
+module Numeric = Dcopt_util.Numeric
+
+type options = {
+  passes : int;
+  moves_per_pass : int;
+  initial_temperature : float;
+  cooling : float;
+  seed : int64;
+  warm_start : bool;
+}
+
+let default_options =
+  {
+    passes = 3;
+    moves_per_pass = 4000;
+    initial_temperature = 0.5;
+    cooling = 0.0; (* 0 = derive from moves_per_pass at run time *)
+    seed = 0x5EEDL;
+    warm_start = false;
+  }
+
+(* Log-energy cost with a steep timing penalty, so the walk can cross
+   mildly-infeasible territory but cannot settle there. *)
+let cost env design =
+  let e = Power_model.evaluate env design in
+  let tc = Power_model.cycle_time env in
+  let overshoot = Float.max 0.0 ((e.Power_model.critical_delay -. tc) /. tc) in
+  (log e.Power_model.total_energy +. (50.0 *. overshoot), e)
+
+let copy_design d =
+  {
+    d with
+    Power_model.vt = Array.copy d.Power_model.vt;
+    widths = Array.copy d.Power_model.widths;
+  }
+
+let perturb env rng temperature design =
+  let tech = Power_model.tech env in
+  let fresh = copy_design design in
+  let gates = Power_model.gate_ids env in
+  let scale = Float.max 0.05 temperature in
+  let choice = Prng.float rng 1.0 in
+  if choice < 0.2 then
+    let span = (tech.Tech.vdd_max -. tech.Tech.vdd_min) *. 0.2 *. scale in
+    {
+      fresh with
+      Power_model.vdd =
+        Numeric.clamp ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max
+          (Prng.gaussian rng ~mean:design.Power_model.vdd ~sigma:span);
+    }
+  else if choice < 0.4 then begin
+    let span = (tech.Tech.vt_max -. tech.Tech.vt_min) *. 0.2 *. scale in
+    let vt0 = fresh.Power_model.vt.(gates.(0)) in
+    let vt =
+      Numeric.clamp ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max
+        (Prng.gaussian rng ~mean:vt0 ~sigma:span)
+    in
+    Array.iter (fun id -> fresh.Power_model.vt.(id) <- vt) gates;
+    fresh
+  end
+  else begin
+    let id = gates.(Prng.int rng (Array.length gates)) in
+    let factor = exp (Prng.gaussian rng ~mean:0.0 ~sigma:(0.4 *. scale)) in
+    fresh.Power_model.widths.(id) <-
+      Numeric.clamp ~lo:tech.Tech.w_min ~hi:tech.Tech.w_max
+        (fresh.Power_model.widths.(id) *. factor);
+    fresh
+  end
+
+let run_pass env ~budgets ~options rng =
+  let tech = Power_model.tech env in
+  let n = Dcopt_netlist.Circuit.size (Power_model.circuit env) in
+  let vt0 = 0.5 *. (tech.Tech.vt_min +. tech.Tech.vt_max) in
+  let start =
+    if options.warm_start then
+      (* extension: start from a feasible sized design *)
+      fst
+        (Power_model.size_all env ~vdd:tech.Tech.vdd_max
+           ~vt:(Array.make n vt0) ~budgets)
+    else
+      (* the paper's setting: a cold mid-range start the walk must shape *)
+      {
+        Power_model.vdd = 0.6 *. tech.Tech.vdd_max;
+        vt = Array.make n vt0;
+        widths = Array.make n (sqrt (tech.Tech.w_min *. tech.Tech.w_max));
+      }
+  in
+  let cooling =
+    if options.cooling > 0.0 then options.cooling
+    else exp (log 1e-3 /. float_of_int options.moves_per_pass)
+  in
+  let current = ref (copy_design start) in
+  let current_cost, _ = cost env !current in
+  let current_cost = ref current_cost in
+  let best = ref None in
+  let temperature = ref options.initial_temperature in
+  for _ = 1 to options.moves_per_pass do
+    let candidate = perturb env rng !temperature !current in
+    let c, e = cost env candidate in
+    let accept =
+      c <= !current_cost
+      || Prng.float rng 1.0 < exp ((!current_cost -. c) /. !temperature)
+    in
+    if accept then begin
+      current := candidate;
+      current_cost := c;
+      if e.Power_model.feasible then
+        best :=
+          Solution.better !best
+            {
+              Solution.label = "annealing";
+              design = copy_design candidate;
+              evaluation = e;
+              meets_budgets = false;
+            }
+    end;
+    temperature := !temperature *. cooling
+  done;
+  !best
+
+let optimize ?(options = default_options) env ~budgets =
+  let rng = Prng.create options.seed in
+  let best = ref None in
+  for _ = 1 to options.passes do
+    match run_pass env ~budgets ~options (Prng.split rng) with
+    | Some sol -> best := Solution.better !best sol
+    | None -> ()
+  done;
+  !best

@@ -1,0 +1,13 @@
+let default_vt = 0.7
+
+let optimize ?(vt = default_vt) ?(m_steps = 16) env ~budgets =
+  let options =
+    {
+      Heuristic.m_steps;
+      strategy = Heuristic.Grid_refine;
+      vt_fixed = Some vt;
+    }
+  in
+  match Heuristic.optimize ~options env ~budgets with
+  | None -> None
+  | Some sol -> Some { sol with Solution.label = "baseline" }

@@ -1,0 +1,15 @@
+(** The paper's comparison baseline (Table 1): threshold fixed (700 mV),
+    only the supply voltage and the device widths are optimized to minimize
+    power at the required clock frequency. *)
+
+val default_vt : float
+(** 0.7 V, the paper's fixed threshold. *)
+
+val optimize :
+  ?vt:float ->
+  ?m_steps:int ->
+  Power_model.env ->
+  budgets:float array ->
+  Solution.t option
+(** Best feasible (Vdd, widths) design at the pinned threshold, or [None]
+    when the frequency target is unreachable at that threshold. *)

@@ -1,0 +1,103 @@
+module Circuit = Dcopt_netlist.Circuit
+module Sta = Dcopt_timing.Sta
+module Tech = Dcopt_device.Tech
+
+type outcome =
+  | Repaired of { budgets : float array; lifted : int; iterations : int }
+  | Infeasible of { limiting_gate : int }
+
+let floor_delay env ~budgets ~vdd ~vt id =
+  let tech = Power_model.tech env in
+  let n = Circuit.size (Power_model.circuit env) in
+  let probe =
+    {
+      Power_model.vdd;
+      vt = Array.make n vt;
+      widths = Array.make n tech.Tech.w_min;
+    }
+  in
+  probe.Power_model.widths.(id) <- tech.Tech.w_max;
+  let mfd = Power_model.budget_fanin_delay env ~budgets id in
+  Power_model.gate_delay env probe ~max_fanin_delay:mfd id
+
+(* The repair loop drives the *actual* sizing operator: size the whole
+   circuit at the corner, lift the budget of every gate that missed to the
+   delay it achieved at maximum width (its true floor under the sized
+   fanout loads), then claw the overflow back from non-floored gates along
+   each violating path. Lifts only grow and shrinks only shrink the
+   complementary set, so the loop either reaches a sized fixpoint or proves
+   a floored-end-to-end path. *)
+let repair ?(max_iterations = 24) ?(margin = 1e-3) env ~budgets ~vdd ~vt =
+  let core = Power_model.circuit env in
+  let n = Circuit.size core in
+  let budgets = Array.copy budgets in
+  let floored = Array.make (Array.length budgets) false in
+  let available = (Sta.analyze core ~delays:budgets).Sta.critical_delay in
+  let gates = Power_model.gate_ids env in
+  let vt_array = Array.make n vt in
+  let lifted = ref 0 in
+  let infeasible_at path =
+    let limiting =
+      match List.find_opt (fun id -> floored.(id)) path with
+      | Some id -> id
+      | None -> (match path with id :: _ -> id | [] -> 0)
+    in
+    Infeasible { limiting_gate = limiting }
+  in
+  let rec loop iteration =
+    if iteration > max_iterations then
+      infeasible_at (Sta.critical_path core ~delays:budgets)
+    else
+      let design, ok = Power_model.size_all env ~vdd ~vt:vt_array ~budgets in
+      if ok then Repaired { budgets; lifted = !lifted; iterations = iteration }
+      else begin
+        (* Lift every missing gate to its achieved max-width delay. *)
+        Array.iter
+          (fun id ->
+            let mfd = Power_model.budget_fanin_delay env ~budgets id in
+            let d = Power_model.gate_delay env design ~max_fanin_delay:mfd id in
+            if d > budgets.(id) && Float.is_finite d then begin
+              budgets.(id) <- d *. (1.0 +. margin);
+              if not floored.(id) then begin
+                floored.(id) <- true;
+                incr lifted
+              end
+            end
+            else if d > budgets.(id) then budgets.(id) <- infinity)
+          gates;
+        if Array.exists (fun id -> budgets.(id) = infinity) gates then
+          infeasible_at (Sta.critical_path core ~delays:budgets)
+        else begin
+          (* Rebalance every violating path, worst first. *)
+          let rec rebalance guard =
+            if guard = 0 then false
+            else
+              let sta = Sta.analyze core ~delays:budgets in
+              if sta.Sta.critical_delay <= available *. (1.0 +. 1e-9) then true
+              else
+                let path = Sta.critical_path core ~delays:budgets in
+                let floored_sum, free_sum =
+                  List.fold_left
+                    (fun (f, fr) id ->
+                      if floored.(id) then (f +. budgets.(id), fr)
+                      else (f, fr +. budgets.(id)))
+                    (0.0, 0.0) path
+                in
+                let room = available -. floored_sum in
+                if free_sum <= 0.0 || room <= 0.0 then false
+                else begin
+                  let scale = room /. free_sum in
+                  List.iter
+                    (fun id ->
+                      if not floored.(id) then
+                        budgets.(id) <- budgets.(id) *. scale)
+                    path;
+                  rebalance (guard - 1)
+                end
+          in
+          if rebalance (4 * max 1 (Array.length gates)) then loop (iteration + 1)
+          else infeasible_at (Sta.critical_path core ~delays:budgets)
+        end
+      end
+  in
+  loop 1

@@ -1,0 +1,129 @@
+module Tech = Dcopt_device.Tech
+
+type strategy = Paper_binary | Grid_refine
+
+type options = {
+  m_steps : int;
+  strategy : strategy;
+  vt_fixed : float option;
+}
+
+let default_options = { m_steps = 16; strategy = Paper_binary; vt_fixed = None }
+
+let sizing_solution env ~budgets ~vdd ~vt =
+  let n = Dcopt_netlist.Circuit.size (Power_model.circuit env) in
+  let vt_array = Array.make n vt in
+  let design, ok = Power_model.size_all env ~vdd ~vt:vt_array ~budgets in
+  Solution.make ~label:"sizing" ~meets_budgets:ok env design
+
+(* One trial: size at (vdd, vt), report (feasible-with-budgets, energy,
+   solution). *)
+let trial env ~budgets ~vdd ~vt =
+  let sol =
+    { (sizing_solution env ~budgets ~vdd ~vt) with Solution.label = "joint" }
+  in
+  (sol.Solution.meets_budgets && Solution.feasible sol, sol)
+
+let vt_search env ~budgets ~vdd ~m ~vt_fixed =
+  match vt_fixed with
+  | Some vt ->
+    let _, sol = trial env ~budgets ~vdd ~vt in
+    Some sol
+  | None ->
+    let tech = Power_model.tech env in
+    let best = ref None in
+    let lo = ref tech.Tech.vt_min and hi = ref tech.Tech.vt_max in
+    let prev_energy = ref infinity in
+    for _ = 1 to m do
+      let vt = 0.5 *. (!lo +. !hi) in
+      let ok, sol = trial env ~budgets ~vdd ~vt in
+      let energy = Solution.total_energy sol in
+      if ok then best := Solution.better !best sol;
+      (* Procedure 2: feasible and improving -> raise the threshold to cut
+         leakage further; otherwise retreat to faster, lower thresholds. *)
+      if ok && energy < !prev_energy then begin
+        prev_energy := energy;
+        lo := vt
+      end
+      else hi := vt
+    done;
+    !best
+
+let paper_binary env ~budgets ~m ~vt_fixed =
+  let tech = Power_model.tech env in
+  let best = ref None in
+  let lo = ref tech.Tech.vdd_min and hi = ref tech.Tech.vdd_max in
+  let prev_energy = ref infinity in
+  for _ = 1 to m do
+    let vdd = 0.5 *. (!lo +. !hi) in
+    let inner = vt_search env ~budgets ~vdd ~m ~vt_fixed in
+    let ok, energy =
+      match inner with
+      | Some sol ->
+        best := Solution.better !best sol;
+        ( sol.Solution.meets_budgets && Solution.feasible sol,
+          Solution.total_energy sol )
+      | None -> (false, infinity)
+    in
+    if ok && energy < !prev_energy then begin
+      prev_energy := energy;
+      hi := vdd (* feasible and improving: push the supply lower *)
+    end
+    else lo := vdd
+  done;
+  !best
+
+let grid_refine env ~budgets ~m ~vt_fixed =
+  let tech = Power_model.tech env in
+  let best = ref None in
+  let try_point vdd vt =
+    let ok, sol = trial env ~budgets ~vdd ~vt in
+    if ok then best := Solution.better !best sol
+  in
+  let vt_points lo hi n =
+    match vt_fixed with
+    | Some vt -> [| vt |]
+    | None -> Dcopt_util.Numeric.linspace ~lo ~hi ~n
+  in
+  let scan vdd_lo vdd_hi vt_lo vt_hi n =
+    let vdds = Dcopt_util.Numeric.log_interp_points ~lo:vdd_lo ~hi:vdd_hi ~n in
+    let vts = vt_points vt_lo vt_hi n in
+    Array.iter (fun vdd -> Array.iter (fun vt -> try_point vdd vt) vts) vdds
+  in
+  let coarse = max 8 (m / 2) in
+  scan tech.Tech.vdd_min tech.Tech.vdd_max tech.Tech.vt_min tech.Tech.vt_max
+    coarse;
+  (match !best with
+  | None -> ()
+  | Some sol ->
+    (* refine around the incumbent with a window one coarse step wide *)
+    let vdd0 = Solution.vdd sol in
+    let vt0 =
+      match Solution.vt_values sol with
+      | v :: _ -> v
+      | [] -> tech.Tech.vt_min
+    in
+    let span_vdd = (tech.Tech.vdd_max -. tech.Tech.vdd_min) /. float_of_int coarse in
+    let span_vt = (tech.Tech.vt_max -. tech.Tech.vt_min) /. float_of_int coarse in
+    let clampv = Dcopt_util.Numeric.clamp in
+    scan
+      (clampv ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max (vdd0 -. span_vdd))
+      (clampv ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max (vdd0 +. span_vdd))
+      (clampv ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max (vt0 -. span_vt))
+      (clampv ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max (vt0 +. span_vt))
+      coarse);
+  !best
+
+let optimize ?(options = default_options) env ~budgets =
+  let m = max 4 options.m_steps in
+  let result =
+    match options.strategy with
+    | Paper_binary -> paper_binary env ~budgets ~m ~vt_fixed:options.vt_fixed
+    | Grid_refine -> grid_refine env ~budgets ~m ~vt_fixed:options.vt_fixed
+  in
+  (* The binary search can start in an infeasible half-space and converge
+     to nothing; fall back on the exhaustive scan before giving up. *)
+  match (result, options.strategy) with
+  | None, Paper_binary ->
+    grid_refine env ~budgets ~m ~vt_fixed:options.vt_fixed
+  | r, _ -> r

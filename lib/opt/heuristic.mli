@@ -1,0 +1,40 @@
+(** Procedure 2: joint (Vdd, Vts, w_i) minimization (paper §4.3).
+
+    After Procedure 1 has fixed a delay budget per gate, the optimizer
+    searches one global supply voltage and one global threshold (the
+    paper's practical single-Vdd/single-Vt case; see {!Multi_vt} for
+    n_v > 1), sizing every gate to the minimum width that meets its budget
+    at each trial point. Power and delay being monotone in each variable
+    separately, nested binary searches converge in O(M^3) circuit
+    sizings. *)
+
+type strategy =
+  | Paper_binary
+    (** the paper's Procedure 2 verbatim: nested M-step binary searches on
+        Vdd and Vts around per-gate width searches *)
+  | Grid_refine
+    (** a coarse (Vdd x Vts) grid scan followed by local refinement —
+        a robustness reference for the binary heuristic *)
+
+type options = {
+  m_steps : int;       (** the paper's M, default 16 *)
+  strategy : strategy; (** default [Paper_binary] *)
+  vt_fixed : float option;
+    (** when set, the threshold is pinned (used by {!Baseline}) *)
+}
+
+val default_options : options
+
+val optimize :
+  ?options:options ->
+  Power_model.env ->
+  budgets:float array ->
+  Solution.t option
+(** Best feasible single-Vt solution found, or [None] when even the
+    fastest corner (max Vdd, min Vt, max widths) misses some budget. *)
+
+val sizing_solution :
+  Power_model.env -> budgets:float array -> vdd:float -> vt:float ->
+  Solution.t
+(** One sizing pass at a fixed operating point (exposed for sweeps and
+    tests). *)

@@ -1,0 +1,170 @@
+module Tech = Dcopt_device.Tech
+module Numeric = Dcopt_util.Numeric
+
+let classify env ~budgets ~classes =
+  assert (classes >= 1);
+  let circuit = Power_model.circuit env in
+  let n = Dcopt_netlist.Circuit.size circuit in
+  let tech = Power_model.tech env in
+  let gates = Power_model.gate_ids env in
+  (* Tightness: fast-corner delay relative to the budget, with a nominal
+     width so loads are realistic. *)
+  let probe = Power_model.uniform_design env ~vdd:tech.Tech.vdd_max
+      ~vt:tech.Tech.vt_min ~w:4.0 in
+  let tightness =
+    Array.map
+      (fun id ->
+        let mfd = Power_model.budget_fanin_delay env ~budgets id in
+        let d = Power_model.gate_delay env probe ~max_fanin_delay:mfd id in
+        (id, d /. Float.max 1e-15 budgets.(id)))
+      gates
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) tightness;
+  let assignment = Array.make n 0 in
+  let total = Array.length tightness in
+  Array.iteri
+    (fun rank (id, _) ->
+      assignment.(id) <- min (classes - 1) (rank * classes / max 1 total))
+    tightness;
+  assignment
+
+let vt_of_classes assignment class_vts n =
+  Array.init n (fun id -> class_vts.(assignment.(id)))
+
+(* Slack-driven promotion: gates are visited in decreasing achieved slack
+   (computed once from the input design); each promotion is accepted only
+   if a full re-evaluation still meets the cycle time, so shared-path
+   interactions cannot break timing. *)
+let greedy_dual_vt ?vt_high_candidates env solution =
+  let tech = Power_model.tech env in
+  let circuit = Power_model.circuit env in
+  let base = solution.Solution.design in
+  let vt_low =
+    match Solution.vt_values solution with
+    | v :: _ -> v
+    | [] -> tech.Tech.vt_min
+  in
+  let candidates =
+    match vt_high_candidates with
+    | Some c -> c
+    | None ->
+      Numeric.linspace
+        ~lo:(Numeric.clamp ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max
+               (vt_low +. 0.05))
+        ~hi:tech.Tech.vt_max ~n:5
+  in
+  let tc = Power_model.cycle_time env in
+  let best = ref solution in
+  Array.iter
+    (fun vt_high ->
+      if vt_high > vt_low then begin
+        let design =
+          {
+            base with
+            Power_model.vt = Array.copy base.Power_model.vt;
+            widths = base.Power_model.widths;
+          }
+        in
+        (* slack per gate from the base design's achieved timing *)
+        let eval = solution.Solution.evaluation in
+        let sta =
+          Dcopt_timing.Sta.analyze ~required_time:tc circuit
+            ~delays:eval.Power_model.delays
+        in
+        let order =
+          Array.to_list (Power_model.gate_ids env)
+          |> List.sort (fun a b ->
+                 Float.compare sta.Dcopt_timing.Sta.slack.(b)
+                   sta.Dcopt_timing.Sta.slack.(a))
+        in
+        let promoted = ref 0 in
+        List.iter
+          (fun id ->
+            let saved = design.Power_model.vt.(id) in
+            design.Power_model.vt.(id) <- vt_high;
+            let e = Power_model.evaluate env design in
+            if e.Power_model.feasible then incr promoted
+            else design.Power_model.vt.(id) <- saved)
+          order;
+        if !promoted > 0 then begin
+          let sol =
+            Solution.make ~label:"multi-vt"
+              ~meets_budgets:solution.Solution.meets_budgets env design
+          in
+          match Solution.better (Some !best) sol with
+          | Some b -> best := b
+          | None -> ()
+        end
+      end)
+    candidates;
+  !best
+
+let optimize ?(m_steps = 12) ?(n_vt = 2) env ~budgets =
+  assert (n_vt >= 1);
+  let tech = Power_model.tech env in
+  let circuit = Power_model.circuit env in
+  let n = Dcopt_netlist.Circuit.size circuit in
+  let single =
+    Heuristic.optimize
+      ~options:{ Heuristic.default_options with m_steps;
+                 strategy = Heuristic.Grid_refine }
+      env ~budgets
+  in
+  match single with
+  | None -> None
+  | Some incumbent when n_vt = 1 -> Some incumbent
+  | Some incumbent ->
+    let assignment = classify env ~budgets ~classes:n_vt in
+    let vdd0 = Solution.vdd incumbent in
+    let vt0 =
+      match Solution.vt_values incumbent with
+      | v :: _ -> v
+      | [] -> tech.Tech.vt_min
+    in
+    let class_vts = Array.make n_vt vt0 in
+    let best = ref (Some { incumbent with Solution.label = "multi-vt" }) in
+    let try_design vdd =
+      let vt = vt_of_classes assignment class_vts n in
+      let design, ok = Power_model.size_all env ~vdd ~vt ~budgets in
+      let sol = Solution.make ~label:"multi-vt" ~meets_budgets:ok env design in
+      if ok then best := Solution.better !best sol;
+      sol
+    in
+    (* Coordinate descent on the class thresholds at the incumbent supply:
+       critical classes explore downward from vt0, slack classes upward. *)
+    let rounds = 2 in
+    for _ = 1 to rounds do
+      for c = 0 to n_vt - 1 do
+        let candidates =
+          Numeric.linspace ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max ~n:9
+        in
+        let keep = class_vts.(c) in
+        let best_for_class = ref (keep, infinity) in
+        Array.iter
+          (fun vt ->
+            class_vts.(c) <- vt;
+            let sol = try_design vdd0 in
+            let e = Solution.total_energy sol in
+            if sol.Solution.meets_budgets && e < snd !best_for_class then
+              best_for_class := (vt, e))
+          candidates;
+        class_vts.(c) <- fst !best_for_class
+      done
+    done;
+    (* Local supply refinement around the incumbent. *)
+    Array.iter
+      (fun vdd -> ignore (try_design vdd))
+      (Numeric.linspace
+         ~lo:(Numeric.clamp ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max
+                (vdd0 *. 0.85))
+         ~hi:(Numeric.clamp ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max
+                (vdd0 *. 1.15))
+         ~n:5);
+    (* The slack-driven greedy is a different search bias; for n_vt = 2 try
+       it from the single-Vt incumbent and keep whichever wins. *)
+    (if n_vt = 2 then
+       let greedy = greedy_dual_vt env incumbent in
+       match Solution.better !best { greedy with Solution.label = "multi-vt" } with
+       | Some b -> best := Some b
+       | None -> ());
+    !best

@@ -1,0 +1,233 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Tech = Dcopt_device.Tech
+module Delay = Dcopt_device.Delay
+module Energy = Dcopt_device.Energy
+module Wire = Dcopt_wiring.Wire_model
+module Activity = Dcopt_activity.Activity
+
+type design = { vdd : float; vt : float array; widths : float array }
+
+type gate_info = {
+  fanin_count : int;
+  stack : int;
+  fanout_gate_ids : int array;
+  pin_cap : float;    (* fixed load of output pins driven by this net, F *)
+  wire_cap : float;
+  wire_res : float;
+  flight : float;
+  node_activity : float;
+}
+
+type env = {
+  env_tech : Tech.t;
+  env_circuit : Circuit.t;
+  fc : float;
+  tc : float;
+  info : gate_info option array; (* None for Input nodes *)
+  gates_topo : int array;        (* gate ids in topological order *)
+  short_circuit : bool;
+}
+
+type evaluation = {
+  static_energy : float;
+  dynamic_energy : float;
+  short_circuit_energy : float;
+  total_energy : float;
+  static_power : float;
+  dynamic_power : float;
+  delays : float array;
+  critical_delay : float;
+  feasible : bool;
+}
+
+let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
+    ~tech ~fc circuit profile =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Power_model.make_env: circuit is sequential";
+  if fc <= 0.0 then invalid_arg "Power_model.make_env: fc <= 0";
+  let wiring =
+    match wiring with
+    | Some w -> w
+    | None ->
+      Wire.create ~tech ~gate_count:(max 1 (Circuit.gate_count circuit)) ()
+  in
+  let n = Circuit.size circuit in
+  let info = Array.make n None in
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input -> ()
+      | Gate.Dff -> assert false
+      | kind ->
+        let id = nd.Circuit.id in
+        let fanin_count = Array.length nd.Circuit.fanins in
+        let fanout_gate_ids = Circuit.fanouts circuit id in
+        let pin_count = if Circuit.is_output circuit id then 1 else 0 in
+        let net_fanout = max 1 (Array.length fanout_gate_ids + pin_count) in
+        info.(id) <-
+          Some
+            {
+              fanin_count;
+              stack = Gate.series_stack_depth kind fanin_count;
+              fanout_gate_ids;
+              pin_cap =
+                float_of_int pin_count *. po_pin_width *. tech.Tech.c_gate;
+              wire_cap = Wire.net_capacitance wiring ~fanout:net_fanout;
+              wire_res = Wire.net_resistance wiring ~fanout:net_fanout;
+              flight = Wire.flight_time wiring ~fanout:net_fanout;
+              node_activity = profile.Activity.densities.(id);
+            })
+    (Circuit.nodes circuit);
+  let gates_topo =
+    Circuit.topo_order circuit
+    |> Array.to_list
+    |> List.filter (fun id -> info.(id) <> None)
+    |> Array.of_list
+  in
+  { env_tech = tech; env_circuit = circuit; fc; tc = 1.0 /. fc; info;
+    gates_topo; short_circuit = include_short_circuit }
+
+let tech env = env.env_tech
+let circuit env = env.env_circuit
+let cycle_time env = env.tc
+let clock_frequency env = env.fc
+let gate_ids env = Array.copy env.gates_topo
+
+let get_info env id =
+  match env.info.(id) with
+  | Some i -> i
+  | None -> invalid_arg "Power_model: node is not a gate"
+
+let activity env id = (get_info env id).node_activity
+
+let uniform_design env ~vdd ~vt ~w =
+  let n = Circuit.size env.env_circuit in
+  { vdd; vt = Array.make n vt; widths = Array.make n w }
+
+let fanout_gate_cap env design info =
+  Array.fold_left
+    (fun acc g -> acc +. (design.widths.(g) *. env.env_tech.Tech.c_gate))
+    info.pin_cap info.fanout_gate_ids
+
+let gate_load env design ~max_fanin_delay id =
+  let info = get_info env id in
+  let cap_fanout_gates = fanout_gate_cap env design info in
+  {
+    Delay.fanin_count = info.fanin_count;
+    stack_depth = info.stack;
+    cap_fanout_gates;
+    cap_wire = info.wire_cap;
+    res_wire_terms = info.wire_res *. (cap_fanout_gates +. (info.wire_cap /. 2.0));
+    flight_time = info.flight;
+    max_fanin_delay;
+  }
+
+let gate_delay env design ~max_fanin_delay id =
+  let load = gate_load env design ~max_fanin_delay id in
+  Delay.gate_delay env.env_tech ~vdd:design.vdd ~vt:design.vt.(id)
+    ~w:design.widths.(id) load
+
+let budget_fanin_delay env ~budgets id =
+  let nd = Circuit.node env.env_circuit id in
+  Array.fold_left
+    (fun acc f ->
+      match env.info.(f) with
+      | None -> acc (* primary input: arrives at cycle start *)
+      | Some _ -> Float.max acc budgets.(f))
+    0.0 nd.Circuit.fanins
+
+let evaluate env design =
+  let n = Circuit.size env.env_circuit in
+  let delays = Array.make n 0.0 in
+  let arrival = Array.make n 0.0 in
+  let static_e = ref 0.0 and dynamic_e = ref 0.0 in
+  let short_e = ref 0.0 in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node env.env_circuit id in
+      let info = get_info env id in
+      let max_fanin_delay =
+        Array.fold_left
+          (fun acc f ->
+            match env.info.(f) with
+            | None -> acc
+            | Some _ -> Float.max acc delays.(f))
+          0.0 nd.Circuit.fanins
+      in
+      let d = gate_delay env design ~max_fanin_delay id in
+      delays.(id) <- d;
+      let worst_arrival =
+        Array.fold_left
+          (fun acc f -> Float.max acc arrival.(f))
+          0.0 nd.Circuit.fanins
+      in
+      arrival.(id) <- worst_arrival +. d;
+      let load = gate_load env design ~max_fanin_delay id in
+      static_e :=
+        !static_e
+        +. Energy.static_energy env.env_tech ~fc:env.fc ~vdd:design.vdd
+             ~vt:design.vt.(id) ~w:design.widths.(id);
+      dynamic_e :=
+        !dynamic_e
+        +. Energy.dynamic_energy env.env_tech ~vdd:design.vdd
+             ~w:design.widths.(id) ~activity:info.node_activity ~load;
+      if env.short_circuit then
+        short_e :=
+          !short_e
+          +. Dcopt_device.Short_circuit.energy env.env_tech ~vdd:design.vdd
+               ~vt:design.vt.(id) ~w:design.widths.(id)
+               ~activity:info.node_activity
+               ~input_transition_time:
+                 (Dcopt_device.Short_circuit.transition_time_of_delay
+                    max_fanin_delay))
+    env.gates_topo;
+  let critical_delay =
+    Array.fold_left
+      (fun acc id -> Float.max acc arrival.(id))
+      0.0 (Circuit.outputs env.env_circuit)
+  in
+  {
+    static_energy = !static_e;
+    dynamic_energy = !dynamic_e;
+    short_circuit_energy = !short_e;
+    total_energy = !static_e +. !dynamic_e +. !short_e;
+    static_power = !static_e *. env.fc;
+    dynamic_power = (!dynamic_e +. !short_e) *. env.fc;
+    delays;
+    critical_delay;
+    feasible = critical_delay <= env.tc *. (1.0 +. 1e-6);
+  }
+
+let size_gate env design ~budgets id =
+  let tech = env.env_tech in
+  let target = budgets.(id) in
+  let max_fanin_delay = budget_fanin_delay env ~budgets id in
+  let saved = design.widths.(id) in
+  let delay_at w =
+    design.widths.(id) <- w;
+    gate_delay env design ~max_fanin_delay id
+  in
+  let feasible w = delay_at w <= target in
+  let result =
+    Dcopt_util.Numeric.binary_search_min ~feasible ~lo:tech.Tech.w_min
+      ~hi:tech.Tech.w_max ~iters:40 ()
+  in
+  design.widths.(id) <- saved;
+  result
+
+let size_all env ~vdd ~vt ~budgets =
+  let n = Circuit.size env.env_circuit in
+  let design = { vdd; vt; widths = Array.make n env.env_tech.Tech.w_min } in
+  let all_met = ref true in
+  (* Reverse topological order: every gate's fanout widths (its load) are
+     final before the gate itself is sized. *)
+  for i = Array.length env.gates_topo - 1 downto 0 do
+    let id = env.gates_topo.(i) in
+    match size_gate env design ~budgets id with
+    | Some w -> design.widths.(id) <- w
+    | None ->
+      design.widths.(id) <- env.env_tech.Tech.w_max;
+      all_met := false
+  done;
+  (design, !all_met)

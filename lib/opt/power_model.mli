@@ -1,0 +1,87 @@
+(** Circuit-level power and delay evaluation.
+
+    Binds the device models (eqs. A1-A3), the wiring model and the activity
+    profile to a concrete circuit, so the optimizers can evaluate a design
+    point — a supply voltage, per-gate thresholds and per-gate widths — in
+    O(gates). *)
+
+type design = {
+  vdd : float;
+  vt : float array;     (** per node id; only gate entries are read *)
+  widths : float array; (** per node id, in w-units; only gate entries read *)
+}
+
+type env
+(** A circuit prepared for evaluation: per-gate structural loads, wire
+    estimates and activities, plus the cycle-time constraint. *)
+
+type evaluation = {
+  static_energy : float;   (** total leakage energy per cycle, J *)
+  dynamic_energy : float;  (** total switching energy per cycle, J *)
+  short_circuit_energy : float;
+    (** total crowbar energy per cycle, J; 0 unless the env enables the
+        {!Dcopt_device.Short_circuit} extension *)
+  total_energy : float;    (** sum of all components, J *)
+  static_power : float;    (** W *)
+  dynamic_power : float;   (** W *)
+  delays : float array;    (** achieved per-gate delays, s *)
+  critical_delay : float;  (** achieved critical path delay, s *)
+  feasible : bool;         (** critical delay <= cycle time *)
+}
+
+val make_env :
+  ?wiring:Dcopt_wiring.Wire_model.t ->
+  ?po_pin_width:float ->   (* load of an output pin in w-units, default 4. *)
+  ?include_short_circuit:bool ->
+                           (* add the Veendrick crowbar term, default false
+                              (the paper's Appendix A.1 setting) *)
+  tech:Dcopt_device.Tech.t ->
+  fc:float ->
+  Dcopt_netlist.Circuit.t ->
+  Dcopt_activity.Activity.profile ->
+  env
+(** Prepares a combinational circuit. The wiring model defaults to
+    {!Dcopt_wiring.Wire_model.create} over the circuit's gate count.
+    Raises [Invalid_argument] on sequential circuits or [fc <= 0]. *)
+
+val tech : env -> Dcopt_device.Tech.t
+val circuit : env -> Dcopt_netlist.Circuit.t
+val cycle_time : env -> float
+val clock_frequency : env -> float
+val activity : env -> int -> float
+(** Transition density at a node's output. *)
+
+val gate_ids : env -> int array
+(** Ids of the combinational gates, in topological order. *)
+
+val uniform_design : env -> vdd:float -> vt:float -> w:float -> design
+(** A design with one global threshold and width. *)
+
+val gate_load : env -> design -> max_fanin_delay:float -> int -> Dcopt_device.Delay.load
+(** The eq. A3 load record of a gate under the given fanout widths. *)
+
+val gate_delay : env -> design -> max_fanin_delay:float -> int -> float
+(** Single-gate delay under the design, with the driver delay supplied
+    explicitly (budget-based during sizing, achieved during evaluation). *)
+
+val budget_fanin_delay : env -> budgets:float array -> int -> float
+(** Max of the drivers' delay budgets — the conservative driver delay used
+    while sizing (a driver meeting its budget can only be faster). *)
+
+val evaluate : env -> design -> evaluation
+(** Full evaluation: achieved delays by topological propagation, energy
+    totals over all gates, feasibility against the cycle time. *)
+
+val size_gate :
+  env -> design -> budgets:float array -> int -> float option
+(** Minimum width in \[w_min, w_max\] meeting the gate's budget, assuming
+    the design already fixes its fanouts' widths ({!size_all} processes
+    gates in reverse topological order so this holds). [None] when even
+    [w_max] misses the budget. *)
+
+val size_all :
+  env -> vdd:float -> vt:float array -> budgets:float array ->
+  design * bool
+(** Sizes every gate to its minimal feasible width (reverse topological
+    order). The boolean is true when every gate met its budget; gates that
+    could not are left at [w_max]. *)

@@ -1,0 +1,68 @@
+type t = {
+  label : string;
+  design : Power_model.design;
+  evaluation : Power_model.evaluation;
+  meets_budgets : bool;
+}
+
+let make ~label ~meets_budgets env design =
+  { label; design; evaluation = Power_model.evaluate env design; meets_budgets }
+
+let vdd t = t.design.Power_model.vdd
+
+let vt_values t =
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun v -> Hashtbl.replace seen v ())
+    t.design.Power_model.vt;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []
+  |> List.sort_uniq Float.compare
+
+let gate_widths t env =
+  Array.map (fun id -> t.design.Power_model.widths.(id)) (Power_model.gate_ids env)
+
+let mean_width t env = Dcopt_util.Stats.mean (gate_widths t env)
+
+let active_area t env =
+  let tech = Power_model.tech env in
+  let f = tech.Dcopt_device.Tech.feature_size in
+  Array.fold_left
+    (fun acc w -> acc +. (w *. (1.0 +. tech.Dcopt_device.Tech.beta_ratio) *. f *. f))
+    0.0 (gate_widths t env)
+let max_width t env = snd (Dcopt_util.Stats.min_max (gate_widths t env))
+
+let total_energy t = t.evaluation.Power_model.total_energy
+let static_energy t = t.evaluation.Power_model.static_energy
+let dynamic_energy t = t.evaluation.Power_model.dynamic_energy
+let critical_delay t = t.evaluation.Power_model.critical_delay
+let feasible t = t.evaluation.Power_model.feasible
+
+let savings ~baseline t = total_energy baseline /. total_energy t
+
+let better best candidate =
+  match best with
+  | None -> if feasible candidate then Some candidate else None
+  | Some current ->
+    if feasible candidate && total_energy candidate < total_energy current then
+      Some candidate
+    else best
+
+let describe env t =
+  let vts =
+    vt_values t
+    |> List.map (fun v -> Printf.sprintf "%.0f mV" (v *. 1000.0))
+    |> String.concat ", "
+  in
+  let module Si = Dcopt_util.Si in
+  Printf.sprintf
+    "%s: Vdd = %.3f V, Vt = {%s}, widths mean %.1f max %.0f, area %s\n\
+    \  static %s  dynamic %s  total %s per cycle\n\
+    \  critical delay %s (cycle %s)  feasible = %b, budgets met = %b"
+    t.label (vdd t) vts (mean_width t env) (max_width t env)
+    (Printf.sprintf "%.1f um^2" (active_area t env *. 1e12))
+    (Si.format ~unit:"J" (static_energy t))
+    (Si.format ~unit:"J" (dynamic_energy t))
+    (Si.format ~unit:"J" (total_energy t))
+    (Si.format ~unit:"s" (critical_delay t))
+    (Si.format ~unit:"s" (Power_model.cycle_time env))
+    (feasible t) t.meets_budgets

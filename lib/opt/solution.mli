@@ -1,0 +1,42 @@
+(** Optimization outcomes and report helpers shared by all optimizers. *)
+
+type t = {
+  label : string;                  (** which optimizer produced it *)
+  design : Power_model.design;
+  evaluation : Power_model.evaluation;
+  meets_budgets : bool;            (** every gate met its Procedure-1 budget *)
+}
+
+val make :
+  label:string -> meets_budgets:bool ->
+  Power_model.env -> Power_model.design -> t
+(** Evaluates the design and packages it. *)
+
+val vdd : t -> float
+
+val vt_values : t -> float list
+(** Distinct gate thresholds in the design, ascending (singleton for
+    single-Vt designs). *)
+
+val mean_width : t -> Power_model.env -> float
+val max_width : t -> Power_model.env -> float
+
+val active_area : t -> Power_model.env -> float
+(** Total active (gate) area proxy in square metres: sum over gates of
+    [w * (1 + beta) * F^2] — NMOS plus PMOS widths at minimum length. *)
+
+val total_energy : t -> float
+val static_energy : t -> float
+val dynamic_energy : t -> float
+val critical_delay : t -> float
+val feasible : t -> bool
+
+val savings : baseline:t -> t -> float
+(** Total-energy ratio baseline/this — the paper's "Savings" column. *)
+
+val better : t option -> t -> t option
+(** Keep the lower-total-energy feasible solution; infeasible candidates
+    never replace feasible ones. *)
+
+val describe : Power_model.env -> t -> string
+(** Multi-line human-readable summary. *)

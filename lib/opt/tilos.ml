@@ -1,0 +1,147 @@
+module Circuit = Dcopt_netlist.Circuit
+module Tech = Dcopt_device.Tech
+module Energy = Dcopt_device.Energy
+module Numeric = Dcopt_util.Numeric
+
+(* Per-gate energy at the current design, used for the sensitivity
+   denominator: leakage plus own switching. *)
+let gate_energy env design ~max_fanin_delay id =
+  let tech = Power_model.tech env in
+  let load = Power_model.gate_load env design ~max_fanin_delay id in
+  Energy.static_energy tech
+    ~fc:(Power_model.clock_frequency env)
+    ~vdd:design.Power_model.vdd ~vt:design.Power_model.vt.(id)
+    ~w:design.Power_model.widths.(id)
+  +. Energy.dynamic_energy tech ~vdd:design.Power_model.vdd
+       ~w:design.Power_model.widths.(id)
+       ~activity:(Power_model.activity env id)
+       ~load
+
+let size_for_cycle ?(step = 1.15) ?max_iterations env ~vdd ~vt =
+  let tech = Power_model.tech env in
+  let circuit = Power_model.circuit env in
+  let n = Circuit.size circuit in
+  let gate_count = max 1 (Circuit.gate_count circuit) in
+  let limit = Option.value max_iterations ~default:(50 * gate_count) in
+  let design =
+    {
+      Power_model.vdd;
+      vt = Array.make n vt;
+      widths = Array.make n tech.Tech.w_min;
+    }
+  in
+  let is_gate id =
+    match (Circuit.node circuit id).Circuit.kind with
+    | Dcopt_netlist.Gate.Input -> false
+    | _ -> true
+  in
+  let mfd_of delays id =
+    let nd = Circuit.node circuit id in
+    Array.fold_left
+      (fun acc f -> if is_gate f then Float.max acc delays.(f) else acc)
+      0.0 nd.Circuit.fanins
+  in
+  (* Sensitivity of upsizing gate [id]: path-delay change (own speed-up
+     minus the slowdown of the on-path driver that now sees a bigger load)
+     per unit of added energy. *)
+  let try_upsize delays id =
+    let w = design.Power_model.widths.(id) in
+    let w' = Float.min tech.Tech.w_max (w *. step) in
+    if w' <= w *. (1.0 +. 1e-9) then None
+    else begin
+      let mfd = mfd_of delays id in
+      let d_before = Power_model.gate_delay env design ~max_fanin_delay:mfd id in
+      let e_before = gate_energy env design ~max_fanin_delay:mfd id in
+      let driver =
+        let nd = Circuit.node circuit id in
+        Array.fold_left
+          (fun best f ->
+            if not (is_gate f) then best
+            else
+              match best with
+              | None -> Some f
+              | Some b -> if delays.(f) > delays.(b) then Some f else best)
+          None nd.Circuit.fanins
+      in
+      let driver_delay f =
+        Power_model.gate_delay env design ~max_fanin_delay:(mfd_of delays f) f
+      in
+      let driver_before = Option.fold ~none:0.0 ~some:driver_delay driver in
+      design.Power_model.widths.(id) <- w';
+      let d_after = Power_model.gate_delay env design ~max_fanin_delay:mfd id in
+      let e_after = gate_energy env design ~max_fanin_delay:mfd id in
+      let driver_after = Option.fold ~none:0.0 ~some:driver_delay driver in
+      design.Power_model.widths.(id) <- w;
+      let delay_gain =
+        d_before -. d_after -. (driver_after -. driver_before)
+      in
+      let energy_cost = Float.max 1e-24 (e_after -. e_before) in
+      if delay_gain <= 0.0 then None
+      else Some (delay_gain /. energy_cost, id, w')
+    end
+  in
+  let rec loop iteration =
+    let e = Power_model.evaluate env design in
+    if e.Power_model.feasible then Some design
+    else if iteration >= limit then None
+    else begin
+      let path =
+        Dcopt_timing.Sta.critical_path circuit ~delays:e.Power_model.delays
+      in
+      let best =
+        List.fold_left
+          (fun best id ->
+            if not (is_gate id) then best
+            else
+              match try_upsize e.Power_model.delays id with
+              | None -> best
+              | Some (s, _, _) as cand -> (
+                match best with
+                | Some (sb, _, _) when sb >= s -> best
+                | _ -> cand))
+          None path
+      in
+      match best with
+      | None -> None (* every critical gate saturated: unreachable *)
+      | Some (_, id, w') ->
+        design.Power_model.widths.(id) <- w';
+        loop (iteration + 1)
+    end
+  in
+  loop 0
+
+let optimize ?(m_steps = 8) env =
+  let tech = Power_model.tech env in
+  let best = ref None in
+  let try_point vdd vt =
+    match size_for_cycle env ~vdd ~vt with
+    | None -> ()
+    | Some design ->
+      let sol = Solution.make ~label:"tilos" ~meets_budgets:false env design in
+      if Solution.feasible sol then best := Solution.better !best sol
+  in
+  let scan vdd_lo vdd_hi vt_lo vt_hi n =
+    let vdds = Numeric.log_interp_points ~lo:vdd_lo ~hi:vdd_hi ~n in
+    let vts = Numeric.linspace ~lo:vt_lo ~hi:vt_hi ~n in
+    Array.iter (fun vdd -> Array.iter (fun vt -> try_point vdd vt) vts) vdds
+  in
+  let coarse = max 6 m_steps in
+  scan tech.Tech.vdd_min tech.Tech.vdd_max tech.Tech.vt_min tech.Tech.vt_max
+    coarse;
+  (match !best with
+  | None -> ()
+  | Some sol ->
+    let vdd0 = Solution.vdd sol in
+    let vt0 =
+      match Solution.vt_values sol with v :: _ -> v | [] -> tech.Tech.vt_min
+    in
+    let span_vdd = (tech.Tech.vdd_max -. tech.Tech.vdd_min) /. float_of_int coarse in
+    let span_vt = (tech.Tech.vt_max -. tech.Tech.vt_min) /. float_of_int coarse in
+    let c = Numeric.clamp in
+    scan
+      (c ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max (vdd0 -. span_vdd))
+      (c ~lo:tech.Tech.vdd_min ~hi:tech.Tech.vdd_max (vdd0 +. span_vdd))
+      (c ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max (vt0 -. span_vt))
+      (c ~lo:tech.Tech.vt_min ~hi:tech.Tech.vt_max (vt0 +. span_vt))
+      coarse);
+  !best

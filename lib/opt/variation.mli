@@ -1,0 +1,36 @@
+(** Threshold-variation robustness analysis (paper Fig. 2(a)).
+
+    The paper modifies the optimizer to use worst-case threshold values
+    during delay and power computation: the optimized circuit must meet
+    timing with every threshold at [vt (1 + tol)] (slow corner), while the
+    reported worst-case power takes [vt (1 - tol)] (leaky corner). The
+    savings relative to the nominal Table-1 baseline shrink as the
+    tolerance grows — quantifying how much of the ultra-low-power window
+    process control buys. *)
+
+val corner_optimize :
+  ?m_steps:int ->
+  Power_model.env ->
+  budgets:float array ->
+  tolerance:float ->
+  Solution.t option
+(** Joint optimization under a symmetric +/-[tolerance] (fraction, e.g.
+    0.1 = 10%%) threshold spread. The returned solution's evaluation is the
+    leaky-corner (worst-case) power; [meets_budgets] reflects slow-corner
+    timing. *)
+
+type point = {
+  tolerance_pct : float;    (** tolerance in percent *)
+  worst_case_energy : float;(** leaky-corner total energy per cycle, J *)
+  savings : float;          (** baseline energy / worst-case energy *)
+}
+
+val savings_curve :
+  ?m_steps:int ->
+  Power_model.env ->
+  budgets:float array ->
+  baseline_energy:float ->
+  tolerances:float array ->
+  point array
+(** One {!point} per tolerance (fractions); tolerances where the slow
+    corner is unoptimizable are skipped. *)

@@ -1,0 +1,182 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Heap = Dcopt_util.Heap
+
+type run = {
+  values : bool array;
+  transitions : int array;
+  settle_time : float;
+  events_processed : int;
+}
+
+let check_vectors circuit before after =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Event_sim: circuit is sequential";
+  let n_inputs = Array.length (Circuit.inputs circuit) in
+  if Array.length before <> n_inputs || Array.length after <> n_inputs then
+    invalid_arg "Event_sim: input vector arity mismatch"
+
+let gate_output circuit values id =
+  let nd = Circuit.node circuit id in
+  Gate.eval nd.Circuit.kind (Array.map (fun f -> values.(f)) nd.Circuit.fanins)
+
+(* A min-ordered event queue on top of the max-heap; sequence numbers
+   break time ties deterministically. Events carry only (time, node): the
+   node's output is recomputed from the *current* input values at fire
+   time, so simultaneous input arrivals are absorbed instead of creating
+   zero-width pulses, while genuinely staggered arrivals still glitch. *)
+let settle circuit ~delays ~before ~after =
+  check_vectors circuit before after;
+  let n = Circuit.size circuit in
+  if Array.length delays <> n then
+    invalid_arg "Event_sim: delay array size mismatch";
+  let values = Circuit.eval circuit before in
+  let transitions = Array.make n 0 in
+  let settle_time = ref 0.0 in
+  let events_processed = ref 0 in
+  let queue : (float * int) Heap.t = Heap.create () in
+  let seq = ref 0 in
+  let push time node =
+    incr seq;
+    Heap.push queue
+      ~priority:(-.time -. (1e-18 *. float_of_int !seq))
+      (time, node)
+  in
+  let schedule_fanouts time node =
+    Array.iter
+      (fun g ->
+        let d = delays.(g) in
+        if d < 0.0 then invalid_arg "Event_sim: negative gate delay";
+        push (time +. d) g)
+      (Circuit.fanouts circuit node)
+  in
+  (* t = 0: flip the inputs that change *)
+  Array.iteri
+    (fun i id ->
+      if after.(i) <> before.(i) then begin
+        values.(id) <- after.(i);
+        transitions.(id) <- transitions.(id) + 1;
+        schedule_fanouts 0.0 id
+      end)
+    (Circuit.inputs circuit);
+  (* Delta-cycle semantics: all events sharing a timestamp are evaluated
+     against the values committed strictly before that time, then their
+     changes are committed together. This keeps simultaneous arrivals from
+     producing artificial pulses while staggered arrivals still glitch. *)
+  let same_time a b = Float.abs (a -. b) <= (1e-12 *. Float.max a b) +. 1e-21 in
+  let rec drain () =
+    match Heap.pop queue with
+    | None -> ()
+    | Some (_, (time, node)) ->
+      incr events_processed;
+      let batch = ref [ node ] in
+      let rec gather () =
+        match Heap.peek queue with
+        | Some (_, (t, n)) when same_time t time ->
+          ignore (Heap.pop queue);
+          incr events_processed;
+          if not (List.mem n !batch) then batch := n :: !batch;
+          gather ()
+        | Some _ | None -> ()
+      in
+      gather ();
+      let updates =
+        List.filter_map
+          (fun n ->
+            let v = gate_output circuit values n in
+            if values.(n) <> v then Some (n, v) else None)
+          !batch
+      in
+      List.iter
+        (fun (n, v) ->
+          values.(n) <- v;
+          transitions.(n) <- transitions.(n) + 1;
+          if time > !settle_time then settle_time := time;
+          schedule_fanouts time n)
+        updates;
+      drain ()
+  in
+  drain ();
+  {
+    values;
+    transitions;
+    settle_time = !settle_time;
+    events_processed = !events_processed;
+  }
+
+let zero_delay_transitions circuit ~before ~after =
+  check_vectors circuit before after;
+  let v0 = Circuit.eval circuit before in
+  let v1 = Circuit.eval circuit after in
+  Array.init (Circuit.size circuit) (fun id -> if v0.(id) <> v1.(id) then 1 else 0)
+
+type activity_estimate = {
+  densities : float array;
+  glitch_fraction : float;
+  vectors_simulated : int;
+}
+
+let is_gate circuit id =
+  match (Circuit.node circuit id).Circuit.kind with
+  | Gate.Input -> false
+  | _ -> true
+
+let monte_carlo_activity ?delays circuit ~rng ~vectors ~input_probability
+    ~input_density =
+  if vectors < 1 then invalid_arg "Event_sim: vectors < 1";
+  if not (input_probability >= 0.0 && input_probability <= 1.0) then
+    invalid_arg "Event_sim: input_probability out of range";
+  if not (input_density >= 0.0 && input_density <= 1.0) then
+    invalid_arg "Event_sim: input_density out of [0, 1] for vector sampling";
+  let n = Circuit.size circuit in
+  let delays =
+    match delays with
+    | Some d -> d
+    | None ->
+      Array.init n (fun id -> if is_gate circuit id then 1.0 else 0.0)
+  in
+  let n_inputs = Array.length (Circuit.inputs circuit) in
+  let totals = Array.make n 0.0 in
+  let zero_delay_total = ref 0.0 and timed_total = ref 0.0 in
+  let current =
+    Array.init n_inputs (fun _ ->
+        Dcopt_util.Prng.float rng 1.0 < input_probability)
+  in
+  (* Markov input process whose stationary 1-probability is
+     [input_probability] and whose toggle rate per cycle is
+     [input_density]: toggle probabilities p01/p10 solve both demands. *)
+  let p_up =
+    if input_probability >= 1.0 then 0.0
+    else input_density /. (2.0 *. (1.0 -. input_probability))
+  in
+  let p_down =
+    if input_probability <= 0.0 then 0.0
+    else input_density /. (2.0 *. input_probability)
+  in
+  for _ = 1 to vectors do
+    let next =
+      Array.map
+        (fun v ->
+          let toggle_p = if v then p_down else p_up in
+          if Dcopt_util.Prng.float rng 1.0 < Float.min 1.0 toggle_p then not v
+          else v)
+        current
+    in
+    let r = settle circuit ~delays ~before:current ~after:next in
+    let zd = zero_delay_transitions circuit ~before:current ~after:next in
+    Array.iteri
+      (fun id t ->
+        totals.(id) <- totals.(id) +. float_of_int t;
+        if is_gate circuit id then begin
+          timed_total := !timed_total +. float_of_int t;
+          zero_delay_total := !zero_delay_total +. float_of_int zd.(id)
+        end)
+      r.transitions;
+    Array.blit next 0 current 0 n_inputs
+  done;
+  let densities = Array.map (fun t -> t /. float_of_int vectors) totals in
+  let glitch_fraction =
+    if !timed_total <= 0.0 then 0.0
+    else (!timed_total -. !zero_delay_total) /. !timed_total
+  in
+  { densities; glitch_fraction; vectors_simulated = vectors }

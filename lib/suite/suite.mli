@@ -1,0 +1,36 @@
+(** Benchmark-circuit suite for the paper's experiments (§5).
+
+    ISCAS-89 netlists cannot be redistributed here, so apart from the tiny
+    [s27] (embedded verbatim — it is universally reproduced in textbooks)
+    each suite circuit is a deterministic synthetic stand-in matching the
+    original's published profile: primary inputs/outputs, flip-flops,
+    combinational gate count and logic depth (DESIGN.md, substitution 2).
+    Regeneration is deterministic, so all experiments are exactly
+    reproducible. *)
+
+val s27 : unit -> Dcopt_netlist.Circuit.t
+(** The real ISCAS-89 s27: 4 PI, 1 PO, 3 DFF, 10 gates. *)
+
+val table_circuits : string list
+(** The eight circuit names of the paper's Tables 1-2:
+    s298 s344 s349 s382 s386 s400 s444 s510. *)
+
+val extended_circuits : string list
+(** Additional ISCAS-89 profiles beyond the paper's table (s526 s820 s832
+    s1488), available for wider experiments. *)
+
+val names : string list
+(** All available circuits: ["s27"], {!table_circuits}, then
+    {!extended_circuits}. *)
+
+val profile : string -> Dcopt_netlist.Generator.profile option
+(** The generation profile of a synthetic suite circuit ([None] for
+    ["s27"], which is not generated, and for unknown names). *)
+
+val find : string -> Dcopt_netlist.Circuit.t
+(** Circuit by name (generating it on first use); raises [Not_found] for
+    unknown names. The result is sequential; analyses should take its
+    combinational core. *)
+
+val all : unit -> (string * Dcopt_netlist.Circuit.t) list
+(** Every suite circuit, in {!names} order. *)

@@ -1,0 +1,150 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+
+type t = {
+  t_max : float array;
+  cycle_budget : float;
+  paths_used : int;
+  fallback_gates : int;
+  slope_adjusted : int;
+}
+
+let is_gate circuit id =
+  match (Circuit.node circuit id).Circuit.kind with
+  | Gate.Input | Gate.Dff -> false
+  | _ -> true
+
+(* Largest fanout-sum over chains from this gate downward / from sources to
+   this gate, allowing chains to stop anywhere (used only by the fallback,
+   where dead-end logic is exactly the case at hand). *)
+let chain_criticalities circuit =
+  let n = Circuit.size circuit in
+  let order = Circuit.topo_order circuit in
+  let w id = float_of_int (Kpaths.effective_fanout circuit id) in
+  let down = Array.make n 0.0 in
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    if is_gate circuit id then begin
+      let cont =
+        Array.fold_left
+          (fun acc g -> if is_gate circuit g then Float.max acc down.(g) else acc)
+          0.0 (Circuit.fanouts circuit id)
+      in
+      down.(id) <- w id +. cont
+    end
+  done;
+  let up = Array.make n 0.0 in
+  Array.iter
+    (fun id ->
+      if is_gate circuit id then begin
+        let nd = Circuit.node circuit id in
+        let pred =
+          Array.fold_left
+            (fun acc f -> if is_gate circuit f then Float.max acc up.(f) else acc)
+            0.0 nd.Circuit.fanins
+        in
+        up.(id) <- w id +. pred
+      end)
+    order;
+  (up, down)
+
+let assign ?(skew_factor = 0.95) ?max_paths ?(slope_guard = 0.3) circuit
+    ~cycle_time =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Delay_assign.assign: circuit is sequential";
+  if cycle_time <= 0.0 then invalid_arg "Delay_assign.assign: cycle_time <= 0";
+  if not (skew_factor > 0.0 && skew_factor <= 1.0) then
+    invalid_arg "Delay_assign.assign: skew_factor out of (0, 1]";
+  let n = Circuit.size circuit in
+  let available = skew_factor *. cycle_time in
+  let t_max = Array.make n 0.0 in
+  let assigned = Array.make n false in
+  let gate_total = Circuit.gate_count circuit in
+  let remaining = ref gate_total in
+  let paths_used = ref 0 in
+  let w id = float_of_int (Kpaths.effective_fanout circuit id) in
+  let consume_path gate_ids =
+    let unassigned = List.filter (fun id -> not (assigned.(id))) gate_ids in
+    if unassigned <> [] then begin
+      incr paths_used;
+      let already =
+        List.fold_left
+          (fun acc id -> if assigned.(id) then acc +. t_max.(id) else acc)
+          0.0 gate_ids
+      in
+      let denom = List.fold_left (fun acc id -> acc +. w id) 0.0 unassigned in
+      (* eq. (3); if more critical paths already ate the whole budget, give
+         the stragglers a tiny positive share and let the final scaling pass
+         restore the guarantee. *)
+      let share = Float.max (0.01 *. available) (available -. already) /. denom in
+      List.iter
+        (fun id ->
+          t_max.(id) <- w id *. share;
+          assigned.(id) <- true;
+          decr remaining)
+        unassigned
+    end
+  in
+  let paths = Kpaths.enumerate ?max_paths circuit in
+  let rec drain seq =
+    if !remaining > 0 then
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons (p, rest) ->
+        consume_path p.Kpaths.gate_ids;
+        drain rest
+  in
+  drain paths;
+  (* Fallback for gates on no enumerated PI-to-PO path. *)
+  let fallback_gates = ref 0 in
+  if !remaining > 0 then begin
+    let up, down = chain_criticalities circuit in
+    Array.iter
+      (fun nd ->
+        let id = nd.Circuit.id in
+        if is_gate circuit id && not assigned.(id) then begin
+          let crit = up.(id) +. down.(id) -. w id in
+          t_max.(id) <- available *. w id /. Float.max (w id) crit;
+          assigned.(id) <- true;
+          incr fallback_gates;
+          decr remaining
+        end)
+      (Circuit.nodes circuit)
+  end;
+  (* Slope-feasibility lift (paper: post processing so the driven gate's
+     budget is achievable given its drivers' budgets). *)
+  let slope_adjusted = ref 0 in
+  Array.iter
+    (fun id ->
+      if is_gate circuit id then begin
+        let nd = Circuit.node circuit id in
+        let worst_fanin =
+          Array.fold_left
+            (fun acc f ->
+              if is_gate circuit f then Float.max acc t_max.(f) else acc)
+            0.0 nd.Circuit.fanins
+        in
+        let floor_needed = slope_guard *. worst_fanin in
+        if t_max.(id) < floor_needed then begin
+          t_max.(id) <- floor_needed;
+          incr slope_adjusted
+        end
+      end)
+    (Circuit.topo_order circuit);
+  (* Final guarantee: scale so no path exceeds the distributed budget. *)
+  let sta = Sta.analyze circuit ~delays:t_max in
+  if sta.Sta.critical_delay > available && sta.Sta.critical_delay > 0.0 then begin
+    let scale = available /. sta.Sta.critical_delay in
+    Array.iteri (fun id v -> t_max.(id) <- v *. scale) t_max
+  end;
+  {
+    t_max;
+    cycle_budget = available;
+    paths_used = !paths_used;
+    fallback_gates = !fallback_gates;
+    slope_adjusted = !slope_adjusted;
+  }
+
+let verify circuit budget ~cycle_time =
+  let sta = Sta.analyze circuit ~delays:budget.t_max in
+  sta.Sta.critical_delay <= cycle_time *. (1.0 +. 1e-6)

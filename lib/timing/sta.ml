@@ -1,0 +1,100 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+
+type result = {
+  arrival : float array;
+  critical_delay : float;
+  required : float array;
+  slack : float array;
+}
+
+let gate_delay delays circuit id =
+  match (Circuit.node circuit id).Circuit.kind with
+  | Gate.Input -> 0.0
+  | _ -> delays.(id)
+
+let analyze ?required_time circuit ~delays =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Sta.analyze: circuit is sequential";
+  if Array.length delays <> Circuit.size circuit then
+    invalid_arg "Sta.analyze: delay array size mismatch";
+  let n = Circuit.size circuit in
+  let order = Circuit.topo_order circuit in
+  let arrival = Array.make n 0.0 in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> arrival.(id) <- 0.0
+      | _ ->
+        let worst =
+          Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0
+            nd.Circuit.fanins
+        in
+        arrival.(id) <- worst +. delays.(id))
+    order;
+  let critical_delay =
+    Array.fold_left
+      (fun acc id -> Float.max acc arrival.(id))
+      0.0 (Circuit.outputs circuit)
+  in
+  let target = Option.value required_time ~default:critical_delay in
+  let required = Array.make n infinity in
+  Array.iter
+    (fun id -> required.(id) <- Float.min required.(id) target)
+    (Circuit.outputs circuit);
+  (* Backward pass in reverse topological order: a node must settle early
+     enough for every consumer to still meet its own requirement. *)
+  let rev = Array.copy order in
+  let len = Array.length rev in
+  for i = 0 to (len / 2) - 1 do
+    let tmp = rev.(i) in
+    rev.(i) <- rev.(len - 1 - i);
+    rev.(len - 1 - i) <- tmp
+  done;
+  Array.iter
+    (fun id ->
+      Array.iter
+        (fun consumer ->
+          let need = required.(consumer) -. gate_delay delays circuit consumer in
+          if need < required.(id) then required.(id) <- need)
+        (Circuit.fanouts circuit id))
+    rev;
+  let slack = Array.init n (fun id -> required.(id) -. arrival.(id)) in
+  { arrival; critical_delay; required; slack }
+
+let critical_path circuit ~delays =
+  let r = analyze circuit ~delays in
+  let worst_output =
+    Array.fold_left
+      (fun best id ->
+        match best with
+        | None -> Some id
+        | Some b -> if r.arrival.(id) > r.arrival.(b) then Some id else best)
+      None (Circuit.outputs circuit)
+  in
+  match worst_output with
+  | None -> []
+  | Some last ->
+    let rec walk id acc =
+      let nd = Circuit.node circuit id in
+      match nd.Circuit.kind with
+      | Gate.Input -> acc
+      | _ ->
+        let worst_fanin =
+          Array.fold_left
+            (fun best f ->
+              match best with
+              | None -> Some f
+              | Some b -> if r.arrival.(f) > r.arrival.(b) then Some f else best)
+            None nd.Circuit.fanins
+        in
+        (match worst_fanin with
+        | None -> id :: acc
+        | Some f -> walk f (id :: acc))
+    in
+    walk last []
+
+let meets circuit ~delays ~cycle_time =
+  let r = analyze circuit ~delays in
+  r.critical_delay <= cycle_time *. (1.0 +. 1e-4)

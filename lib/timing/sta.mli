@@ -1,0 +1,28 @@
+(** Static timing analysis over per-gate delay numbers.
+
+    Delay values are supplied externally (budgets from Procedure 1, or
+    achieved delays from the device model); this module only propagates
+    them through the combinational graph. *)
+
+type result = {
+  arrival : float array;   (** output arrival time per node id *)
+  critical_delay : float;  (** max arrival over primary outputs *)
+  required : float array;  (** latest allowed arrival per node id *)
+  slack : float array;     (** required - arrival *)
+}
+
+val analyze :
+  ?required_time:float ->
+  Dcopt_netlist.Circuit.t -> delays:float array -> result
+(** [analyze c ~delays] propagates arrival times: inputs arrive at 0, a
+    gate's arrival is its delay plus the max fanin arrival. [required_time]
+    defaults to the computed critical delay (so the critical path has zero
+    slack). [delays] is indexed by node id; entries for [Input] nodes are
+    ignored. Requires a combinational circuit. *)
+
+val critical_path : Dcopt_netlist.Circuit.t -> delays:float array -> int list
+(** Gate ids of one maximal-arrival path, source to output. *)
+
+val meets : Dcopt_netlist.Circuit.t -> delays:float array -> cycle_time:float -> bool
+(** True when the critical delay is at most [cycle_time] (with 0.01%%
+    tolerance for float accumulation). *)

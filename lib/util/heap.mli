@@ -1,0 +1,16 @@
+(** Mutable binary max-heap keyed by float priority, used by the
+    K-most-critical-path enumerator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the largest priority; ties are
+    broken arbitrarily. *)
+
+val peek : 'a t -> (float * 'a) option

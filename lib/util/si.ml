@@ -1,0 +1,25 @@
+let prefixes =
+  [| (1e-18, "a"); (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u");
+     (1e-3, "m"); (1.0, ""); (1e3, "k"); (1e6, "M"); (1e9, "G");
+     (1e12, "T"); (1e15, "P"); (1e18, "E") |]
+
+let prefixed x =
+  if x = 0.0 || not (Float.is_finite x) then (x, "")
+  else
+    let mag = Float.abs x in
+    let rec find i =
+      if i >= Array.length prefixes - 1 then i
+      else
+        let scale, _ = prefixes.(i + 1) in
+        if mag < scale then i else find (i + 1)
+    in
+    let scale, prefix = prefixes.(find 0) in
+    (x /. scale, prefix)
+
+let format ?(digits = 3) ~unit x =
+  if not (Float.is_finite x) then Printf.sprintf "%f %s" x unit
+  else
+    let mantissa, prefix = prefixed x in
+    Printf.sprintf "%.*g %s%s" digits mantissa prefix unit
+
+let format_exp ?(digits = 3) x = Printf.sprintf "%.*e" (digits - 1) x

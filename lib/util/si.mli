@@ -1,0 +1,13 @@
+(** SI-prefixed formatting of physical quantities, used by all report and
+    table printers so energies read "2.41e-12 J" or "2.41 pJ" consistently. *)
+
+val prefixed : float -> float * string
+(** [prefixed x] is [(mantissa, prefix)] with mantissa in \[1, 1000) for
+    non-zero finite [x], using prefixes from atto (1e-18) to exa (1e18). *)
+
+val format : ?digits:int -> unit:string -> float -> string
+(** [format ~unit:"J" 2.41e-12] is ["2.41 pJ"] (3 significant digits by
+    default). *)
+
+val format_exp : ?digits:int -> float -> string
+(** Scientific notation, e.g. ["2.41e-12"], matching the paper's tables. *)

@@ -1,0 +1,75 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  columns : int;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  {
+    headers;
+    columns = List.length headers;
+    aligns = List.map (fun _ -> Right) headers;
+    rows = [];
+  }
+
+let set_align t aligns =
+  assert (List.length aligns = t.columns);
+  t.aligns <- aligns
+
+let add_row t cells =
+  assert (List.length cells = t.columns);
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let gap = width - len in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+    | Center ->
+      let left = gap / 2 in
+      String.make left ' ' ^ s ^ String.make (gap - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+        cells
+  in
+  List.iter note_row rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  rule ();
+  List.iter (function Separator -> rule () | Cells cells -> emit cells) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

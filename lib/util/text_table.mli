@@ -1,0 +1,25 @@
+(** Fixed-width plain-text tables, used by the bench harness to print the
+    paper's tables in a shape directly comparable with the publication. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** A table with one column per header, all right-aligned by default. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; the list must match the column count. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; the list must match the column count. *)
+
+val add_separator : t -> unit
+(** Appends a horizontal rule between the surrounding rows. *)
+
+val render : t -> string
+(** Renders with column-width autosizing, an underlined header and a
+    trailing newline. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,200 @@
+module Activity = Dcopt_activity.Activity
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Patterns = Dcopt_netlist.Patterns
+
+let specs_of c p d = Activity.uniform_inputs c ~probability:p ~density:d
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms                                                        *)
+
+let test_gate_probability_forms () =
+  let check = Alcotest.(check (float 1e-12)) in
+  check "and" 0.06 (Activity.gate_probability Gate.And [| 0.2; 0.3 |]);
+  check "nand" 0.94 (Activity.gate_probability Gate.Nand [| 0.2; 0.3 |]);
+  check "or" 0.44 (Activity.gate_probability Gate.Or [| 0.2; 0.3 |]);
+  check "nor" 0.56 (Activity.gate_probability Gate.Nor [| 0.2; 0.3 |]);
+  check "not" 0.8 (Activity.gate_probability Gate.Not [| 0.2 |]);
+  check "buf" 0.2 (Activity.gate_probability Gate.Buf [| 0.2 |]);
+  check "xor" 0.38 (Activity.gate_probability Gate.Xor [| 0.2; 0.3 |]);
+  check "xnor" 0.62 (Activity.gate_probability Gate.Xnor [| 0.2; 0.3 |])
+
+let test_sensitization_forms () =
+  let check = Alcotest.(check (float 1e-12)) in
+  check "and wrt x0" 0.3
+    (Activity.gate_sensitization_probability Gate.And [| 0.2; 0.3 |] 0);
+  check "or wrt x1" 0.8
+    (Activity.gate_sensitization_probability Gate.Or [| 0.2; 0.3 |] 1);
+  check "xor always" 1.0
+    (Activity.gate_sensitization_probability Gate.Xor [| 0.2; 0.3 |] 0);
+  check "not always" 1.0
+    (Activity.gate_sensitization_probability Gate.Not [| 0.2 |] 0)
+
+(* ------------------------------------------------------------------ *)
+(* Local propagation on hand circuits                                  *)
+
+let test_local_inverter () =
+  let c = Patterns.inverter_chain ~stages:3 in
+  let prof = Activity.local_profile c (specs_of c 0.3 0.2) in
+  let id = Circuit.find c "inv3" in
+  Alcotest.(check (float 1e-12)) "prob flips thrice" 0.7
+    prof.Activity.probabilities.(id);
+  Alcotest.(check (float 1e-12)) "density preserved" 0.2
+    prof.Activity.densities.(id)
+
+let test_local_and_gate () =
+  let c =
+    Circuit.create ~name:"and2"
+      ~nodes:
+        [ ("a", Gate.Input, []); ("b", Gate.Input, []);
+          ("y", Gate.And, [ "a"; "b" ]) ]
+      ~outputs:[ "y" ]
+  in
+  let prof = Activity.local_profile c (specs_of c 0.5 0.4) in
+  let y = Circuit.find c "y" in
+  Alcotest.(check (float 1e-12)) "p" 0.25 prof.Activity.probabilities.(y);
+  (* D(y) = p_b D(a) + p_a D(b) = 0.5*0.4*2 *)
+  Alcotest.(check (float 1e-12)) "density" 0.4 prof.Activity.densities.(y)
+
+let test_local_xor_sums_densities () =
+  let c = Patterns.parity_tree ~leaves:4 in
+  let prof = Activity.local_profile c (specs_of c 0.5 0.1) in
+  let out = (Circuit.outputs c).(0) in
+  (* XOR tree passes every input transition through *)
+  Alcotest.(check (float 1e-12)) "sum of input densities" 0.4
+    prof.Activity.densities.(out)
+
+let test_probabilities_bounded =
+  QCheck.Test.make ~name:"probabilities within [0,1], densities >= 0"
+    ~count:60
+    QCheck.(pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    (fun (p, d) ->
+      let c =
+        Circuit.combinational_core
+          (Dcopt_netlist.Generator.generate
+             {
+               Dcopt_netlist.Generator.profile_name = "act";
+               primary_inputs = 5;
+               primary_outputs = 3;
+               flip_flops = 2;
+               gates = 40;
+               logic_depth = 5;
+               seed = Some 99L;
+             })
+      in
+      let prof = Activity.local_profile c (specs_of c p d) in
+      Array.for_all (fun x -> x >= -1e-12 && x <= 1.0 +. 1e-12)
+        prof.Activity.probabilities
+      && Array.for_all (fun x -> x >= -1e-12) prof.Activity.densities)
+
+let test_errors () =
+  let seq =
+    Circuit.create ~name:"seq"
+      ~nodes:
+        [ ("a", Gate.Input, []); ("ff", Gate.Dff, [ "a" ]) ]
+      ~outputs:[ "ff" ]
+  in
+  (match Activity.local_profile seq [| { Activity.probability = 0.5; density = 0.1 } |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of sequential circuit");
+  let c = Patterns.inverter_chain ~stages:1 in
+  (match Activity.local_profile c [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity mismatch");
+  match
+    Activity.local_profile c [| { Activity.probability = 1.5; density = 0.1 } |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected probability range check"
+
+(* ------------------------------------------------------------------ *)
+(* Exact (BDD) engine                                                  *)
+
+let test_exact_equals_local_on_tree () =
+  (* trees have no reconvergent fanout, so the first-order method is exact *)
+  let c = Patterns.parity_tree ~leaves:8 in
+  let specs = specs_of c 0.4 0.3 in
+  let local = Activity.local_profile c specs in
+  match Activity.exact_profile c specs with
+  | None -> Alcotest.fail "BDD should fit"
+  | Some exact ->
+    Array.iteri
+      (fun id p ->
+        Alcotest.(check (float 1e-9)) "probability" p
+          local.Activity.probabilities.(id);
+        Alcotest.(check (float 1e-9)) "density" exact.Activity.densities.(id)
+          local.Activity.densities.(id))
+      exact.Activity.probabilities
+
+let test_exact_handles_reconvergence () =
+  (* y = a AND (NOT a) is constant false: exact sees it, local does not *)
+  let c =
+    Circuit.create ~name:"reconv"
+      ~nodes:
+        [ ("a", Gate.Input, []); ("n", Gate.Not, [ "a" ]);
+          ("y", Gate.And, [ "a"; "n" ]) ]
+      ~outputs:[ "y" ]
+  in
+  let specs = specs_of c 0.5 0.2 in
+  let local = Activity.local_profile c specs in
+  match Activity.exact_profile c specs with
+  | None -> Alcotest.fail "BDD should fit"
+  | Some exact ->
+    let y = Circuit.find c "y" in
+    Alcotest.(check (float 1e-12)) "exact: constant false" 0.0
+      exact.Activity.probabilities.(y);
+    Alcotest.(check (float 1e-12)) "exact: never toggles" 0.0
+      exact.Activity.densities.(y);
+    Alcotest.(check bool) "local overestimates" true
+      (local.Activity.probabilities.(y) > 0.0)
+
+let test_exact_bails_on_limit () =
+  let c = Patterns.parity_tree ~leaves:16 in
+  let specs = specs_of c 0.5 0.1 in
+  match Activity.exact_profile ~node_limit:3 c specs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected node-limit bailout"
+
+let test_exact_on_s27 () =
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.s27 ()) in
+  let specs = specs_of c 0.5 0.2 in
+  match Activity.exact_profile c specs with
+  | None -> Alcotest.fail "s27 core easily fits"
+  | Some exact ->
+    let local = Activity.local_profile c specs in
+    (* same ballpark; equality is not expected due to reconvergence *)
+    Array.iter
+      (fun id ->
+        let e = exact.Activity.densities.(id)
+        and l = local.Activity.densities.(id) in
+        Alcotest.(check bool) "within 3x" true
+          (e = 0.0 || l = 0.0 || (e /. l < 3.0 && l /. e < 3.0)))
+      (Circuit.topo_order c)
+
+let () =
+  Alcotest.run "activity"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "gate probability" `Quick
+            test_gate_probability_forms;
+          Alcotest.test_case "sensitization" `Quick test_sensitization_forms;
+        ] );
+      ( "local",
+        [
+          Alcotest.test_case "inverter chain" `Quick test_local_inverter;
+          Alcotest.test_case "and gate" `Quick test_local_and_gate;
+          Alcotest.test_case "xor tree" `Quick test_local_xor_sums_densities;
+          QCheck_alcotest.to_alcotest test_probabilities_bounded;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "tree agreement" `Quick
+            test_exact_equals_local_on_tree;
+          Alcotest.test_case "reconvergence" `Quick
+            test_exact_handles_reconvergence;
+          Alcotest.test_case "node limit" `Quick test_exact_bails_on_limit;
+          Alcotest.test_case "s27" `Quick test_exact_on_s27;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+module Bdd = Dcopt_bdd.Bdd
+
+let mgr ?(vars = 6) () = Bdd.manager ~var_count:vars ()
+
+let test_terminals () =
+  let m = mgr () in
+  Alcotest.(check bool) "true is true" true (Bdd.is_true m (Bdd.bdd_true m));
+  Alcotest.(check bool) "false is false" true (Bdd.is_false m (Bdd.bdd_false m));
+  Alcotest.(check bool) "of_bool" true
+    (Bdd.equal (Bdd.of_bool m true) (Bdd.bdd_true m))
+
+let test_var_basic () =
+  let m = mgr () in
+  let x = Bdd.var m 0 in
+  Alcotest.(check bool) "eval 1" true (Bdd.eval m x [| true; false; false; false; false; false |]);
+  Alcotest.(check bool) "eval 0" false (Bdd.eval m x [| false; false; false; false; false; false |])
+
+let test_boolean_laws () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  (* double negation *)
+  Alcotest.(check bool) "~~x = x" true (Bdd.equal (Bdd.bdd_not m (Bdd.bdd_not m x)) x);
+  (* De Morgan *)
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equal
+       (Bdd.bdd_not m (Bdd.bdd_and m x y))
+       (Bdd.bdd_or m (Bdd.bdd_not m x) (Bdd.bdd_not m y)));
+  (* idempotence, absorption *)
+  Alcotest.(check bool) "x&x=x" true (Bdd.equal (Bdd.bdd_and m x x) x);
+  Alcotest.(check bool) "x|x&y=x" true
+    (Bdd.equal (Bdd.bdd_or m x (Bdd.bdd_and m x y)) x);
+  (* xor *)
+  Alcotest.(check bool) "x^x=0" true (Bdd.is_false m (Bdd.bdd_xor m x x));
+  Alcotest.(check bool) "x^~x=1" true
+    (Bdd.is_true m (Bdd.bdd_xor m x (Bdd.bdd_not m x)));
+  Alcotest.(check bool) "nand = ~and" true
+    (Bdd.equal (Bdd.bdd_nand m x y) (Bdd.bdd_not m (Bdd.bdd_and m x y)));
+  Alcotest.(check bool) "nor = ~or" true
+    (Bdd.equal (Bdd.bdd_nor m x y) (Bdd.bdd_not m (Bdd.bdd_or m x y)));
+  Alcotest.(check bool) "xnor = ~xor" true
+    (Bdd.equal (Bdd.bdd_xnor m x y) (Bdd.bdd_not m (Bdd.bdd_xor m x y)))
+
+let test_ite () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let f = Bdd.ite m x y z in
+  List.iter
+    (fun (a, b, c) ->
+      let expected = if a then b else c in
+      Alcotest.(check bool) "ite semantics" expected
+        (Bdd.eval m f [| a; b; c; false; false; false |]))
+    [ (true, true, false); (true, false, true); (false, true, false);
+      (false, false, true); (true, true, true); (false, false, false) ]
+
+let test_restrict () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.bdd_and m x y in
+  Alcotest.(check bool) "f|x=1 is y" true (Bdd.equal (Bdd.restrict m f 0 true) y);
+  Alcotest.(check bool) "f|x=0 is false" true
+    (Bdd.is_false m (Bdd.restrict m f 0 false))
+
+let test_boolean_difference () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  (* d(x&y)/dx = y *)
+  Alcotest.(check bool) "diff of and" true
+    (Bdd.equal (Bdd.boolean_difference m (Bdd.bdd_and m x y) 0) y);
+  (* d(x^y)/dx = 1 *)
+  Alcotest.(check bool) "diff of xor" true
+    (Bdd.is_true m (Bdd.boolean_difference m (Bdd.bdd_xor m x y) 0));
+  (* d(y)/dx = 0 *)
+  Alcotest.(check bool) "diff of independent" true
+    (Bdd.is_false m (Bdd.boolean_difference m y 0))
+
+let test_support () =
+  let m = mgr () in
+  let x = Bdd.var m 0 and z = Bdd.var m 2 in
+  let f = Bdd.bdd_or m x z in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support m f);
+  Alcotest.(check (list int)) "terminal support" [] (Bdd.support m (Bdd.bdd_true m))
+
+let test_probability () =
+  let m = mgr ~vars:2 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.bdd_and m x y in
+  Alcotest.(check (float 1e-12)) "p(and)" 0.06 (Bdd.probability m f [| 0.2; 0.3 |]);
+  let g = Bdd.bdd_or m x y in
+  Alcotest.(check (float 1e-12)) "p(or)" 0.44 (Bdd.probability m g [| 0.2; 0.3 |])
+
+let test_sat_count () =
+  let m = mgr ~vars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  (* x & y over 3 vars: 2 satisfying assignments *)
+  Alcotest.(check (float 1e-9)) "count" 2.0 (Bdd.sat_count m (Bdd.bdd_and m x y))
+
+let test_size () =
+  let m = mgr ~vars:3 () in
+  let x = Bdd.var m 0 in
+  Alcotest.(check int) "var size" 1 (Bdd.size m x);
+  Alcotest.(check int) "terminal size" 0 (Bdd.size m (Bdd.bdd_true m))
+
+let test_too_large () =
+  let m = Bdd.manager ~node_limit:4 ~var_count:8 () in
+  let build () =
+    (* parity of 8 variables needs more than 4 nodes *)
+    let acc = ref (Bdd.var m 0) in
+    for i = 1 to 7 do
+      acc := Bdd.bdd_xor m !acc (Bdd.var m i)
+    done;
+    !acc
+  in
+  match build () with
+  | exception Bdd.Too_large _ -> ()
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* Random-formula equivalence against direct truth-table evaluation. *)
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Xor of formula * formula
+
+let rec formula_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun i -> Var i) (int_bound 4)
+  else
+    frequency
+      [
+        (1, map (fun i -> Var i) (int_bound 4));
+        (2, map (fun f -> Not f) (formula_gen (depth - 1)));
+        (2, map2 (fun a b -> And (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+        (2, map2 (fun a b -> Or (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+        (1, map2 (fun a b -> Xor (a, b)) (formula_gen (depth - 1)) (formula_gen (depth - 1)));
+      ]
+
+let rec eval_formula env = function
+  | Var i -> env.(i)
+  | Not f -> not (eval_formula env f)
+  | And (a, b) -> eval_formula env a && eval_formula env b
+  | Or (a, b) -> eval_formula env a || eval_formula env b
+  | Xor (a, b) -> eval_formula env a <> eval_formula env b
+
+let rec build_bdd m = function
+  | Var i -> Bdd.var m i
+  | Not f -> Bdd.bdd_not m (build_bdd m f)
+  | And (a, b) -> Bdd.bdd_and m (build_bdd m a) (build_bdd m b)
+  | Or (a, b) -> Bdd.bdd_or m (build_bdd m a) (build_bdd m b)
+  | Xor (a, b) -> Bdd.bdd_xor m (build_bdd m a) (build_bdd m b)
+
+let bdd_matches_truth_table =
+  QCheck.Test.make ~name:"bdd agrees with direct evaluation" ~count:200
+    (QCheck.make (formula_gen 4))
+    (fun f ->
+      let m = Bdd.manager ~var_count:5 () in
+      let b = build_bdd m f in
+      let ok = ref true in
+      for code = 0 to 31 do
+        let env = Array.init 5 (fun i -> (code lsr i) land 1 = 1) in
+        if Bdd.eval m b env <> eval_formula env f then ok := false
+      done;
+      !ok)
+
+let probability_matches_sat_fraction =
+  QCheck.Test.make ~name:"probability at 1/2 equals sat fraction" ~count:100
+    (QCheck.make (formula_gen 4))
+    (fun f ->
+      let m = Bdd.manager ~var_count:5 () in
+      let b = build_bdd m f in
+      let count = ref 0 in
+      for code = 0 to 31 do
+        let env = Array.init 5 (fun i -> (code lsr i) land 1 = 1) in
+        if eval_formula env f then incr count
+      done;
+      let p = Bdd.probability m b (Array.make 5 0.5) in
+      Float.abs (p -. (float_of_int !count /. 32.0)) < 1e-9)
+
+let canonical_equality =
+  QCheck.Test.make ~name:"equivalent formulas share a node" ~count:100
+    (QCheck.make (formula_gen 3))
+    (fun f ->
+      let m = Bdd.manager ~var_count:5 () in
+      let a = build_bdd m f in
+      (* rebuild through double negation: same function, same node *)
+      let b = Bdd.bdd_not m (Bdd.bdd_not m (build_bdd m f)) in
+      Bdd.equal a b)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "var" `Quick test_var_basic;
+          Alcotest.test_case "boolean laws" `Quick test_boolean_laws;
+          Alcotest.test_case "ite" `Quick test_ite;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "boolean difference" `Quick
+            test_boolean_difference;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "probability" `Quick test_probability;
+          Alcotest.test_case "sat count" `Quick test_sat_count;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "node limit" `Quick test_too_large;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest bdd_matches_truth_table;
+          QCheck_alcotest.to_alcotest probability_matches_sat_fraction;
+          QCheck_alcotest.to_alcotest canonical_equality;
+        ] );
+    ]

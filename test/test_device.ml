@@ -1,0 +1,414 @@
+module Tech = Dcopt_device.Tech
+module Mosfet = Dcopt_device.Mosfet
+module Delay = Dcopt_device.Delay
+module Energy = Dcopt_device.Energy
+module Body_bias = Dcopt_device.Body_bias
+
+let tech = Tech.default
+
+let representative_load =
+  {
+    Delay.fanin_count = 2;
+    stack_depth = 2;
+    cap_fanout_gates = 3.0e-15;
+    cap_wire = 2.0e-15;
+    res_wire_terms = 1.0e-13;
+    flight_time = 5.0e-14;
+    max_fanin_delay = 1.0e-10;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tech                                                               *)
+
+let test_default_valid () =
+  match Tech.validate tech with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_validate_catches_bad () =
+  let bad = { tech with Tech.alpha = -1.0 } in
+  Alcotest.(check bool) "negative alpha" true (Result.is_error (Tech.validate bad));
+  let bad = { tech with Tech.vdd_min = 5.0 } in
+  Alcotest.(check bool) "empty vdd range" true (Result.is_error (Tech.validate bad));
+  let bad = { tech with Tech.w_min = 200.0 } in
+  Alcotest.(check bool) "empty w range" true (Result.is_error (Tech.validate bad))
+
+let test_subthreshold_scale () =
+  let nvt = Tech.subthreshold_scale tech in
+  Alcotest.(check (float 1e-12)) "alpha * S / ln 10"
+    (tech.Tech.alpha *. tech.Tech.s_swing /. log 10.0)
+    nvt
+
+(* ------------------------------------------------------------------ *)
+(* Mosfet                                                             *)
+
+let test_overdrive_limits () =
+  (* far above threshold: tends to vgs - vt *)
+  let od = Mosfet.overdrive tech ~vgs:3.3 ~vt:0.7 in
+  Alcotest.(check bool) "superthreshold limit" true
+    (Float.abs (od -. 2.6) < 0.01);
+  (* far below: exponentially small but positive *)
+  let od_sub = Mosfet.overdrive tech ~vgs:0.0 ~vt:0.7 in
+  Alcotest.(check bool) "subthreshold positive" true
+    (od_sub > 0.0 && od_sub < 1e-5)
+
+let test_i_drive_monotone_vdd () =
+  let prev = ref 0.0 in
+  Array.iter
+    (fun vdd ->
+      let i = Mosfet.i_drive tech ~vdd ~vt:0.3 in
+      Alcotest.(check bool) "increasing in vdd" true (i > !prev);
+      prev := i)
+    (Dcopt_util.Numeric.linspace ~lo:0.2 ~hi:3.3 ~n:20)
+
+let test_i_drive_monotone_vt () =
+  let prev = ref infinity in
+  Array.iter
+    (fun vt ->
+      let i = Mosfet.i_drive tech ~vdd:1.5 ~vt in
+      Alcotest.(check bool) "decreasing in vt" true (i < !prev);
+      prev := i)
+    (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:0.7 ~n:20)
+
+let test_i_off_monotone_and_positive () =
+  let prev = ref infinity in
+  Array.iter
+    (fun vt ->
+      let i = Mosfet.i_off tech ~vt in
+      Alcotest.(check bool) "positive" true (i > 0.0);
+      Alcotest.(check bool) "decreasing in vt" true (i < !prev);
+      prev := i)
+    (Dcopt_util.Numeric.linspace ~lo:0.05 ~hi:0.8 ~n:30)
+
+let test_i_off_junction_floor () =
+  (* at very high vt the junction component dominates *)
+  let i = Mosfet.i_off tech ~vt:1.5 in
+  Alcotest.(check bool) "floors at junction leakage" true
+    (i >= tech.Tech.i_junction
+    && i < 2.0 *. tech.Tech.i_junction)
+
+let test_i_off_swing () =
+  (* one s_swing of threshold shift changes subthreshold leakage ~10x *)
+  let i1 = Mosfet.i_off_subthreshold tech ~vt:0.3 in
+  let i2 = Mosfet.i_off_subthreshold tech ~vt:(0.3 +. tech.Tech.s_swing) in
+  let decade = i1 /. i2 in
+  Alcotest.(check bool) "one decade per swing" true
+    (decade > 8.0 && decade < 12.0)
+
+let test_transregional_continuity () =
+  (* the composite I-V is smooth through vdd = vt *)
+  let vt = 0.4 in
+  let below = Mosfet.i_drive tech ~vdd:(vt -. 0.001) ~vt in
+  let above = Mosfet.i_drive tech ~vdd:(vt +. 0.001) ~vt in
+  Alcotest.(check bool) "continuous at threshold" true
+    (above /. below < 1.1 && above > below)
+
+let test_on_off_ratio () =
+  let r_high = Mosfet.on_off_ratio tech ~vdd:3.3 ~vt:0.7 in
+  let r_low = Mosfet.on_off_ratio tech ~vdd:0.9 ~vt:0.15 in
+  Alcotest.(check bool) "high vt has huge ratio" true (r_high > 1e8);
+  Alcotest.(check bool) "low vt ratio smaller but >1" true
+    (r_low > 10.0 && r_low < r_high)
+
+let test_is_subthreshold () =
+  Alcotest.(check bool) "sub" true (Mosfet.is_subthreshold tech ~vdd:0.2 ~vt:0.3);
+  Alcotest.(check bool) "super" false
+    (Mosfet.is_subthreshold tech ~vdd:1.0 ~vt:0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Delay                                                              *)
+
+let test_slope_coefficient_bounds () =
+  Array.iter
+    (fun vdd ->
+      Array.iter
+        (fun vt ->
+          let c = Delay.slope_coefficient tech ~vdd ~vt in
+          Alcotest.(check bool) "in [0, 0.9]" true (c >= 0.0 && c <= 0.9))
+        (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:0.7 ~n:7))
+    (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:3.3 ~n:7)
+
+let test_slope_coefficient_increases_with_vt () =
+  let a = Delay.slope_coefficient tech ~vdd:1.0 ~vt:0.1 in
+  let b = Delay.slope_coefficient tech ~vdd:1.0 ~vt:0.5 in
+  Alcotest.(check bool) "higher vt, larger coefficient" true (b > a)
+
+let test_delay_monotone_in_width () =
+  let prev = ref infinity in
+  Array.iter
+    (fun w ->
+      let d = Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w representative_load in
+      Alcotest.(check bool) "decreasing in w" true (d <= !prev);
+      prev := d)
+    (Dcopt_util.Numeric.linspace ~lo:1.0 ~hi:100.0 ~n:30)
+
+let test_delay_monotone_in_vdd () =
+  let prev = ref infinity in
+  Array.iter
+    (fun vdd ->
+      let d = Delay.gate_delay tech ~vdd ~vt:0.2 ~w:4.0 representative_load in
+      Alcotest.(check bool) "decreasing in vdd" true (d < !prev);
+      prev := d)
+    (Dcopt_util.Numeric.linspace ~lo:0.4 ~hi:3.3 ~n:20)
+
+let test_delay_monotone_in_vt () =
+  let prev = ref 0.0 in
+  Array.iter
+    (fun vt ->
+      let d = Delay.gate_delay tech ~vdd:1.2 ~vt ~w:4.0 representative_load in
+      Alcotest.(check bool) "increasing in vt" true (d > !prev);
+      prev := d)
+    (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:0.7 ~n:20)
+
+let test_delay_increases_with_load () =
+  let light = Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w:4.0 representative_load in
+  let heavy =
+    Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w:4.0
+      { representative_load with Delay.cap_wire = 20.0e-15 }
+  in
+  Alcotest.(check bool) "more wire, more delay" true (heavy > light)
+
+let test_delay_infinite_when_leakage_wins () =
+  (* enormous fanin count at tiny overdrive: off-current overwhelms drive *)
+  let load = { representative_load with Delay.fanin_count = 1000 } in
+  let d = Delay.gate_delay tech ~vdd:0.12 ~vt:0.7 ~w:1.0 load in
+  Alcotest.(check bool) "infinite" true (d = infinity)
+
+let test_stack_and_slope_terms_present () =
+  let base = { Delay.no_load with Delay.cap_wire = 2e-15 } in
+  let with_stack =
+    { base with Delay.fanin_count = 4; stack_depth = 4 }
+  in
+  let d1 = Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w:4.0 base in
+  let d2 = Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w:4.0 with_stack in
+  Alcotest.(check bool) "stack slows the gate" true (d2 > d1);
+  let with_slope = { base with Delay.max_fanin_delay = 1e-9 } in
+  let d3 = Delay.gate_delay tech ~vdd:1.2 ~vt:0.2 ~w:4.0 with_slope in
+  Alcotest.(check bool) "input slope slows the gate" true (d3 > d1)
+
+let test_output_capacitance_formula () =
+  let c = Delay.output_capacitance tech ~w:3.0 representative_load in
+  let expected =
+    (tech.Tech.c_parasitic *. 3.0)
+    +. (1.0 *. tech.Tech.c_intermediate *. 3.0)
+    +. 3.0e-15 +. 2.0e-15
+  in
+  Alcotest.(check (float 1e-20)) "c_out" expected c
+
+(* ------------------------------------------------------------------ *)
+(* Energy                                                             *)
+
+let test_static_energy_scaling () =
+  let e1 = Energy.static_energy tech ~fc:300e6 ~vdd:1.0 ~vt:0.2 ~w:2.0 in
+  let e2 = Energy.static_energy tech ~fc:300e6 ~vdd:2.0 ~vt:0.2 ~w:2.0 in
+  let e3 = Energy.static_energy tech ~fc:300e6 ~vdd:1.0 ~vt:0.2 ~w:4.0 in
+  let e4 = Energy.static_energy tech ~fc:600e6 ~vdd:1.0 ~vt:0.2 ~w:2.0 in
+  Alcotest.(check (float 1e-25)) "linear in vdd" (2.0 *. e1) e2;
+  Alcotest.(check (float 1e-25)) "linear in w" (2.0 *. e1) e3;
+  Alcotest.(check (float 1e-25)) "inverse in fc" (e1 /. 2.0) e4
+
+let test_dynamic_energy_scaling () =
+  let e vdd a =
+    Energy.dynamic_energy tech ~vdd ~w:2.0 ~activity:a
+      ~load:representative_load
+  in
+  Alcotest.(check (float 1e-25)) "quadratic in vdd" (4.0 *. e 1.0 0.1)
+    (e 2.0 0.1);
+  Alcotest.(check (float 1e-25)) "linear in activity" (5.0 *. e 1.0 0.1)
+    (e 1.0 0.5)
+
+let test_total_energy_sum () =
+  let s = Energy.static_energy tech ~fc:300e6 ~vdd:1.0 ~vt:0.2 ~w:2.0 in
+  let d =
+    Energy.dynamic_energy tech ~vdd:1.0 ~w:2.0 ~activity:0.1
+      ~load:representative_load
+  in
+  let t =
+    Energy.total_energy tech ~fc:300e6 ~vdd:1.0 ~vt:0.2 ~w:2.0 ~activity:0.1
+      ~load:representative_load
+  in
+  Alcotest.(check (float 1e-25)) "sum" (s +. d) t
+
+let test_power_energy_consistency () =
+  let fc = 250e6 in
+  let p = Energy.static_power tech ~vdd:1.0 ~vt:0.2 ~w:2.0 in
+  let e = Energy.static_energy tech ~fc ~vdd:1.0 ~vt:0.2 ~w:2.0 in
+  Alcotest.(check (float 1e-25)) "P = E * fc" p (e *. fc)
+
+(* ------------------------------------------------------------------ *)
+(* Tech file I/O                                                      *)
+
+module Tech_io = Dcopt_device.Tech_io
+
+let test_tech_io_roundtrip () =
+  let text = Tech_io.to_string tech in
+  let parsed = Tech_io.parse_string text in
+  Alcotest.(check bool) "round-trip" true (parsed = tech)
+
+let test_tech_io_partial_override () =
+  let parsed = Tech_io.parse_string "alpha = 1.3\nname = custom\n" in
+  Alcotest.(check (float 1e-12)) "overridden" 1.3 parsed.Tech.alpha;
+  Alcotest.(check string) "renamed" "custom" parsed.Tech.tech_name;
+  Alcotest.(check (float 1e-12)) "inherited" tech.Tech.k_drive
+    parsed.Tech.k_drive
+
+let test_tech_io_comments_and_blanks () =
+  let parsed =
+    Tech_io.parse_string "# a comment\n\n  alpha = 1.2  # trailing\n"
+  in
+  Alcotest.(check (float 1e-12)) "parsed through noise" 1.2 parsed.Tech.alpha
+
+let test_tech_io_unknown_key () =
+  match Tech_io.parse_string "frobnicate = 3\n" with
+  | exception Tech_io.Parse_error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected Parse_error on unknown key"
+
+let test_tech_io_bad_number () =
+  match Tech_io.parse_string "alpha = banana\n" with
+  | exception Tech_io.Parse_error { line = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected Parse_error on bad number"
+
+let test_tech_io_missing_equals () =
+  match Tech_io.parse_string "just words\n" with
+  | exception Tech_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_tech_io_validation () =
+  match Tech_io.parse_string "alpha = -1\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected validation failure"
+
+let test_temperature_scaling () =
+  let hot = Tech.at_temperature tech ~celsius:125.0 in
+  let cold = Tech.at_temperature tech ~celsius:0.0 in
+  Alcotest.(check bool) "validates" true (Result.is_ok (Tech.validate hot));
+  (* 25 C is the reference: identity up to the name *)
+  let same = Tech.at_temperature tech ~celsius:25.0 in
+  Alcotest.(check (float 1e-12)) "reference swing" tech.Tech.s_swing
+    same.Tech.s_swing;
+  Alcotest.(check bool) "swing grows with T" true
+    (hot.Tech.s_swing > tech.Tech.s_swing
+    && cold.Tech.s_swing < tech.Tech.s_swing);
+  Alcotest.(check bool) "drive degrades with T" true
+    (hot.Tech.k_drive < tech.Tech.k_drive);
+  (* leakage at fixed vt grows steeply on the hot die *)
+  let leak t = Mosfet.i_off t ~vt:0.2 in
+  Alcotest.(check bool) "hot die leaks substantially more" true
+    (leak hot > 1.5 *. leak tech);
+  Alcotest.(check bool) "cold die leaks less" true (leak cold < leak tech)
+
+let test_tech_scale_properties () =
+  let scaled = Tech.scale tech ~factor:0.7 in
+  Alcotest.(check bool) "validates" true (Result.is_ok (Tech.validate scaled));
+  Alcotest.(check (float 1e-18)) "feature scales"
+    (tech.Tech.feature_size *. 0.7) scaled.Tech.feature_size;
+  Alcotest.(check (float 1e-12)) "vdd ceiling scales"
+    (tech.Tech.vdd_max *. 0.7) scaled.Tech.vdd_max;
+  Alcotest.(check (float 1e-12)) "swing does not scale" tech.Tech.s_swing
+    scaled.Tech.s_swing;
+  Alcotest.(check bool) "wire resistance grows" true
+    (scaled.Tech.wire_res_per_m > tech.Tech.wire_res_per_m)
+
+(* ------------------------------------------------------------------ *)
+(* Body bias                                                          *)
+
+let test_body_bias_zero () =
+  Alcotest.(check (float 1e-12)) "no bias, natural vt" tech.Tech.vt_natural
+    (Body_bias.vt_of_bias tech ~vsb:0.0)
+
+let test_body_bias_monotone () =
+  let prev = ref 0.0 in
+  Array.iter
+    (fun vsb ->
+      let vt = Body_bias.vt_of_bias tech ~vsb in
+      Alcotest.(check bool) "increasing" true (vt > !prev);
+      prev := vt)
+    (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:5.0 ~n:20)
+
+let test_body_bias_roundtrip () =
+  Array.iter
+    (fun vt ->
+      match Body_bias.bias_for_vt tech ~vt with
+      | Some vsb ->
+        Alcotest.(check (float 1e-9)) "round-trip" vt
+          (Body_bias.vt_of_bias tech ~vsb)
+      | None -> Alcotest.fail "expected reachable")
+    (Dcopt_util.Numeric.linspace ~lo:0.1 ~hi:0.3 ~n:10)
+
+let test_body_bias_unreachable () =
+  Alcotest.(check bool) "below natural" true
+    (Body_bias.bias_for_vt tech ~vt:0.01 = None);
+  Alcotest.(check bool) "beyond safety" true
+    (Body_bias.bias_for_vt tech ~vt:5.0 = None)
+
+let () =
+  Alcotest.run "device"
+    [
+      ( "tech",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "validate rejects" `Quick test_validate_catches_bad;
+          Alcotest.test_case "subthreshold scale" `Quick test_subthreshold_scale;
+        ] );
+      ( "mosfet",
+        [
+          Alcotest.test_case "overdrive limits" `Quick test_overdrive_limits;
+          Alcotest.test_case "i_drive vs vdd" `Quick test_i_drive_monotone_vdd;
+          Alcotest.test_case "i_drive vs vt" `Quick test_i_drive_monotone_vt;
+          Alcotest.test_case "i_off monotone" `Quick
+            test_i_off_monotone_and_positive;
+          Alcotest.test_case "junction floor" `Quick test_i_off_junction_floor;
+          Alcotest.test_case "subthreshold swing" `Quick test_i_off_swing;
+          Alcotest.test_case "transregional continuity" `Quick
+            test_transregional_continuity;
+          Alcotest.test_case "on/off ratio" `Quick test_on_off_ratio;
+          Alcotest.test_case "is_subthreshold" `Quick test_is_subthreshold;
+        ] );
+      ( "delay",
+        [
+          Alcotest.test_case "slope bounds" `Quick test_slope_coefficient_bounds;
+          Alcotest.test_case "slope vs vt" `Quick
+            test_slope_coefficient_increases_with_vt;
+          Alcotest.test_case "monotone in w" `Quick test_delay_monotone_in_width;
+          Alcotest.test_case "monotone in vdd" `Quick test_delay_monotone_in_vdd;
+          Alcotest.test_case "monotone in vt" `Quick test_delay_monotone_in_vt;
+          Alcotest.test_case "load sensitivity" `Quick
+            test_delay_increases_with_load;
+          Alcotest.test_case "leakage stall" `Quick
+            test_delay_infinite_when_leakage_wins;
+          Alcotest.test_case "stack and slope terms" `Quick
+            test_stack_and_slope_terms_present;
+          Alcotest.test_case "output capacitance" `Quick
+            test_output_capacitance_formula;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "static scaling" `Quick test_static_energy_scaling;
+          Alcotest.test_case "dynamic scaling" `Quick
+            test_dynamic_energy_scaling;
+          Alcotest.test_case "total is sum" `Quick test_total_energy_sum;
+          Alcotest.test_case "power/energy" `Quick
+            test_power_energy_consistency;
+        ] );
+      ( "tech io",
+        [
+          Alcotest.test_case "round-trip" `Quick test_tech_io_roundtrip;
+          Alcotest.test_case "partial override" `Quick
+            test_tech_io_partial_override;
+          Alcotest.test_case "comments" `Quick test_tech_io_comments_and_blanks;
+          Alcotest.test_case "unknown key" `Quick test_tech_io_unknown_key;
+          Alcotest.test_case "bad number" `Quick test_tech_io_bad_number;
+          Alcotest.test_case "missing equals" `Quick
+            test_tech_io_missing_equals;
+          Alcotest.test_case "validation" `Quick test_tech_io_validation;
+          Alcotest.test_case "scaling" `Quick test_tech_scale_properties;
+          Alcotest.test_case "temperature" `Quick test_temperature_scaling;
+        ] );
+      ( "body bias",
+        [
+          Alcotest.test_case "zero bias" `Quick test_body_bias_zero;
+          Alcotest.test_case "monotone" `Quick test_body_bias_monotone;
+          Alcotest.test_case "round-trip" `Quick test_body_bias_roundtrip;
+          Alcotest.test_case "unreachable" `Quick test_body_bias_unreachable;
+        ] );
+    ]

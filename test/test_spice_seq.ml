@@ -1,0 +1,246 @@
+(* Tests for the transistor-level SPICE export and the sequential
+   cycle simulator. *)
+
+module Spice = Dcopt_device.Spice_export
+module Seq_sim = Dcopt_sim.Seq_sim
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Patterns = Dcopt_netlist.Patterns
+module Tech = Dcopt_device.Tech
+
+let contains text needle =
+  let ln = String.length needle and lt = String.length text in
+  let rec scan i = i + ln <= lt && (String.sub text i ln = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------------------------------------------ *)
+(* Networks and counting                                               *)
+
+let test_pull_down_shapes () =
+  (match Spice.pull_down Gate.Nand ~fanin:3 with
+  | Spice.Series [ Spice.Device 0; Spice.Device 1; Spice.Device 2 ] -> ()
+  | _ -> Alcotest.fail "nand3 should be a 3-series chain");
+  (match Spice.pull_down Gate.Nor ~fanin:2 with
+  | Spice.Parallel [ Spice.Device 0; Spice.Device 1 ] -> ()
+  | _ -> Alcotest.fail "nor2 should be 2-parallel");
+  match Spice.pull_down Gate.Not ~fanin:1 with
+  | Spice.Device 0 -> ()
+  | _ -> Alcotest.fail "inverter is one device"
+
+let test_dual_involution () =
+  let net = Spice.pull_down Gate.Xor ~fanin:2 in
+  Alcotest.(check bool) "dual of dual" true (Spice.dual (Spice.dual net) = net);
+  Alcotest.(check int) "dual preserves count"
+    (Spice.network_device_count net)
+    (Spice.network_device_count (Spice.dual net))
+
+let test_transistor_counts () =
+  Alcotest.(check int) "not" 2 (Spice.transistor_count Gate.Not ~fanin:1);
+  Alcotest.(check int) "buf" 4 (Spice.transistor_count Gate.Buf ~fanin:1);
+  Alcotest.(check int) "nand2" 4 (Spice.transistor_count Gate.Nand ~fanin:2);
+  Alcotest.(check int) "nor3" 6 (Spice.transistor_count Gate.Nor ~fanin:3);
+  Alcotest.(check int) "and2" 6 (Spice.transistor_count Gate.And ~fanin:2);
+  Alcotest.(check int) "xor2" 12 (Spice.transistor_count Gate.Xor ~fanin:2);
+  Alcotest.(check int) "xor3 cascade" 24 (Spice.transistor_count Gate.Xor ~fanin:3)
+
+let test_s27_transistor_count () =
+  (* 2 NOT (4) + 1 AND2 (6) + 2 OR2 (12) + 1 NAND2 (4) + 4 NOR2 (16) *)
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.s27 ()) in
+  Alcotest.(check int) "42 transistors" 42 (Spice.circuit_transistor_count core)
+
+(* ------------------------------------------------------------------ *)
+(* Deck                                                                *)
+
+let deck_of circuit = Spice.deck Tech.default circuit
+
+let count_devices text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.length l > 0 && l.[0] = 'M')
+  |> List.length
+
+let test_deck_structure () =
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.s27 ()) in
+  let text = deck_of core in
+  Alcotest.(check bool) "model cards" true (contains text ".model nmos_opt");
+  Alcotest.(check bool) "pmos card" true (contains text ".model pmos_opt");
+  Alcotest.(check bool) "supply" true (contains text "Vsupply vdd 0");
+  Alcotest.(check bool) "tran card" true (contains text ".tran");
+  Alcotest.(check bool) "end card" true (contains text ".end");
+  Alcotest.(check int) "device lines match the count"
+    (Spice.circuit_transistor_count core)
+    (count_devices text)
+
+let test_deck_balanced_pn () =
+  (* every deck has equal numbers of NMOS and PMOS devices: static CMOS *)
+  List.iter
+    (fun circuit ->
+      let text = deck_of circuit in
+      let count model =
+        String.split_on_char '\n' text
+        |> List.filter (fun l ->
+               String.length l > 0 && l.[0] = 'M' && contains l model)
+        |> List.length
+      in
+      Alcotest.(check int) "N = P" (count "nmos_opt") (count "pmos_opt"))
+    [ Patterns.ripple_carry_adder ~bits:3; Patterns.parity_tree ~leaves:5;
+      Patterns.mux_tree ~select_bits:2 ]
+
+let test_deck_uses_widths () =
+  let c = Patterns.inverter_chain ~stages:1 in
+  let widths = Array.make (Circuit.size c) 7.0 in
+  let text = Spice.deck ~widths Tech.default c in
+  (* nmos width = 7 * 0.35um = 2.45u *)
+  Alcotest.(check bool) "nmos sized" true (contains text "W=2.450u");
+  (* pmos width doubles via beta ratio: 4.90u *)
+  Alcotest.(check bool) "pmos sized" true (contains text "W=4.900u")
+
+let test_deck_rejects_sequential () =
+  match deck_of (Dcopt_suite.Suite.s27 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of sequential circuit"
+
+let test_deck_input_sources () =
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.s27 ()) in
+  let text = deck_of core in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "source %d" i)
+        true
+        (contains text (Printf.sprintf "Vin%d " i)))
+    (Circuit.inputs core)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential simulation                                               *)
+
+let test_seq_sim_combinational_input_rates () =
+  let c = Patterns.parity_tree ~leaves:4 in
+  let r =
+    Seq_sim.simulate ~cycles:6000 ~input_probability:0.3 ~input_density:0.2 c
+  in
+  Alcotest.(check int) "no state bits" 0 r.Seq_sim.state_bits;
+  Array.iter
+    (fun id ->
+      let p = r.Seq_sim.probabilities.(id) in
+      let d = r.Seq_sim.densities.(id) in
+      Alcotest.(check bool) "probability near 0.3" true
+        (Float.abs (p -. 0.3) < 0.04);
+      Alcotest.(check bool) "density near 0.2" true
+        (Float.abs (d -. 0.2) < 0.04))
+    (Circuit.inputs r.Seq_sim.core)
+
+let test_seq_sim_counter_state () =
+  (* a 1-bit toggle register: ff <- NOT ff. The state bit must toggle every
+     cycle and sit at 1 half the time. *)
+  let c =
+    Circuit.create ~name:"toggle"
+      ~nodes:
+        [
+          ("en", Gate.Input, []);
+          ("ff", Gate.Dff, [ "nxt" ]);
+          ("nxt", Gate.Not, [ "ff" ]);
+          ("out", Gate.Buf, [ "ff" ]);
+        ]
+      ~outputs:[ "out" ]
+  in
+  let r =
+    Seq_sim.simulate ~cycles:1000 ~input_probability:0.5 ~input_density:0.1 c
+  in
+  let core = r.Seq_sim.core in
+  let ff = Circuit.find core "ff" in
+  Alcotest.(check (float 1e-9)) "toggles every cycle" 1.0
+    r.Seq_sim.densities.(ff);
+  Alcotest.(check bool) "half the time high" true
+    (Float.abs (r.Seq_sim.probabilities.(ff) -. 0.5) < 0.01)
+
+let test_seq_sim_constant_state () =
+  (* ff <- ff AND input: from the zero reset state it can never rise *)
+  let c =
+    Circuit.create ~name:"sticky"
+      ~nodes:
+        [
+          ("a", Gate.Input, []);
+          ("ff", Gate.Dff, [ "nxt" ]);
+          ("nxt", Gate.And, [ "ff"; "a" ]);
+        ]
+      ~outputs:[ "nxt" ]
+  in
+  let r =
+    Seq_sim.simulate ~cycles:500 ~input_probability:0.5 ~input_density:0.3 c
+  in
+  let core = r.Seq_sim.core in
+  let ff = Circuit.find core "ff" in
+  Alcotest.(check (float 0.0)) "state stuck at 0" 0.0
+    r.Seq_sim.probabilities.(ff);
+  Alcotest.(check (float 0.0)) "state never toggles" 0.0
+    r.Seq_sim.densities.(ff)
+
+let test_seq_sim_deterministic () =
+  let c = Dcopt_suite.Suite.s27 () in
+  let run () =
+    let r =
+      Seq_sim.simulate ~cycles:400 ~input_probability:0.5 ~input_density:0.2 c
+    in
+    (r.Seq_sim.probabilities, r.Seq_sim.densities)
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run () = run ())
+
+let test_seq_sim_profile_usable () =
+  let c = Dcopt_suite.Suite.find "s298" in
+  let r =
+    Seq_sim.simulate ~cycles:1500 ~input_probability:0.5 ~input_density:0.1 c
+  in
+  let profile = Seq_sim.profile r in
+  let env =
+    Dcopt_opt.Power_model.make_env ~tech:Tech.default ~fc:300e6 r.Seq_sim.core
+      profile
+  in
+  let design = Dcopt_opt.Power_model.uniform_design env ~vdd:1.0 ~vt:0.2 ~w:4.0 in
+  let e = Dcopt_opt.Power_model.evaluate env design in
+  Alcotest.(check bool) "profile drives the power model" true
+    (e.Dcopt_opt.Power_model.dynamic_energy > 0.0)
+
+let test_seq_sim_flow_engine () =
+  let config =
+    { Dcopt_core.Flow.default_config with
+      Dcopt_core.Flow.engine =
+        Dcopt_core.Flow.Sequential_trace { cycles = 1000; seed = 1L } }
+  in
+  let p = Dcopt_core.Flow.prepare ~config (Dcopt_suite.Suite.find "s27") in
+  match Dcopt_core.Flow.run_joint p with
+  | Some sol ->
+    Alcotest.(check bool) "feasible under traced activity" true
+      (Dcopt_opt.Solution.feasible sol)
+  | None -> Alcotest.fail "expected a solution"
+
+let () =
+  Alcotest.run "spice_seq"
+    [
+      ( "networks",
+        [
+          Alcotest.test_case "pull-down shapes" `Quick test_pull_down_shapes;
+          Alcotest.test_case "dual involution" `Quick test_dual_involution;
+          Alcotest.test_case "transistor counts" `Quick test_transistor_counts;
+          Alcotest.test_case "s27 count" `Quick test_s27_transistor_count;
+        ] );
+      ( "deck",
+        [
+          Alcotest.test_case "structure" `Quick test_deck_structure;
+          Alcotest.test_case "balanced P/N" `Quick test_deck_balanced_pn;
+          Alcotest.test_case "widths" `Quick test_deck_uses_widths;
+          Alcotest.test_case "rejects sequential" `Quick
+            test_deck_rejects_sequential;
+          Alcotest.test_case "input sources" `Quick test_deck_input_sources;
+        ] );
+      ( "sequential sim",
+        [
+          Alcotest.test_case "input rates" `Quick
+            test_seq_sim_combinational_input_rates;
+          Alcotest.test_case "toggle register" `Quick test_seq_sim_counter_state;
+          Alcotest.test_case "sticky zero state" `Quick
+            test_seq_sim_constant_state;
+          Alcotest.test_case "deterministic" `Quick test_seq_sim_deterministic;
+          Alcotest.test_case "profile usable" `Quick test_seq_sim_profile_usable;
+          Alcotest.test_case "flow engine" `Quick test_seq_sim_flow_engine;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+(* Tests for bounded-fanin decomposition and BDD equivalence checking,
+   which validate each other. *)
+
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Tech_map = Dcopt_netlist.Tech_map
+module Generator = Dcopt_netlist.Generator
+module Patterns = Dcopt_netlist.Patterns
+module Equiv = Dcopt_activity.Equiv
+
+let wide_gate kind fanin =
+  let inputs = List.init fanin (fun i -> (Printf.sprintf "x%d" i, Gate.Input, [])) in
+  Circuit.create ~name:"wide"
+    ~nodes:(inputs @ [ ("y", kind, List.init fanin (Printf.sprintf "x%d")) ])
+    ~outputs:[ "y" ]
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence checker                                                 *)
+
+let test_equiv_self () =
+  let c = Patterns.ripple_carry_adder ~bits:4 in
+  Alcotest.(check bool) "self-equivalent" true (Equiv.equivalent c c)
+
+let test_equiv_de_morgan () =
+  let base =
+    Circuit.create ~name:"a"
+      ~nodes:
+        [ ("p", Gate.Input, []); ("q", Gate.Input, []);
+          ("y", Gate.Nand, [ "p"; "q" ]) ]
+      ~outputs:[ "y" ]
+  in
+  let rewritten =
+    Circuit.create ~name:"b"
+      ~nodes:
+        [ ("p", Gate.Input, []); ("q", Gate.Input, []);
+          ("np", Gate.Not, [ "p" ]); ("nq", Gate.Not, [ "q" ]);
+          ("y", Gate.Or, [ "np"; "nq" ]) ]
+      ~outputs:[ "y" ]
+  in
+  Alcotest.(check bool) "nand = or of nots" true
+    (Equiv.equivalent base rewritten)
+
+let test_equiv_detects_difference () =
+  let a = wide_gate Gate.And 3 in
+  let b = wide_gate Gate.Or 3 in
+  match Equiv.check a b with
+  | Equiv.Different { output_index; witness } ->
+    Alcotest.(check int) "first output" 0 output_index;
+    (* the witness must actually distinguish them *)
+    let va = (Circuit.output_values a witness).(0) in
+    let vb = (Circuit.output_values b witness).(0) in
+    Alcotest.(check bool) "witness distinguishes" true (va <> vb)
+  | _ -> Alcotest.fail "expected Different"
+
+let test_equiv_interface_mismatch () =
+  let a = wide_gate Gate.And 2 in
+  let b = wide_gate Gate.And 3 in
+  match Equiv.check a b with
+  | Equiv.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "expected Inconclusive on interface mismatch"
+
+let test_equiv_input_order_independent () =
+  (* same function, inputs declared in a different order *)
+  let a =
+    Circuit.create ~name:"a"
+      ~nodes:
+        [ ("p", Gate.Input, []); ("q", Gate.Input, []);
+          ("y", Gate.And, [ "p"; "q" ]) ]
+      ~outputs:[ "y" ]
+  in
+  let b =
+    Circuit.create ~name:"b"
+      ~nodes:
+        [ ("q", Gate.Input, []); ("p", Gate.Input, []);
+          ("y", Gate.And, [ "q"; "p" ]) ]
+      ~outputs:[ "y" ]
+  in
+  Alcotest.(check bool) "order independent" true (Equiv.equivalent a b)
+
+let test_equiv_node_limit () =
+  let c = Patterns.array_multiplier ~bits:5 in
+  match Equiv.check ~node_limit:10 c c with
+  | Equiv.Inconclusive _ -> ()
+  | _ -> Alcotest.fail "expected blow-up report"
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                       *)
+
+let test_decompose_bounds_fanin () =
+  List.iter
+    (fun kind ->
+      let c = wide_gate kind 7 in
+      let d = Tech_map.decompose ~max_fanin:2 c in
+      Alcotest.(check bool) "bounded" true (Tech_map.max_gate_fanin d <= 2);
+      Alcotest.(check bool)
+        (Gate.to_string kind ^ " equivalent")
+        true (Equiv.equivalent c d))
+    [ Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Xnor ]
+
+let test_decompose_noop_when_within_bound () =
+  let c = Patterns.ripple_carry_adder ~bits:3 in
+  let d = Tech_map.decompose ~max_fanin:4 c in
+  Alcotest.(check int) "no new gates" (Circuit.gate_count c)
+    (Circuit.gate_count d);
+  Alcotest.(check bool) "equivalent" true (Equiv.equivalent c d)
+
+let test_decompose_preserves_outputs () =
+  let c = wide_gate Gate.Nand 6 in
+  let d = Tech_map.decompose ~max_fanin:3 c in
+  Alcotest.(check int) "one output" 1 (Array.length (Circuit.outputs d));
+  Alcotest.(check string) "same output name" "y"
+    (Circuit.node d (Circuit.outputs d).(0)).Circuit.name
+
+let test_decompose_rejects_bad_bound () =
+  match Tech_map.decompose ~max_fanin:1 (wide_gate Gate.And 3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let decompose_equivalence_property =
+  QCheck.Test.make
+    ~name:"decomposition preserves the function of random circuits"
+    ~count:40
+    QCheck.(pair (int_bound 10_000) (int_range 2 4))
+    (fun (seed, k) ->
+      let c =
+        Circuit.combinational_core
+          (Generator.generate
+             {
+               Generator.profile_name = "tm";
+               primary_inputs = 6;
+               primary_outputs = 3;
+               flip_flops = 2;
+               gates = 40;
+               logic_depth = 5;
+               seed = Some (Int64.of_int seed);
+             })
+      in
+      let d = Tech_map.decompose ~max_fanin:k c in
+      Tech_map.max_gate_fanin d <= k && Equiv.equivalent c d)
+
+let test_decompose_suite_circuit () =
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.find "s298") in
+  let d = Tech_map.decompose ~max_fanin:2 c in
+  Alcotest.(check bool) "bounded at 2" true (Tech_map.max_gate_fanin d <= 2);
+  Alcotest.(check bool) "still equivalent" true (Equiv.equivalent c d);
+  Alcotest.(check bool) "more gates" true
+    (Circuit.gate_count d > Circuit.gate_count c);
+  (* the decomposed circuit must still optimize end to end *)
+  let p = Dcopt_core.Flow.prepare d in
+  match Dcopt_core.Flow.run_joint p with
+  | Some sol ->
+    Alcotest.(check bool) "optimizable" true (Dcopt_opt.Solution.feasible sol)
+  | None -> Alcotest.fail "decomposed circuit should close timing"
+
+(* ------------------------------------------------------------------ *)
+(* Pruning                                                             *)
+
+let test_prune_removes_dead_cone () =
+  let c =
+    Circuit.create ~name:"dead"
+      ~nodes:
+        [
+          ("a", Gate.Input, []); ("b", Gate.Input, []);
+          ("live", Gate.And, [ "a"; "b" ]);
+          ("dead1", Gate.Or, [ "a"; "b" ]);
+          ("dead2", Gate.Not, [ "dead1" ]);
+        ]
+      ~outputs:[ "live" ]
+  in
+  let p = Tech_map.prune c in
+  Alcotest.(check int) "one gate left" 1 (Circuit.gate_count p);
+  Alcotest.(check int) "inputs kept" 2 (Array.length (Circuit.inputs p));
+  Alcotest.(check bool) "still equivalent" true (Equiv.equivalent c p)
+
+let test_prune_keeps_dff_cones () =
+  let c =
+    Circuit.create ~name:"seqdead"
+      ~nodes:
+        [
+          ("a", Gate.Input, []);
+          ("ff", Gate.Dff, [ "g" ]);
+          ("g", Gate.Not, [ "a" ]); (* feeds only the DFF: must survive *)
+          ("out", Gate.Buf, [ "ff" ]);
+        ]
+      ~outputs:[ "out" ]
+  in
+  let p = Tech_map.prune c in
+  Alcotest.(check int) "nothing removed" (Circuit.size c) (Circuit.size p)
+
+let test_prune_idempotent_on_clean () =
+  let c = Patterns.ripple_carry_adder ~bits:4 in
+  let p = Tech_map.prune c in
+  Alcotest.(check int) "same size" (Circuit.size c) (Circuit.size p)
+
+let prune_equivalence_property =
+  QCheck.Test.make ~name:"pruning preserves the visible function" ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let c =
+        Circuit.combinational_core
+          (Generator.generate
+             {
+               Generator.profile_name = "pr";
+               primary_inputs = 5;
+               primary_outputs = 3;
+               flip_flops = 2;
+               gates = 35;
+               logic_depth = 5;
+               seed = Some (Int64.of_int seed);
+             })
+      in
+      let p = Tech_map.prune c in
+      Circuit.gate_count p <= Circuit.gate_count c && Equiv.equivalent c p)
+
+let () =
+  Alcotest.run "techmap_equiv"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "self" `Quick test_equiv_self;
+          Alcotest.test_case "de morgan" `Quick test_equiv_de_morgan;
+          Alcotest.test_case "detects difference" `Quick
+            test_equiv_detects_difference;
+          Alcotest.test_case "interface mismatch" `Quick
+            test_equiv_interface_mismatch;
+          Alcotest.test_case "input order" `Quick
+            test_equiv_input_order_independent;
+          Alcotest.test_case "node limit" `Quick test_equiv_node_limit;
+        ] );
+      ( "decomposition",
+        [
+          Alcotest.test_case "bounds fanin" `Quick test_decompose_bounds_fanin;
+          Alcotest.test_case "no-op within bound" `Quick
+            test_decompose_noop_when_within_bound;
+          Alcotest.test_case "preserves outputs" `Quick
+            test_decompose_preserves_outputs;
+          Alcotest.test_case "rejects bad bound" `Quick
+            test_decompose_rejects_bad_bound;
+          QCheck_alcotest.to_alcotest decompose_equivalence_property;
+          Alcotest.test_case "suite circuit" `Slow test_decompose_suite_circuit;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "removes dead cone" `Quick
+            test_prune_removes_dead_cone;
+          Alcotest.test_case "keeps dff cones" `Quick test_prune_keeps_dff_cones;
+          Alcotest.test_case "idempotent on clean" `Quick
+            test_prune_idempotent_on_clean;
+          QCheck_alcotest.to_alcotest prune_equivalence_property;
+        ] );
+    ]

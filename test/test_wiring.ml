@@ -1,0 +1,119 @@
+module Wire = Dcopt_wiring.Wire_model
+module Tech = Dcopt_device.Tech
+
+let tech = Tech.default
+let model = Wire.create ~tech ~gate_count:200 ()
+
+let test_density_support () =
+  Alcotest.(check (float 0.0)) "zero below 1" 0.0 (Wire.density model 0.5);
+  Alcotest.(check (float 0.0)) "zero beyond 2 sqrt N" 0.0
+    (Wire.density model (Wire.max_length_pitches model +. 1.0));
+  Alcotest.(check bool) "positive inside" true (Wire.density model 2.0 > 0.0)
+
+let test_density_continuous_at_boundary () =
+  (* Davis's two regions join at l = sqrt N *)
+  let root_n = sqrt 200.0 in
+  let below = Wire.density model (root_n -. 1e-6) in
+  let above = Wire.density model (root_n +. 1e-6) in
+  Alcotest.(check bool) "continuous" true
+    (Float.abs (below -. above) /. Float.max below above < 1e-3)
+
+let test_density_decreasing_tail () =
+  (* region II falls to zero at 2 sqrt N *)
+  let l_max = Wire.max_length_pitches model in
+  let near_end = Wire.density model (l_max -. 0.01) in
+  let mid_tail = Wire.density model (l_max *. 0.75) in
+  Alcotest.(check bool) "falls toward the end" true (near_end < mid_tail);
+  Alcotest.(check bool) "vanishes at end" true
+    (Wire.density model l_max < 1e-9 *. mid_tail +. 1e-30)
+
+let test_mean_in_range () =
+  let mean = Wire.mean_point_to_point_pitches model in
+  Alcotest.(check bool) "at least one pitch" true (mean >= 1.0);
+  Alcotest.(check bool) "below max" true (mean < Wire.max_length_pitches model)
+
+let test_mean_grows_with_gate_count () =
+  let small = Wire.create ~tech ~gate_count:50 () in
+  let large = Wire.create ~tech ~gate_count:5000 () in
+  Alcotest.(check bool) "bigger block, longer wires" true
+    (Wire.mean_point_to_point_pitches large
+    > Wire.mean_point_to_point_pitches small)
+
+let test_mean_grows_with_rent_exponent () =
+  let local = Wire.create ~rent_p:0.45 ~tech ~gate_count:1000 () in
+  let global = Wire.create ~rent_p:0.75 ~tech ~gate_count:1000 () in
+  Alcotest.(check bool) "higher p, longer wires" true
+    (Wire.mean_point_to_point_pitches global
+    > Wire.mean_point_to_point_pitches local)
+
+let test_net_length_monotone_in_fanout () =
+  let prev = ref 0.0 in
+  List.iter
+    (fun f ->
+      let l = Wire.net_length model ~fanout:f in
+      Alcotest.(check bool) "increasing" true (l > !prev);
+      prev := l)
+    [ 1; 2; 3; 4; 8; 16 ]
+
+let test_net_length_sublinear () =
+  let l1 = Wire.net_length model ~fanout:1 in
+  let l4 = Wire.net_length model ~fanout:4 in
+  Alcotest.(check bool) "sublinear growth" true (l4 < 4.0 *. l1 && l4 > l1)
+
+let test_electrical_consistency () =
+  let f = 3 in
+  let l = Wire.net_length model ~fanout:f in
+  Alcotest.(check (float 1e-25)) "cap" (l *. tech.Tech.wire_cap_per_m)
+    (Wire.net_capacitance model ~fanout:f);
+  Alcotest.(check (float 1e-9)) "res" (l *. tech.Tech.wire_res_per_m)
+    (Wire.net_resistance model ~fanout:f);
+  Alcotest.(check (float 1e-20)) "flight" (l /. tech.Tech.wire_velocity)
+    (Wire.flight_time model ~fanout:f)
+
+let test_rc_delay () =
+  let sink = 5e-15 in
+  let d = Wire.distributed_rc_delay model ~fanout:2 ~sink_cap:sink in
+  let expected =
+    Wire.net_resistance model ~fanout:2
+    *. (sink +. (Wire.net_capacitance model ~fanout:2 /. 2.0))
+  in
+  Alcotest.(check (float 1e-20)) "half-C distributed" expected d
+
+let test_magnitudes_sane () =
+  (* a ~200-gate 0.35um block: nets of tens of microns, fF-class caps *)
+  let l = Wire.net_length model ~fanout:2 in
+  Alcotest.(check bool) "microns" true (l > 1e-6 && l < 1e-3);
+  let c = Wire.net_capacitance model ~fanout:2 in
+  Alcotest.(check bool) "femtofarads" true (c > 1e-16 && c < 1e-13)
+
+let density_positive_property =
+  QCheck.Test.make ~name:"density non-negative everywhere" ~count:200
+    QCheck.(float_bound_inclusive 40.0)
+    (fun l -> Wire.density model l >= 0.0)
+
+let () =
+  Alcotest.run "wiring"
+    [
+      ( "distribution",
+        [
+          Alcotest.test_case "support" `Quick test_density_support;
+          Alcotest.test_case "region boundary" `Quick
+            test_density_continuous_at_boundary;
+          Alcotest.test_case "tail" `Quick test_density_decreasing_tail;
+          Alcotest.test_case "mean range" `Quick test_mean_in_range;
+          Alcotest.test_case "mean vs N" `Quick test_mean_grows_with_gate_count;
+          Alcotest.test_case "mean vs p" `Quick
+            test_mean_grows_with_rent_exponent;
+          QCheck_alcotest.to_alcotest density_positive_property;
+        ] );
+      ( "nets",
+        [
+          Alcotest.test_case "fanout monotone" `Quick
+            test_net_length_monotone_in_fanout;
+          Alcotest.test_case "sublinear" `Quick test_net_length_sublinear;
+          Alcotest.test_case "electrical consistency" `Quick
+            test_electrical_consistency;
+          Alcotest.test_case "rc delay" `Quick test_rc_delay;
+          Alcotest.test_case "magnitudes" `Quick test_magnitudes_sane;
+        ] );
+    ]
