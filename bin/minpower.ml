@@ -5,6 +5,7 @@
      minpower optimize path/to/netlist.bench --fc 200e6 --activity 0.3
      minpower baseline s382 --vt 0.7
      minpower compare s400
+     minpower profile s298 --trace trace.json --metrics
      minpower stats s510
      minpower list *)
 
@@ -13,16 +14,57 @@ module Solution = Dcopt_opt.Solution
 module Suite = Dcopt_suite.Suite
 module Circuit = Dcopt_netlist.Circuit
 module Stats = Dcopt_netlist.Circuit_stats
+module Span = Dcopt_obs.Span
+module Metrics = Dcopt_obs.Metrics
+module Telemetry = Dcopt_obs.Telemetry
+module Clock = Dcopt_obs.Clock
+module Si = Dcopt_util.Si
+module Text_table = Dcopt_util.Text_table
 open Cmdliner
 
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+(* Observability plumbing shared by every subcommand: the Logs reporter
+   with -v/--verbosity, --trace FILE (enables span recording and writes a
+   Chrome trace at exit) and --metrics (prints the metrics registry at
+   exit). *)
 
-let verbose_arg =
-  let doc = "Print flow progress (budgeting, repair, optima) to stderr." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+type obs = { trace : string option; metrics : bool }
+
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Record hierarchical spans of the run and write them as Chrome \
+       trace-event JSON to $(docv) (open in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Print the global metrics registry (counters and histograms with \
+       quantiles) when the command finishes."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let setup level trace metrics =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level level;
+    if trace <> None then Span.set_enabled true;
+    { trace; metrics }
+  in
+  Term.(const setup $ Logs_cli.level () $ trace_arg $ metrics_arg)
+
+let finish obs code =
+  if obs.metrics then print_string (Metrics.render ());
+  match obs.trace with
+  | None -> code
+  | Some path -> (
+    try
+      Span.write_chrome path;
+      Logs.app (fun m -> m "wrote Chrome trace to %s" path);
+      code
+    with Sys_error msg ->
+      Logs.err (fun m -> m "cannot write trace: %s" msg);
+      if code = 0 then 1 else code)
 
 let load_circuit spec =
   if Sys.file_exists spec then Dcopt_netlist.Bench_format.parse_file spec
@@ -110,101 +152,248 @@ let print_solution p = function
     1
 
 let optimize_cmd =
-  let run spec fc activity probability m_steps exact grid n_vt verbose tech =
-    setup_logs verbose;
+  let run spec fc activity probability m_steps exact grid n_vt tech obs =
     let config = config_of ?tech fc activity probability m_steps exact in
-    with_prepared spec config (fun p ->
-        let sol =
-          if n_vt > 1 then Flow.run_multi_vt ~n_vt p
-          else
-            Flow.run_joint
-              ~strategy:
-                (if grid then Dcopt_opt.Heuristic.Grid_refine
-                 else Dcopt_opt.Heuristic.Paper_binary)
-              p
-        in
-        print_solution p sol)
+    finish obs
+      (with_prepared spec config (fun p ->
+           let sol =
+             if n_vt > 1 then Flow.run_multi_vt ~n_vt p
+             else
+               Flow.run_joint
+                 ~strategy:
+                   (if grid then Dcopt_opt.Heuristic.Grid_refine
+                    else Dcopt_opt.Heuristic.Paper_binary)
+                 p
+           in
+           print_solution p sol))
   in
   let doc = "Jointly optimize Vdd, Vt and device widths (Procedure 2)." in
   Cmd.v
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ verbose_arg
-      $ tech_arg)
+      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ tech_arg $ obs_term)
 
 let baseline_cmd =
-  let run spec fc activity probability m_steps exact vt =
+  let run spec fc activity probability m_steps exact vt obs =
     let config = config_of fc activity probability m_steps exact in
-    with_prepared spec config (fun p ->
-        print_solution p (Flow.run_baseline ~vt p))
+    finish obs
+      (with_prepared spec config (fun p ->
+           print_solution p (Flow.run_baseline ~vt p)))
   in
   let doc = "Optimize only Vdd and widths at a fixed threshold (Table 1)." in
   Cmd.v
     (Cmd.info "baseline" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ vt_arg)
+      $ m_steps_arg $ exact_arg $ vt_arg $ obs_term)
 
 let compare_cmd =
-  let run spec fc activity probability m_steps exact vt =
+  let run spec fc activity probability m_steps exact vt obs =
     let config = config_of fc activity probability m_steps exact in
-    with_prepared spec config (fun p ->
-        let base = Flow.run_baseline ~vt p in
-        let joint =
-          Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
-        in
-        match (base, joint) with
-        | Some base, Some joint ->
-          print_endline (Flow.report p base);
-          print_endline "";
-          print_endline (Flow.report p joint);
-          Printf.printf "\npower savings: %.1fx\n"
-            (Solution.savings ~baseline:base joint);
-          0
-        | None, _ ->
-          print_endline "baseline infeasible at this threshold/frequency";
-          1
-        | _, None ->
-          print_endline "joint optimization infeasible";
-          1)
+    finish obs
+      (with_prepared spec config (fun p ->
+           let base = Flow.run_baseline ~vt p in
+           let joint =
+             Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+           in
+           match (base, joint) with
+           | Some base, Some joint ->
+             print_endline (Flow.report p base);
+             print_endline "";
+             print_endline (Flow.report p joint);
+             Printf.printf "\npower savings: %.1fx\n"
+               (Solution.savings ~baseline:base joint);
+             0
+           | None, _ ->
+             print_endline "baseline infeasible at this threshold/frequency";
+             1
+           | _, None ->
+             print_endline "joint optimization infeasible";
+             1))
   in
   let doc = "Run baseline and joint optimization and report the savings." in
   Cmd.v
     (Cmd.info "compare" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ vt_arg)
+      $ m_steps_arg $ exact_arg $ vt_arg $ obs_term)
+
+(* profile: run one optimizer end-to-end with tracing forced on and print
+   where the time and the iterations went. *)
+
+let ns_pct part whole =
+  if Int64.compare whole 0L <= 0 then 0.0
+  else 100.0 *. Int64.to_float part /. Int64.to_float whole
+
+let print_phase_breakdown ~wall_ns =
+  let spans =
+    List.sort
+      (fun a b -> Int64.compare a.Span.start_ns b.Span.start_ns)
+      (Span.spans ())
+  in
+  let table = Text_table.create ~headers:[ "Phase"; "Time"; "% of wall" ] in
+  Text_table.set_align table [ Text_table.Left; Text_table.Right;
+                               Text_table.Right ];
+  List.iter
+    (fun s ->
+      Text_table.add_row table
+        [
+          String.make (2 * s.Span.depth) ' ' ^ s.Span.name;
+          Si.format ~unit:"s" (Clock.ns_to_s s.Span.dur_ns);
+          Printf.sprintf "%.1f%%" (ns_pct s.Span.dur_ns wall_ns);
+        ])
+    spans;
+  let accounted = Span.top_level_total_ns () in
+  Text_table.add_separator table;
+  Text_table.add_row table
+    [
+      "total (top-level spans)";
+      Si.format ~unit:"s" (Clock.ns_to_s accounted);
+      Printf.sprintf "%.1f%%" (ns_pct accounted wall_ns);
+    ];
+  Text_table.print table;
+  Printf.printf "spans account for %s of %s wall clock (%.1f%%)\n\n"
+    (Si.format ~unit:"s" (Clock.ns_to_s accounted))
+    (Si.format ~unit:"s" (Clock.ns_to_s wall_ns))
+    (ns_pct accounted wall_ns)
+
+let print_iteration_summary recorder =
+  let its = Telemetry.iterations recorder in
+  if Array.length its = 0 then
+    print_endline "no optimizer iterations recorded\n"
+  else begin
+    let order = ref [] in
+    let by_name : (string, Telemetry.iteration list ref) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    Array.iter
+      (fun it ->
+        let name = it.Telemetry.optimizer in
+        (match Hashtbl.find_opt by_name name with
+        | Some r -> r := it :: !r
+        | None ->
+          Hashtbl.add by_name name (ref [ it ]);
+          order := name :: !order))
+      its;
+    let table =
+      Text_table.create
+        ~headers:
+          [ "Optimizer"; "Trials"; "Feasible"; "Best energy"; "Best Vdd (V)";
+            "Best Vt (mV)" ]
+    in
+    List.iter
+      (fun name ->
+        let its = List.rev !(Hashtbl.find by_name name) in
+        let feasible = List.filter (fun it -> it.Telemetry.feasible) its in
+        let best =
+          List.fold_left
+            (fun acc it ->
+              match acc with
+              | Some b when b.Telemetry.total_energy <= it.Telemetry.total_energy
+                -> acc
+              | _ -> Some it)
+            None feasible
+        in
+        Text_table.add_row table
+          [
+            name;
+            string_of_int (List.length its);
+            string_of_int (List.length feasible);
+            (match best with
+            | Some b -> Si.format ~unit:"J" b.Telemetry.total_energy
+            | None -> "-");
+            (match best with
+            | Some b -> Printf.sprintf "%.2f" b.Telemetry.vdd
+            | None -> "-");
+            (match best with
+            | Some b -> Printf.sprintf "%.0f" (b.Telemetry.vt *. 1000.0)
+            | None -> "-");
+          ])
+      (List.rev !order);
+    Text_table.print table;
+    print_newline ()
+  end
+
+let profile_cmd =
+  let run spec fc activity probability m_steps exact optimizer tech obs =
+    Span.set_enabled true;
+    Span.reset ();
+    let config = config_of ?tech fc activity probability m_steps exact in
+    let t0 = Clock.now_ns () in
+    finish obs
+      (with_prepared spec config (fun p ->
+           let recorder = Telemetry.recorder () in
+           let observer =
+             Telemetry.tee (Telemetry.record recorder) (Telemetry.to_metrics ())
+           in
+           let sol =
+             match optimizer with
+             | `Joint -> Flow.run_joint ~observer p
+             | `Baseline -> Flow.run_baseline ~observer p
+             | `Tilos -> Flow.run_tilos ~observer p
+             | `Annealing -> Flow.run_annealing ~observer p
+           in
+           let wall_ns = Int64.sub (Clock.now_ns ()) t0 in
+           print_phase_breakdown ~wall_ns;
+           print_iteration_summary recorder;
+           print_solution p sol))
+  in
+  let doc =
+    "Run a circuit through the full flow with span tracing forced on and \
+     print the phase time breakdown and optimizer convergence summary \
+     (combine with $(b,--trace) and $(b,--metrics))."
+  in
+  let optimizer =
+    let doc =
+      "Optimizer to profile: $(b,joint), $(b,baseline), $(b,tilos) or \
+       $(b,annealing)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("joint", `Joint); ("baseline", `Baseline); ("tilos", `Tilos);
+               ("annealing", `Annealing) ])
+          `Joint
+      & info [ "optimizer" ] ~docv:"NAME" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
+      $ m_steps_arg $ exact_arg $ optimizer $ tech_arg $ obs_term)
 
 let stats_cmd =
-  let run spec =
-    match load_circuit spec with
-    | exception Not_found ->
-      Printf.eprintf "unknown circuit %S\n" spec;
-      1
-    | circuit ->
-      print_endline (Stats.to_string (Stats.compute circuit));
-      let core = Circuit.combinational_core circuit in
-      print_endline ("core: " ^ Stats.to_string (Stats.compute core));
-      0
+  let run spec obs =
+    finish obs
+      (match load_circuit spec with
+      | exception Not_found ->
+        Printf.eprintf "unknown circuit %S\n" spec;
+        1
+      | circuit ->
+        print_endline (Stats.to_string (Stats.compute circuit));
+        let core = Circuit.combinational_core circuit in
+        print_endline ("core: " ^ Stats.to_string (Stats.compute core));
+        0)
   in
   let doc = "Print structural statistics of a circuit." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ circuit_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ circuit_arg $ obs_term)
 
 let list_cmd =
-  let run () =
+  let run obs =
     List.iter
       (fun name ->
         let c = Suite.find name in
         Printf.printf "%-6s %s\n" name (Stats.to_string (Stats.compute c)))
       Suite.names;
-    0
+    finish obs 0
   in
   let doc = "List the built-in benchmark circuits." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ obs_term)
 
 let body_bias_cmd =
-  let run vt =
+  let run vt obs =
     let tech = Dcopt_device.Tech.default in
     (match Dcopt_device.Body_bias.bias_for_vt tech ~vt with
     | Some vsb ->
@@ -221,7 +410,7 @@ let body_bias_cmd =
         (vt *. 1000.0)
         (tech.Dcopt_device.Tech.vt_natural *. 1000.0)
         (Dcopt_device.Body_bias.max_reachable_vt tech *. 1000.0));
-    0
+    finish obs 0
   in
   let doc = "Translate an optimizer threshold into a static body bias." in
   let vt =
@@ -230,22 +419,23 @@ let body_bias_cmd =
       & pos 0 (some float) None
       & info [] ~docv:"VT" ~doc:"Target threshold, V.")
   in
-  Cmd.v (Cmd.info "body-bias" ~doc) Term.(const run $ vt)
+  Cmd.v (Cmd.info "body-bias" ~doc) Term.(const run $ vt $ obs_term)
 
 let dump_cmd =
-  let run spec max_fanin =
-    match load_circuit spec with
-    | exception Not_found ->
-      Printf.eprintf "unknown circuit %S\n" spec;
-      1
-    | circuit ->
-      let circuit =
-        match max_fanin with
-        | Some k -> Dcopt_netlist.Tech_map.decompose ~max_fanin:k circuit
-        | None -> circuit
-      in
-      print_string (Dcopt_netlist.Bench_format.to_string circuit);
-      0
+  let run spec max_fanin obs =
+    finish obs
+      (match load_circuit spec with
+      | exception Not_found ->
+        Printf.eprintf "unknown circuit %S\n" spec;
+        1
+      | circuit ->
+        let circuit =
+          match max_fanin with
+          | Some k -> Dcopt_netlist.Tech_map.decompose ~max_fanin:k circuit
+          | None -> circuit
+        in
+        print_string (Dcopt_netlist.Bench_format.to_string circuit);
+        0)
   in
   let doc = "Write a circuit as ISCAS-89 .bench text to stdout." in
   let max_fanin =
@@ -255,53 +445,56 @@ let dump_cmd =
       & info [ "decompose" ] ~docv:"K"
           ~doc:"Decompose to gates of at most $(docv) fanins first.")
   in
-  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ circuit_arg $ max_fanin)
+  Cmd.v
+    (Cmd.info "dump" ~doc)
+    Term.(const run $ circuit_arg $ max_fanin $ obs_term)
 
 let pareto_cmd =
-  let run spec activity probability m_steps points fc_lo fc_hi =
+  let run spec activity probability m_steps points fc_lo fc_hi obs =
     let frequencies =
       Dcopt_util.Numeric.log_interp_points ~lo:fc_lo ~hi:fc_hi ~n:points
     in
-    match load_circuit spec with
-    | exception Not_found ->
-      Printf.eprintf "unknown circuit %S\n" spec;
-      1
-    | circuit ->
-      let table =
-        Dcopt_util.Text_table.create
-          ~headers:
-            [ "Clock"; "Vdd (V)"; "Vt (mV)"; "Energy/cycle"; "Power";
-              "Energy*Delay" ]
-      in
-      Array.iter
-        (fun fc ->
-          let config =
-            config_of fc activity probability m_steps false
-          in
-          let p = Flow.prepare ~config circuit in
-          match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
-          | None ->
-            Dcopt_util.Text_table.add_row table
-              [ Printf.sprintf "%.0f MHz" (fc /. 1e6); "-"; "-"; "-"; "-";
-                "infeasible" ]
-          | Some sol ->
-            let e = Solution.total_energy sol in
-            Dcopt_util.Text_table.add_row table
-              [
-                Printf.sprintf "%.0f MHz" (fc /. 1e6);
-                Printf.sprintf "%.2f" (Solution.vdd sol);
-                Printf.sprintf "%.0f"
-                  ((match Solution.vt_values sol with
-                   | v :: _ -> v
-                   | [] -> nan)
-                  *. 1000.0);
-                Dcopt_util.Si.format ~unit:"J" e;
-                Dcopt_util.Si.format ~unit:"W" (e *. fc);
-                Dcopt_util.Si.format ~unit:"Js" (e /. fc);
-              ])
-        frequencies;
-      Dcopt_util.Text_table.print table;
-      0
+    finish obs
+      (match load_circuit spec with
+      | exception Not_found ->
+        Printf.eprintf "unknown circuit %S\n" spec;
+        1
+      | circuit ->
+        let table =
+          Text_table.create
+            ~headers:
+              [ "Clock"; "Vdd (V)"; "Vt (mV)"; "Energy/cycle"; "Power";
+                "Energy*Delay" ]
+        in
+        Array.iter
+          (fun fc ->
+            let config = config_of fc activity probability m_steps false in
+            let p = Flow.prepare ~config circuit in
+            match
+              Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+            with
+            | None ->
+              Text_table.add_row table
+                [ Printf.sprintf "%.0f MHz" (fc /. 1e6); "-"; "-"; "-"; "-";
+                  "infeasible" ]
+            | Some sol ->
+              let e = Solution.total_energy sol in
+              Text_table.add_row table
+                [
+                  Printf.sprintf "%.0f MHz" (fc /. 1e6);
+                  Printf.sprintf "%.2f" (Solution.vdd sol);
+                  Printf.sprintf "%.0f"
+                    ((match Solution.vt_values sol with
+                     | v :: _ -> v
+                     | [] -> nan)
+                    *. 1000.0);
+                  Si.format ~unit:"J" e;
+                  Si.format ~unit:"W" (e *. fc);
+                  Si.format ~unit:"Js" (e /. fc);
+                ])
+          frequencies;
+        Text_table.print table;
+        0)
   in
   let doc = "Sweep the clock target and print the energy-performance \
              Pareto frontier of the joint optimizer." in
@@ -318,10 +511,10 @@ let pareto_cmd =
     (Cmd.info "pareto" ~doc)
     Term.(
       const run $ circuit_arg $ activity_arg $ probability_arg $ m_steps_arg
-      $ points $ fc_lo $ fc_hi)
+      $ points $ fc_lo $ fc_hi $ obs_term)
 
 let characterize_cmd =
-  let run vdd vt width =
+  let run vdd vt width obs =
     let tech = Dcopt_device.Tech.default in
     let cells =
       List.concat_map
@@ -334,7 +527,7 @@ let characterize_cmd =
           (Dcopt_netlist.Gate.Xor, 2) ]
     in
     print_string (Dcopt_device.Char_table.to_liberty cells);
-    0
+    finish obs 0
   in
   let doc = "Characterize the standard gate set at an operating point and \
              print liberty-flavoured lookup tables." in
@@ -347,27 +540,31 @@ let characterize_cmd =
   let width =
     Arg.(value & opt float 4.0 & info [ "width" ] ~docv:"W" ~doc:"Device width, w-units.")
   in
-  Cmd.v (Cmd.info "characterize" ~doc) Term.(const run $ vdd $ vt $ width)
+  Cmd.v
+    (Cmd.info "characterize" ~doc)
+    Term.(const run $ vdd $ vt $ width $ obs_term)
 
 let spice_cmd =
-  let run spec vdd vt optimize =
-    match load_circuit spec with
-    | exception Not_found ->
-      Printf.eprintf "unknown circuit %S\n" spec;
-      1
-    | circuit ->
-      let core = Circuit.combinational_core circuit in
-      let tech = Dcopt_device.Tech.default in
-      let widths =
-        if not optimize then None
-        else
-          let p = Flow.prepare circuit in
-          Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
-          |> Option.map (fun sol ->
-                 sol.Solution.design.Dcopt_opt.Power_model.widths)
-      in
-      print_string (Dcopt_device.Spice_export.deck ~vdd ~vt ?widths tech core);
-      0
+  let run spec vdd vt optimize obs =
+    finish obs
+      (match load_circuit spec with
+      | exception Not_found ->
+        Printf.eprintf "unknown circuit %S\n" spec;
+        1
+      | circuit ->
+        let core = Circuit.combinational_core circuit in
+        let tech = Dcopt_device.Tech.default in
+        let widths =
+          if not optimize then None
+          else
+            let p = Flow.prepare circuit in
+            Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+            |> Option.map (fun sol ->
+                   sol.Solution.design.Dcopt_opt.Power_model.widths)
+        in
+        print_string
+          (Dcopt_device.Spice_export.deck ~vdd ~vt ?widths tech core);
+        0)
   in
   let doc = "Expand the combinational core to transistors and print a \
              level-1 SPICE deck (sized from the optimizer with \
@@ -381,42 +578,46 @@ let spice_cmd =
   let optimize =
     Arg.(value & flag & info [ "optimize" ] ~doc:"Size widths with the joint optimizer first.")
   in
-  Cmd.v (Cmd.info "spice" ~doc) Term.(const run $ circuit_arg $ vdd $ vt $ optimize)
+  Cmd.v
+    (Cmd.info "spice" ~doc)
+    Term.(const run $ circuit_arg $ vdd $ vt $ optimize $ obs_term)
 
 let equiv_cmd =
-  let run spec_a spec_b =
-    match (load_circuit spec_a, load_circuit spec_b) with
-    | exception Not_found ->
-      Printf.eprintf "unknown circuit\n";
-      2
-    | a, b -> (
-      let core_a = Circuit.combinational_core a in
-      let core_b = Circuit.combinational_core b in
-      match Dcopt_activity.Equiv.check core_a core_b with
-      | Dcopt_activity.Equiv.Equivalent ->
-        print_endline "equivalent";
-        0
-      | Dcopt_activity.Equiv.Different { output_index; witness } ->
-        Printf.printf "DIFFERENT at output %d; witness inputs:\n" output_index;
-        Array.iteri
-          (fun i id ->
-            Printf.printf "  %s = %d\n"
-              (Circuit.node core_a id).Circuit.name
-              (if witness.(i) then 1 else 0))
-          (Circuit.inputs core_a);
-        1
-      | Dcopt_activity.Equiv.Inconclusive reason ->
-        Printf.printf "inconclusive: %s\n" reason;
-        2)
+  let run spec_a spec_b obs =
+    finish obs
+      (match (load_circuit spec_a, load_circuit spec_b) with
+      | exception Not_found ->
+        Printf.eprintf "unknown circuit\n";
+        2
+      | a, b -> (
+        let core_a = Circuit.combinational_core a in
+        let core_b = Circuit.combinational_core b in
+        match Dcopt_activity.Equiv.check core_a core_b with
+        | Dcopt_activity.Equiv.Equivalent ->
+          print_endline "equivalent";
+          0
+        | Dcopt_activity.Equiv.Different { output_index; witness } ->
+          Printf.printf "DIFFERENT at output %d; witness inputs:\n"
+            output_index;
+          Array.iteri
+            (fun i id ->
+              Printf.printf "  %s = %d\n"
+                (Circuit.node core_a id).Circuit.name
+                (if witness.(i) then 1 else 0))
+            (Circuit.inputs core_a);
+          1
+        | Dcopt_activity.Equiv.Inconclusive reason ->
+          Printf.printf "inconclusive: %s\n" reason;
+          2))
   in
   let doc = "Check two circuits for combinational equivalence (BDD-based; \
              inputs matched by name, outputs by position)." in
   let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First circuit.") in
   let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Second circuit.") in
-  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a $ b)
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a $ b $ obs_term)
 
 let tech_cmd =
-  let run scale_factor =
+  let run scale_factor obs =
     let tech = Dcopt_device.Tech.default in
     let tech =
       match scale_factor with
@@ -424,7 +625,7 @@ let tech_cmd =
       | None -> tech
     in
     print_string (Dcopt_device.Tech_io.to_string tech);
-    0
+    finish obs 0
   in
   let doc = "Print the default technology as an editable tech file \
              (optionally constant-field scaled)." in
@@ -434,7 +635,7 @@ let tech_cmd =
       & opt (some float) None
       & info [ "scale" ] ~docv:"F" ~doc:"Constant-field scale factor (< 1).")
   in
-  Cmd.v (Cmd.info "tech" ~doc) Term.(const run $ factor)
+  Cmd.v (Cmd.info "tech" ~doc) Term.(const run $ factor $ obs_term)
 
 let () =
   let doc =
@@ -445,6 +646,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ optimize_cmd; baseline_cmd; compare_cmd; stats_cmd; list_cmd;
-            body_bias_cmd; dump_cmd; pareto_cmd; characterize_cmd; spice_cmd;
-            tech_cmd; equiv_cmd ]))
+          [ optimize_cmd; baseline_cmd; compare_cmd; profile_cmd; stats_cmd;
+            list_cmd; body_bias_cmd; dump_cmd; pareto_cmd; characterize_cmd;
+            spice_cmd; tech_cmd; equiv_cmd ]))

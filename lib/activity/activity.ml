@@ -1,6 +1,18 @@
 module Circuit = Dcopt_netlist.Circuit
 module Gate = Dcopt_netlist.Gate
 module Bdd = Dcopt_bdd.Bdd
+module Span = Dcopt_obs.Span
+module Metrics = Dcopt_obs.Metrics
+
+let profile_counter =
+  Metrics.counter ~help:"activity profiles computed" "activity.profiles"
+
+let node_counter =
+  Metrics.counter ~help:"per-node activities computed" "activity.nodes_profiled"
+
+let count_profile circuit =
+  Metrics.incr profile_counter;
+  Metrics.incr ~by:(Circuit.size circuit) node_counter
 
 type input_spec = { probability : float; density : float }
 type profile = { probabilities : float array; densities : float array }
@@ -61,7 +73,10 @@ let check_specs circuit specs =
     specs
 
 let local_profile circuit specs =
+  Span.with_ "activity.first-order" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
   check_specs circuit specs;
+  count_profile circuit;
   let n = Circuit.size circuit in
   let probabilities = Array.make n 0.0 in
   let densities = Array.make n 0.0 in
@@ -94,6 +109,8 @@ let local_profile circuit specs =
   { probabilities; densities }
 
 let exact_profile ?(node_limit = 200_000) circuit specs =
+  Span.with_ "activity.bdd-exact" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
   check_specs circuit specs;
   let input_ids = Circuit.inputs circuit in
   let var_count = Array.length input_ids in
@@ -157,6 +174,7 @@ let exact_profile ?(node_limit = 200_000) circuit specs =
             (Bdd.support m funcs.(id));
           densities.(id) <- !d)
       (Circuit.topo_order circuit);
+    count_profile circuit;
     Some { probabilities; densities }
   with Bdd.Too_large _ -> None
 
@@ -166,8 +184,11 @@ let exact_profile ?(node_limit = 200_000) circuit specs =
    hitting a primary input); y's function over the frontier is built as a
    BDD, so any reconvergence inside the window is resolved exactly. *)
 let windowed_profile ?(window = 3) ?(node_limit = 20_000) circuit specs =
+  Span.with_ "activity.windowed" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
   if window < 1 then invalid_arg "Activity.windowed_profile: window < 1";
   check_specs circuit specs;
+  count_profile circuit;
   let n = Circuit.size circuit in
   let probabilities = Array.make n 0.0 in
   let densities = Array.make n 0.0 in

@@ -10,6 +10,7 @@ module Multi_vdd = Dcopt_opt.Multi_vdd
 module Solution = Dcopt_opt.Solution
 module Budget_repair = Dcopt_opt.Budget_repair
 module Tech = Dcopt_device.Tech
+module Span = Dcopt_obs.Span
 
 let log_src = Logs.Src.create "dcopt.flow" ~doc:"end-to-end optimization flow"
 
@@ -54,8 +55,19 @@ type prepared = {
   budget : Delay_assign.t;
 }
 
+let engine_name = function
+  | First_order -> "first-order"
+  | Exact_when_small -> "exact-when-small"
+  | Windowed _ -> "windowed"
+  | Monte_carlo _ -> "monte-carlo"
+  | Sequential_trace _ -> "sequential-trace"
+
 let prepare ?(config = default_config) circuit =
-  let core = Circuit.combinational_core circuit in
+  Span.with_ "flow.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
+  let core =
+    Span.with_ "core-extraction" (fun () -> Circuit.combinational_core circuit)
+  in
   let sequential_profile cycles seed =
     let r =
       Dcopt_sim.Seq_sim.simulate ~seed ~cycles
@@ -69,6 +81,8 @@ let prepare ?(config = default_config) circuit =
       ~density:config.input_density
   in
   let profile, used_exact_activity =
+    Span.with_ "activity" ~args:[ ("engine", engine_name config.engine) ]
+    @@ fun () ->
     match config.engine with
     | First_order -> (Activity.local_profile core specs, false)
     | Exact_when_small ->
@@ -92,13 +106,15 @@ let prepare ?(config = default_config) circuit =
       (sequential_profile cycles seed, false)
   in
   let env =
-    Power_model.make_env
-      ~include_short_circuit:config.include_short_circuit ~tech:config.tech
-      ~fc:config.clock_frequency core profile
+    Span.with_ "wire-load" (fun () ->
+        Power_model.make_env
+          ~include_short_circuit:config.include_short_circuit ~tech:config.tech
+          ~fc:config.clock_frequency core profile)
   in
   let budget =
-    Delay_assign.assign ~skew_factor:config.skew_factor core
-      ~cycle_time:(1.0 /. config.clock_frequency)
+    Span.with_ "budgeting" (fun () ->
+        Delay_assign.assign ~skew_factor:config.skew_factor core
+          ~cycle_time:(1.0 /. config.clock_frequency))
   in
   Log.info (fun m ->
       m "prepared %s: %d gates, depth %d, fc %.0f MHz, %d paths budgeted, %d fallback, %d slope-lifted"
@@ -129,20 +145,26 @@ let repaired_budgets p ~vt =
 
 let fast_budgets p = repaired_budgets p ~vt:p.config.tech.Tech.vt_min
 
-let run_baseline ?(vt = Baseline.default_vt) p =
-  match repaired_budgets p ~vt with
+let run_baseline ?observer ?(vt = Baseline.default_vt) p =
+  Span.with_ "optimize" ~args:[ ("optimizer", "baseline") ] @@ fun () ->
+  match Span.with_ "budget-repair" (fun () -> repaired_budgets p ~vt) with
   | None -> None
-  | Some budgets -> Baseline.optimize ~vt ~m_steps:p.config.m_steps p.env ~budgets
+  | Some budgets ->
+    Span.with_ "search" (fun () ->
+        Baseline.optimize ?observer ~vt ~m_steps:p.config.m_steps p.env
+          ~budgets)
 
-let run_joint ?(strategy = Heuristic.Paper_binary) p =
-  match fast_budgets p with
+let run_joint ?observer ?(strategy = Heuristic.Paper_binary) p =
+  Span.with_ "optimize" ~args:[ ("optimizer", "heuristic") ] @@ fun () ->
+  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
   | None -> None
   | Some budgets ->
     let sol =
-      Heuristic.optimize
-        ~options:
-          { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
-        p.env ~budgets
+      Span.with_ "search" (fun () ->
+          Heuristic.optimize ?observer
+            ~options:
+              { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
+            p.env ~budgets)
     in
     (match sol with
     | Some sol ->
@@ -156,23 +178,34 @@ let run_joint ?(strategy = Heuristic.Paper_binary) p =
     | None -> Log.warn (fun m -> m "joint optimization found no feasible design"));
     sol
 
-let run_annealing ?options p =
-  match fast_budgets p with
+let run_annealing ?observer ?options p =
+  Span.with_ "optimize" ~args:[ ("optimizer", "annealing") ] @@ fun () ->
+  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
   | None -> None
-  | Some budgets -> Annealing.optimize ?options p.env ~budgets
+  | Some budgets ->
+    Span.with_ "search" (fun () ->
+        Annealing.optimize ?observer ?options p.env ~budgets)
 
 let run_multi_vt ?(n_vt = 2) p =
-  match fast_budgets p with
+  Span.with_ "optimize" ~args:[ ("optimizer", "multi-vt") ] @@ fun () ->
+  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
   | None -> None
-  | Some budgets -> Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets
+  | Some budgets ->
+    Span.with_ "search" (fun () ->
+        Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets)
 
-let run_tilos p =
-  Dcopt_opt.Tilos.optimize ~m_steps:p.config.m_steps p.env
+let run_tilos ?observer p =
+  Span.with_ "optimize" ~args:[ ("optimizer", "tilos") ] @@ fun () ->
+  Span.with_ "search" (fun () ->
+      Dcopt_opt.Tilos.optimize ?observer ~m_steps:p.config.m_steps p.env)
 
 let run_multi_vdd p =
-  match fast_budgets p with
+  Span.with_ "optimize" ~args:[ ("optimizer", "multi-vdd") ] @@ fun () ->
+  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
   | None -> None
-  | Some budgets -> Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets
+  | Some budgets ->
+    Span.with_ "search" (fun () ->
+        Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets)
 
 let report p sol =
   Printf.sprintf "circuit %s (%d gates, depth %d)\n%s"

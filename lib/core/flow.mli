@@ -49,6 +49,11 @@ type prepared = {
 }
 
 val prepare : ?config:config -> Dcopt_netlist.Circuit.t -> prepared
+(** When {!Dcopt_obs.Span} tracing is enabled, [prepare] records a
+    "flow.prepare" span with "core-extraction", "activity", "wire-load"
+    and "budgeting" children, and every [run_*] function an "optimize"
+    span with "budget-repair"/"search" children — together the five flow
+    phases shown by [minpower profile]. *)
 
 val budgets : prepared -> float array
 (** The raw Procedure-1 per-gate budgets. *)
@@ -60,16 +65,21 @@ val repaired_budgets : prepared -> vt:float -> float array option
     joint optimizers at the fast corner ([vt_min]), the baseline at its
     pinned threshold. *)
 
-val run_baseline : ?vt:float -> prepared -> Dcopt_opt.Solution.t option
+val run_baseline :
+  ?observer:Dcopt_obs.Telemetry.observer ->
+  ?vt:float -> prepared -> Dcopt_opt.Solution.t option
 (** Table-1 baseline: fixed threshold (default 700 mV), Vdd and widths
     optimized. *)
 
 val run_joint :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?strategy:Dcopt_opt.Heuristic.strategy ->
   prepared -> Dcopt_opt.Solution.t option
-(** Procedure 2 (default [Paper_binary]). *)
+(** Procedure 2 (default [Paper_binary]). [observer] receives the
+    per-trial convergence stream ({!Dcopt_obs.Telemetry}). *)
 
 val run_annealing :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?options:Dcopt_opt.Annealing.options ->
   prepared -> Dcopt_opt.Solution.t option
 
@@ -79,7 +89,9 @@ val run_multi_vt : ?n_vt:int -> prepared -> Dcopt_opt.Solution.t option
 val run_multi_vdd : prepared -> Dcopt_opt.Multi_vdd.result option
 (** Dual-supply clustered-voltage-scaling extension. *)
 
-val run_tilos : prepared -> Dcopt_opt.Solution.t option
+val run_tilos :
+  ?observer:Dcopt_obs.Telemetry.observer ->
+  prepared -> Dcopt_opt.Solution.t option
 (** Budget-free TILOS sensitivity sizing (slower; typically finds lower
     energy than Procedure 2 because it never over-constrains individual
     gates). *)

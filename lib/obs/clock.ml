@@ -1,0 +1,10 @@
+let last = ref 0L
+
+let now_ns () =
+  let raw = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let t = if Int64.compare raw !last <= 0 then Int64.add !last 1L else raw in
+  last := t;
+  t
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+let ns_to_us ns = Int64.to_float ns *. 1e-3

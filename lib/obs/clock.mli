@@ -1,0 +1,16 @@
+(** Strictly increasing wall-clock time in nanoseconds.
+
+    Every call returns a value strictly larger than the previous one, so a
+    span closed immediately after it was opened still has a positive
+    duration and trace events never share a timestamp. The underlying
+    source is [Unix.gettimeofday]; backwards wall-clock jumps are clamped,
+    which makes the reading monotonic by construction. *)
+
+val now_ns : unit -> int64
+(** Current time in ns, strictly increasing across calls. *)
+
+val ns_to_s : int64 -> float
+(** Nanoseconds to seconds. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to microseconds (the unit of Chrome trace events). *)

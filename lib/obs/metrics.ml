@@ -1,0 +1,247 @@
+module Stats = Dcopt_util.Stats
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable data : float array; (* growable buffer; first [len] slots live *)
+  mutable len : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let help_texts : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let register name help make =
+  (match help with Some h -> Hashtbl.replace help_texts name h | None -> ());
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace registry name m;
+    m
+
+let counter ?help name =
+  match register name help (fun () -> Counter { count = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- c.count + by
+
+let value c = c.count
+
+let gauge ?help name =
+  match register name help (fun () -> Gauge { value = 0.0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+let histogram ?help name =
+  match
+    register name help (fun () ->
+        Histogram { data = Array.make 16 0.0; len = 0 })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ ->
+    invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let observe h x =
+  if h.len = Array.length h.data then begin
+    let bigger = Array.make (2 * Array.length h.data) 0.0 in
+    Array.blit h.data 0 bigger 0 h.len;
+    h.data <- bigger
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1
+
+let count h = h.len
+let samples h = Array.sub h.data 0 h.len
+
+let quantile h q =
+  if h.len = 0 then nan else Stats.quantile (samples h) q
+
+let buckets ?(base = 10.0) h =
+  if h.len = 0 then [||]
+  else begin
+    if not (base > 1.0) then invalid_arg "Metrics.buckets: base <= 1";
+    let xs = samples h in
+    let positives = Array.of_list (List.filter (fun x -> x > 0.0) (Array.to_list xs)) in
+    let non_positive = h.len - Array.length positives in
+    let log_floor x = Float.floor (log x /. log base) in
+    let bucket_ranges =
+      if Array.length positives = 0 then []
+      else begin
+        let lo, hi = Stats.min_max positives in
+        let e_lo = int_of_float (log_floor lo) in
+        let e_hi = int_of_float (log_floor hi) in
+        (* cap the bucket count so degenerate ranges stay printable *)
+        let e_lo = max e_lo (e_hi - 39) in
+        List.init (e_hi - e_lo + 1) (fun i ->
+            let e = e_lo + i in
+            (base ** float_of_int e, base ** float_of_int (e + 1)))
+      end
+    in
+    let count_in (lo, hi) =
+      Array.fold_left
+        (fun acc x -> if x >= lo && x < hi then acc + 1 else acc)
+        0 positives
+    in
+    let pos_buckets =
+      List.map (fun (lo, hi) -> (lo, hi, count_in (lo, hi))) bucket_ranges
+    in
+    (* samples below the capped lowest boundary land in the first bucket *)
+    let pos_buckets =
+      match pos_buckets with
+      | (lo, hi, c) :: rest ->
+        let below =
+          Array.fold_left
+            (fun acc x -> if x > 0.0 && x < lo then acc + 1 else acc)
+            0 positives
+        in
+        (lo, hi, c + below) :: rest
+      | [] -> []
+    in
+    let all =
+      if non_positive > 0 then
+        let first_bound =
+          match pos_buckets with (lo, _, _) :: _ -> lo | [] -> 1.0
+        in
+        (0.0, first_bound, non_positive) :: pos_buckets
+      else pos_buckets
+    in
+    Array.of_list all
+  end
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.value <- 0.0
+      | Histogram h -> h.len <- 0)
+    registry
+
+let sorted_metrics () =
+  List.map (fun name -> (name, Hashtbl.find registry name)) (names ())
+
+let format_value v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && v <> 0.0) then
+    Printf.sprintf "%.3g" v
+  else Printf.sprintf "%.4g" v
+
+let render () =
+  let table =
+    Dcopt_util.Text_table.create
+      ~headers:[ "Metric"; "Type"; "Count"; "Value/Mean"; "p50"; "p90"; "p99"; "Max" ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let row =
+        match m with
+        | Counter c ->
+          [ name; "counter"; string_of_int c.count; "-"; "-"; "-"; "-"; "-" ]
+        | Gauge g ->
+          [ name; "gauge"; "-"; format_value g.value; "-"; "-"; "-"; "-" ]
+        | Histogram h ->
+          if h.len = 0 then
+            [ name; "histogram"; "0"; "-"; "-"; "-"; "-"; "-" ]
+          else
+            let xs = samples h in
+            let _, hi = Stats.min_max xs in
+            [
+              name; "histogram"; string_of_int h.len;
+              format_value (Stats.mean xs);
+              format_value (Stats.quantile xs 0.5);
+              format_value (Stats.quantile xs 0.9);
+              format_value (Stats.quantile xs 0.99);
+              format_value hi;
+            ]
+      in
+      Dcopt_util.Text_table.add_row table row)
+    (sorted_metrics ());
+  Dcopt_util.Text_table.render table
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_json_lines () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      let help =
+        match Hashtbl.find_opt help_texts name with
+        | Some h -> Printf.sprintf ",\"help\":\"%s\"" (json_escape h)
+        | None -> ""
+      in
+      (match m with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"counter\",\"value\":%d%s}"
+             (json_escape name) c.count help)
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%s%s}"
+             (json_escape name) (json_float g.value) help)
+      | Histogram h ->
+        let xs = samples h in
+        let stats =
+          if h.len = 0 then "\"count\":0"
+          else
+            Printf.sprintf
+              "\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"min\":%s,\"max\":%s"
+              h.len
+              (json_float (Stats.mean xs))
+              (json_float (Stats.quantile xs 0.5))
+              (json_float (Stats.quantile xs 0.9))
+              (json_float (Stats.quantile xs 0.99))
+              (json_float (fst (Stats.min_max xs)))
+              (json_float (snd (Stats.min_max xs)))
+        in
+        let bucket_json =
+          buckets h |> Array.to_list
+          |> List.map (fun (lo, hi, c) ->
+                 Printf.sprintf "{\"lo\":%s,\"hi\":%s,\"count\":%d}"
+                   (json_float lo) (json_float hi) c)
+          |> String.concat ","
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"type\":\"histogram\",%s,\"buckets\":[%s]%s}"
+             (json_escape name) stats bucket_json help));
+      Buffer.add_char b '\n')
+    (sorted_metrics ());
+  Buffer.contents b

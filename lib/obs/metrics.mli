@@ -1,0 +1,73 @@
+(** Process-wide metrics registry: named counters, gauges and histograms.
+
+    Metrics are registered globally by name; creating the same name twice
+    returns the same instrument (creating it twice with different types
+    raises [Invalid_argument]). Recording is always on and cheap — a
+    counter bump is a hashtable-free field update once the instrument is in
+    hand — so library code can keep module-level instruments and update
+    them unconditionally.
+
+    Histograms keep their raw samples, so summaries are exact: quantiles
+    come from {!Dcopt_util.Stats.quantile} and the rendered distribution
+    uses log-scale buckets (successive powers of a fixed base), which suits
+    the heavy-tailed quantities this code base measures (energies, delays,
+    iteration counts). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> string -> counter
+(** Find-or-create the counter registered under this name. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1, must be >= 0) to the counter. *)
+
+val value : counter -> int
+
+val gauge : ?help:string -> string -> gauge
+(** Find-or-create the gauge registered under this name. *)
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?help:string -> string -> histogram
+(** Find-or-create the histogram registered under this name. *)
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+
+val samples : histogram -> float array
+(** Copy of all observed samples, in observation order. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in \[0, 1\]; linear interpolation between order
+    statistics; [nan] when the histogram is empty. *)
+
+val buckets : ?base:float -> histogram -> (float * float * int) array
+(** Log-scale bucket counts [(lo, hi, count)] with boundaries at integer
+    powers of [base] (default 10), covering the positive samples;
+    non-positive samples are collected in a leading [(0, smallest bound)]
+    bucket. Empty when no samples were observed. *)
+
+val names : unit -> string list
+(** All registered metric names, sorted. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (counters to 0, gauges to 0, histograms
+    emptied). Registration survives, so module-level instruments stay
+    valid — intended for tests and for the CLI between runs. *)
+
+val render : unit -> string
+(** All metrics as a fixed-width table ({!Dcopt_util.Text_table}):
+    counters and gauges with their value, histograms with count, mean,
+    p50/p90/p99 and max. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (used by the
+    JSON emitters here and in {!Span}). *)
+
+val to_json_lines : unit -> string
+(** One JSON object per line per metric, machine-readable:
+    [{"name":..., "type":"counter"|"gauge"|"histogram", ...}]. Histogram
+    lines carry count, mean, quantiles and log-scale buckets. *)

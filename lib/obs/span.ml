@@ -1,0 +1,98 @@
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  args : (string * string) list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* reverse completion order *)
+let completed : span list ref = ref []
+let open_depth = ref 0
+
+let with_ ?(args = []) name fn =
+  if not !enabled_flag then fn ()
+  else begin
+    let start_ns = Clock.now_ns () in
+    let depth = !open_depth in
+    incr open_depth;
+    let close () =
+      decr open_depth;
+      let dur_ns = Int64.sub (Clock.now_ns ()) start_ns in
+      assert (Int64.compare dur_ns 0L > 0);
+      completed := { name; start_ns; dur_ns; depth; args } :: !completed
+    in
+    match fn () with
+    | v ->
+      close ();
+      v
+    | exception e ->
+      close ();
+      raise e
+  end
+
+let reset () = completed := []
+
+let spans () = List.rev !completed
+
+let top_level_total_ns () =
+  List.fold_left
+    (fun acc s -> if s.depth = 0 then Int64.add acc s.dur_ns else acc)
+    0L !completed
+
+let roll_up () =
+  let order = ref [] in
+  let totals : (string, int * int64) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt totals s.name with
+      | None ->
+        order := s.name :: !order;
+        Hashtbl.replace totals s.name (1, s.dur_ns)
+      | Some (n, t) -> Hashtbl.replace totals s.name (n + 1, Int64.add t s.dur_ns))
+    (spans ());
+  List.rev_map
+    (fun name ->
+      let n, t = Hashtbl.find totals name in
+      (name, n, t))
+    !order
+
+let export_chrome () =
+  let spans = spans () in
+  let t0 =
+    List.fold_left
+      (fun acc s -> if Int64.compare s.start_ns acc < 0 then s.start_ns else acc)
+      (match spans with [] -> 0L | s :: _ -> s.start_ns)
+      spans
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      let args_json =
+        ("depth", string_of_int s.depth) :: s.args
+        |> List.map (fun (k, v) ->
+               Printf.sprintf "\"%s\":\"%s\"" (Metrics.json_escape k)
+                 (Metrics.json_escape v))
+        |> String.concat ","
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"dcopt\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+           (Metrics.json_escape s.name)
+           (Clock.ns_to_us (Int64.sub s.start_ns t0))
+           (Clock.ns_to_us s.dur_ns) args_json))
+    spans;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_chrome ()))

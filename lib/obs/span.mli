@@ -1,0 +1,56 @@
+(** Hierarchical wall-clock spans with a Chrome trace-event exporter.
+
+    Spans are recorded into a process-global buffer when tracing is
+    enabled; when disabled (the default) [with_] degenerates to calling
+    the wrapped function, so instrumented hot paths pay one branch and one
+    closure call. Nesting is tracked with a depth counter: a span opened
+    while another is running is its child, which is exactly the
+    time-containment relation the Chrome viewer reconstructs.
+
+    The exported JSON loads directly in [chrome://tracing] (or Perfetto):
+    one complete ("ph":"X") event per span on a single pid/tid. *)
+
+type span = {
+  name : string;
+  start_ns : int64;             (** {!Clock.now_ns} at open *)
+  dur_ns : int64;               (** strictly positive by construction *)
+  depth : int;                  (** 0 = top-level *)
+  args : (string * string) list; (** free-form annotations *)
+}
+
+val set_enabled : bool -> unit
+(** Turn recording on or off; off by default. Turning recording off does
+    not discard spans already recorded. *)
+
+val enabled : unit -> bool
+
+val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_ name fn] runs [fn ()]; when tracing is enabled the elapsed
+    interval is recorded as a span named [name], closed even when [fn]
+    raises. Raises [Assert_failure] if the recorded duration is not
+    strictly positive (cannot happen with {!Clock.now_ns}, which is
+    strictly increasing — the assertion guards against a broken clock
+    source). *)
+
+val reset : unit -> unit
+(** Discard all recorded spans (open spans keep nesting correctly). *)
+
+val spans : unit -> span list
+(** Completed spans in completion order (a parent therefore follows its
+    children). *)
+
+val top_level_total_ns : unit -> int64
+(** Sum of the durations of all depth-0 spans — the tracer's view of the
+    total accounted wall-clock time. *)
+
+val roll_up : unit -> (string * int * int64) list
+(** Per-name aggregation [(name, calls, total_ns)] over all completed
+    spans, ordered by first completion. *)
+
+val export_chrome : unit -> string
+(** All completed spans as Chrome trace-event JSON (a ["traceEvents"]
+    array of "X" events; timestamps in µs relative to the earliest
+    span). *)
+
+val write_chrome : string -> unit
+(** [write_chrome path] writes {!export_chrome} output to [path]. *)

@@ -1,0 +1,39 @@
+type iteration = {
+  optimizer : string;
+  index : int;
+  vdd : float;
+  vt : float;
+  static_energy : float;
+  dynamic_energy : float;
+  total_energy : float;
+  feasible : bool;
+}
+
+type observer = iteration -> unit
+
+let null : observer = fun _ -> ()
+let tee a b : observer = fun it -> a it; b it
+let relabel name obs : observer = fun it -> obs { it with optimizer = name }
+
+type recorder = { mutable items : iteration list; mutable n : int }
+
+let recorder () = { items = []; n = 0 }
+
+let record r : observer =
+ fun it ->
+  r.items <- it :: r.items;
+  r.n <- r.n + 1
+
+let iterations r = Array.of_list (List.rev r.items)
+let count r = r.n
+
+let to_metrics () : observer =
+ fun it ->
+  let prefix = "opt." ^ it.optimizer in
+  Metrics.incr (Metrics.counter (prefix ^ ".iterations"));
+  Metrics.observe (Metrics.histogram (prefix ^ ".iteration.vdd")) it.vdd;
+  if it.feasible then
+    Metrics.observe
+      (Metrics.histogram (prefix ^ ".iteration.total_energy"))
+      it.total_energy
+  else Metrics.incr (Metrics.counter (prefix ^ ".infeasible"))

@@ -69,8 +69,9 @@ let perturb env rng temperature design =
     fresh
   end
 
-let run_pass env ~budgets ~options rng =
+let run_pass ?observer ~move_index env ~budgets ~options rng =
   let tech = Power_model.tech env in
+  let gates = Power_model.gate_ids env in
   let n = Dcopt_netlist.Circuit.size (Power_model.circuit env) in
   let vt0 = 0.5 *. (tech.Tech.vt_min +. tech.Tech.vt_max) in
   let start =
@@ -99,6 +100,24 @@ let run_pass env ~budgets ~options rng =
   for _ = 1 to options.moves_per_pass do
     let candidate = perturb env rng !temperature !current in
     let c, e = cost env candidate in
+    (match observer with
+    | None -> ()
+    | Some obs ->
+      let index = !move_index in
+      move_index := index + 1;
+      obs
+        {
+          Dcopt_obs.Telemetry.optimizer = "annealing";
+          index;
+          vdd = candidate.Power_model.vdd;
+          vt =
+            (if Array.length gates = 0 then nan
+             else candidate.Power_model.vt.(gates.(0)));
+          static_energy = e.Power_model.static_energy;
+          dynamic_energy = e.Power_model.dynamic_energy;
+          total_energy = e.Power_model.total_energy;
+          feasible = e.Power_model.feasible;
+        });
     let accept =
       c <= !current_cost
       || Prng.float rng 1.0 < exp ((!current_cost -. c) /. !temperature)
@@ -120,11 +139,12 @@ let run_pass env ~budgets ~options rng =
   done;
   !best
 
-let optimize ?(options = default_options) env ~budgets =
+let optimize ?observer ?(options = default_options) env ~budgets =
   let rng = Prng.create options.seed in
   let best = ref None in
+  let move_index = ref 0 in
   for _ = 1 to options.passes do
-    match run_pass env ~budgets ~options (Prng.split rng) with
+    match run_pass ?observer ~move_index env ~budgets ~options (Prng.split rng) with
     | Some sol -> best := Solution.better !best sol
     | None -> ()
   done;

@@ -22,10 +22,13 @@ type options = {
 val default_options : options
 
 val optimize :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?options:options ->
   Power_model.env ->
   budgets:float array ->
   Solution.t option
 (** Best feasible design found across all passes; the cost function is
     total energy plus a steep penalty for exceeding the cycle time. May
-    return [None] when no pass ever reaches feasibility. *)
+    return [None] when no pass ever reaches feasibility.
+    [observer] receives one record per proposed move (accepted or not),
+    indexed globally across passes. *)

@@ -1,6 +1,9 @@
 let default_vt = 0.7
 
-let optimize ?(vt = default_vt) ?(m_steps = 16) env ~budgets =
+let optimize ?observer ?(vt = default_vt) ?(m_steps = 16) env ~budgets =
+  let observer =
+    Option.map (Dcopt_obs.Telemetry.relabel "baseline") observer
+  in
   let options =
     {
       Heuristic.m_steps;
@@ -8,6 +11,6 @@ let optimize ?(vt = default_vt) ?(m_steps = 16) env ~budgets =
       vt_fixed = Some vt;
     }
   in
-  match Heuristic.optimize ~options env ~budgets with
+  match Heuristic.optimize ?observer ~options env ~budgets with
   | None -> None
   | Some sol -> Some { sol with Solution.label = "baseline" }

@@ -6,10 +6,13 @@ val default_vt : float
 (** 0.7 V, the paper's fixed threshold. *)
 
 val optimize :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?vt:float ->
   ?m_steps:int ->
   Power_model.env ->
   budgets:float array ->
   Solution.t option
 (** Best feasible (Vdd, widths) design at the pinned threshold, or [None]
-    when the frequency target is unreachable at that threshold. *)
+    when the frequency target is unreachable at that threshold.
+    [observer] receives the underlying {!Heuristic} trial stream with the
+    [optimizer] field relabelled to "baseline". *)

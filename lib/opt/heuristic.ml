@@ -1,4 +1,5 @@
 module Tech = Dcopt_device.Tech
+module Telemetry = Dcopt_obs.Telemetry
 
 type strategy = Paper_binary | Grid_refine
 
@@ -17,17 +18,19 @@ let sizing_solution env ~budgets ~vdd ~vt =
   Solution.make ~label:"sizing" ~meets_budgets:ok env design
 
 (* One trial: size at (vdd, vt), report (feasible-with-budgets, energy,
-   solution). *)
-let trial env ~budgets ~vdd ~vt =
+   solution) and feed the convergence-telemetry stream. *)
+let trial ~emit env ~budgets ~vdd ~vt =
   let sol =
     { (sizing_solution env ~budgets ~vdd ~vt) with Solution.label = "joint" }
   in
-  (sol.Solution.meets_budgets && Solution.feasible sol, sol)
+  let ok = sol.Solution.meets_budgets && Solution.feasible sol in
+  emit ~vdd ~vt ~ok sol;
+  (ok, sol)
 
-let vt_search env ~budgets ~vdd ~m ~vt_fixed =
+let vt_search ~emit env ~budgets ~vdd ~m ~vt_fixed =
   match vt_fixed with
   | Some vt ->
-    let _, sol = trial env ~budgets ~vdd ~vt in
+    let _, sol = trial ~emit env ~budgets ~vdd ~vt in
     Some sol
   | None ->
     let tech = Power_model.tech env in
@@ -36,7 +39,7 @@ let vt_search env ~budgets ~vdd ~m ~vt_fixed =
     let prev_energy = ref infinity in
     for _ = 1 to m do
       let vt = 0.5 *. (!lo +. !hi) in
-      let ok, sol = trial env ~budgets ~vdd ~vt in
+      let ok, sol = trial ~emit env ~budgets ~vdd ~vt in
       let energy = Solution.total_energy sol in
       if ok then best := Solution.better !best sol;
       (* Procedure 2: feasible and improving -> raise the threshold to cut
@@ -49,14 +52,14 @@ let vt_search env ~budgets ~vdd ~m ~vt_fixed =
     done;
     !best
 
-let paper_binary env ~budgets ~m ~vt_fixed =
+let paper_binary ~emit env ~budgets ~m ~vt_fixed =
   let tech = Power_model.tech env in
   let best = ref None in
   let lo = ref tech.Tech.vdd_min and hi = ref tech.Tech.vdd_max in
   let prev_energy = ref infinity in
   for _ = 1 to m do
     let vdd = 0.5 *. (!lo +. !hi) in
-    let inner = vt_search env ~budgets ~vdd ~m ~vt_fixed in
+    let inner = vt_search ~emit env ~budgets ~vdd ~m ~vt_fixed in
     let ok, energy =
       match inner with
       | Some sol ->
@@ -73,11 +76,11 @@ let paper_binary env ~budgets ~m ~vt_fixed =
   done;
   !best
 
-let grid_refine env ~budgets ~m ~vt_fixed =
+let grid_refine ~emit env ~budgets ~m ~vt_fixed =
   let tech = Power_model.tech env in
   let best = ref None in
   let try_point vdd vt =
-    let ok, sol = trial env ~budgets ~vdd ~vt in
+    let ok, sol = trial ~emit env ~budgets ~vdd ~vt in
     if ok then best := Solution.better !best sol
   in
   let vt_points lo hi n =
@@ -90,7 +93,11 @@ let grid_refine env ~budgets ~m ~vt_fixed =
     let vts = vt_points vt_lo vt_hi n in
     Array.iter (fun vdd -> Array.iter (fun vt -> try_point vdd vt) vts) vdds
   in
-  let coarse = max 8 (m / 2) in
+  (* Capped at m so the two coarse^2 scans keep the whole optimizer within
+     its documented O(M^3)-sizings bound even when this runs as the
+     fallback after a failed M^2-trial binary search (for every m >= 8 the
+     cap is inactive and the grid is exactly the historical max 8 (m/2)). *)
+  let coarse = min m (max 8 (m / 2)) in
   scan tech.Tech.vdd_min tech.Tech.vdd_max tech.Tech.vt_min tech.Tech.vt_max
     coarse;
   (match !best with
@@ -114,16 +121,43 @@ let grid_refine env ~budgets ~m ~vt_fixed =
       coarse);
   !best
 
-let optimize ?(options = default_options) env ~budgets =
+let optimize ?observer ?(options = default_options) env ~budgets =
   let m = max 4 options.m_steps in
+  let trials = ref 0 in
+  let emit ~vdd ~vt ~ok sol =
+    let index = !trials in
+    incr trials;
+    match observer with
+    | None -> ()
+    | Some obs ->
+      obs
+        {
+          Telemetry.optimizer = "heuristic";
+          index;
+          vdd;
+          vt;
+          static_energy = Solution.static_energy sol;
+          dynamic_energy = Solution.dynamic_energy sol;
+          total_energy = Solution.total_energy sol;
+          feasible = ok;
+        }
+  in
   let result =
     match options.strategy with
-    | Paper_binary -> paper_binary env ~budgets ~m ~vt_fixed:options.vt_fixed
-    | Grid_refine -> grid_refine env ~budgets ~m ~vt_fixed:options.vt_fixed
+    | Paper_binary -> paper_binary ~emit env ~budgets ~m ~vt_fixed:options.vt_fixed
+    | Grid_refine -> grid_refine ~emit env ~budgets ~m ~vt_fixed:options.vt_fixed
   in
   (* The binary search can start in an infeasible half-space and converge
      to nothing; fall back on the exhaustive scan before giving up. *)
-  match (result, options.strategy) with
-  | None, Paper_binary ->
-    grid_refine env ~budgets ~m ~vt_fixed:options.vt_fixed
-  | r, _ -> r
+  let result =
+    match (result, options.strategy) with
+    | None, Paper_binary ->
+      grid_refine ~emit env ~budgets ~m ~vt_fixed:options.vt_fixed
+    | r, _ -> r
+  in
+  (* Procedure 2's complexity claim: M vdd steps x M vt steps around an
+     M-step per-gate width search = O(M^3) sizings, i.e. at most M^2
+     (vdd, vt) trials for the binary strategy and 3 M^2 with the capped
+     grid fallback on top — never more than M^3 trials total. *)
+  assert (!trials <= m * m * m);
+  result

@@ -26,12 +26,19 @@ type options = {
 val default_options : options
 
 val optimize :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?options:options ->
   Power_model.env ->
   budgets:float array ->
   Solution.t option
 (** Best feasible single-Vt solution found, or [None] when even the
-    fastest corner (max Vdd, min Vt, max widths) misses some budget. *)
+    fastest corner (max Vdd, min Vt, max widths) misses some budget.
+
+    [observer] receives one {!Dcopt_obs.Telemetry.iteration} record per
+    (vdd, vt) sizing trial, in evaluation order; when omitted the trial
+    loop pays only a single [match] per iteration. The total trial count
+    is asserted to stay within [m_steps^3] — the paper's O(M^3)-sizings
+    complexity claim, kept as a runtime invariant. *)
 
 val sizing_solution :
   Power_model.env -> budgets:float array -> vdd:float -> vt:float ->

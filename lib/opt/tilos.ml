@@ -110,14 +110,43 @@ let size_for_cycle ?(step = 1.15) ?max_iterations env ~vdd ~vt =
   in
   loop 0
 
-let optimize ?(m_steps = 8) env =
+let optimize ?observer ?(m_steps = 8) env =
   let tech = Power_model.tech env in
   let best = ref None in
+  let trials = ref 0 in
+  let emit ~vdd ~vt sol =
+    let index = !trials in
+    incr trials;
+    match observer with
+    | None -> ()
+    | Some obs ->
+      let static_energy, dynamic_energy, total_energy, feasible =
+        match sol with
+        | Some sol ->
+          ( Solution.static_energy sol,
+            Solution.dynamic_energy sol,
+            Solution.total_energy sol,
+            Solution.feasible sol )
+        | None -> (infinity, infinity, infinity, false)
+      in
+      obs
+        {
+          Dcopt_obs.Telemetry.optimizer = "tilos";
+          index;
+          vdd;
+          vt;
+          static_energy;
+          dynamic_energy;
+          total_energy;
+          feasible;
+        }
+  in
   let try_point vdd vt =
     match size_for_cycle env ~vdd ~vt with
-    | None -> ()
+    | None -> emit ~vdd ~vt None
     | Some design ->
       let sol = Solution.make ~label:"tilos" ~meets_budgets:false env design in
+      emit ~vdd ~vt (Some sol);
       if Solution.feasible sol then best := Solution.better !best sol
   in
   let scan vdd_lo vdd_hi vt_lo vt_hi n =

@@ -24,6 +24,7 @@ val size_for_cycle :
     returned design meets the cycle time. *)
 
 val optimize :
+  ?observer:Dcopt_obs.Telemetry.observer ->
   ?m_steps:int ->
   Power_model.env ->
   Solution.t option

@@ -1,6 +1,20 @@
 module Circuit = Dcopt_netlist.Circuit
 module Gate = Dcopt_netlist.Gate
 module Heap = Dcopt_util.Heap
+module Metrics = Dcopt_obs.Metrics
+
+let events_counter =
+  Metrics.counter ~help:"events popped by the event-driven simulator"
+    "sim.events_processed"
+
+let vectors_counter =
+  Metrics.counter ~help:"vector pairs settled by Monte-Carlo activity runs"
+    "sim.vectors_simulated"
+
+let glitch_counter =
+  Metrics.counter
+    ~help:"gate transitions beyond the zero-delay count (glitches)"
+    "sim.glitch_transitions"
 
 type run = {
   values : bool array;
@@ -97,6 +111,7 @@ let settle circuit ~delays ~before ~after =
       drain ()
   in
   drain ();
+  Metrics.incr ~by:!events_processed events_counter;
   {
     values;
     transitions;
@@ -179,4 +194,8 @@ let monte_carlo_activity ?delays circuit ~rng ~vectors ~input_probability
     if !timed_total <= 0.0 then 0.0
     else (!timed_total -. !zero_delay_total) /. !timed_total
   in
+  Metrics.incr ~by:vectors vectors_counter;
+  Metrics.incr
+    ~by:(int_of_float (Float.max 0.0 (!timed_total -. !zero_delay_total)))
+    glitch_counter;
   { densities; glitch_fraction; vectors_simulated = vectors }

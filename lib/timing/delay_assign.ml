@@ -1,5 +1,22 @@
 module Circuit = Dcopt_netlist.Circuit
 module Gate = Dcopt_netlist.Gate
+module Metrics = Dcopt_obs.Metrics
+
+let assign_counter =
+  Metrics.counter ~help:"Procedure-1 budget assignments performed"
+    "timing.assignments"
+
+let paths_counter =
+  Metrics.counter ~help:"critical paths consumed by Procedure-1 budgeting"
+    "timing.paths_used"
+
+let fallback_counter =
+  Metrics.counter ~help:"gates budgeted by the chain-criticality fallback"
+    "timing.fallback_gates"
+
+let slope_counter =
+  Metrics.counter ~help:"budgets lifted for slope feasibility"
+    "timing.slope_adjusted"
 
 type t = {
   t_max : float array;
@@ -50,6 +67,9 @@ let chain_criticalities circuit =
 
 let assign ?(skew_factor = 0.95) ?max_paths ?(slope_guard = 0.3) circuit
     ~cycle_time =
+  Dcopt_obs.Span.with_ "procedure1.assign"
+    ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
   if not (Circuit.is_combinational circuit) then
     invalid_arg "Delay_assign.assign: circuit is sequential";
   if cycle_time <= 0.0 then invalid_arg "Delay_assign.assign: cycle_time <= 0";
@@ -137,6 +157,10 @@ let assign ?(skew_factor = 0.95) ?max_paths ?(slope_guard = 0.3) circuit
     let scale = available /. sta.Sta.critical_delay in
     Array.iteri (fun id v -> t_max.(id) <- v *. scale) t_max
   end;
+  Metrics.incr assign_counter;
+  Metrics.incr ~by:!paths_used paths_counter;
+  Metrics.incr ~by:!fallback_gates fallback_counter;
+  Metrics.incr ~by:!slope_adjusted slope_counter;
   {
     t_max;
     cycle_budget = available;

@@ -33,6 +33,10 @@ let percentile xs p =
 
 let median xs = percentile xs 50.0
 
+let quantile xs q =
+  assert (q >= 0.0 && q <= 1.0);
+  percentile xs (q *. 100.0)
+
 let geometric_mean xs =
   assert (Array.length xs > 0);
   let acc =

@@ -1,0 +1,547 @@
+(* Tests for dcopt_obs: metrics registry semantics, span recording and
+   nesting, Chrome trace-event export well-formedness, and the optimizer
+   telemetry stream. *)
+
+module Metrics = Dcopt_obs.Metrics
+module Span = Dcopt_obs.Span
+module Clock = Dcopt_obs.Clock
+module Telemetry = Dcopt_obs.Telemetry
+module Circuit = Dcopt_netlist.Circuit
+module Activity = Dcopt_activity.Activity
+module Delay_assign = Dcopt_timing.Delay_assign
+module Power_model = Dcopt_opt.Power_model
+module Heuristic = Dcopt_opt.Heuristic
+module Budget_repair = Dcopt_opt.Budget_repair
+module Tech = Dcopt_device.Tech
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock_strictly_increasing () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now_ns () in
+    Alcotest.(check bool) "strictly increasing" true (Int64.compare t !prev > 0);
+    prev := t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_semantics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Alcotest.(check int) "fresh" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr ~by:5 c;
+  Alcotest.(check int) "1 + 5" 6 (Metrics.value c);
+  let c' = Metrics.counter "test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "same instrument" 7 (Metrics.value c);
+  (match Metrics.incr ~by:(-1) c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative increment accepted");
+  (match Metrics.gauge "test.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type mismatch accepted");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.value c);
+  Alcotest.(check bool) "registration survives reset" true
+    (List.mem "test.counter" (Metrics.names ()))
+
+let test_gauge_semantics () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.gauge" in
+  check_float "fresh" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 2.5;
+  Metrics.set g (-1.25);
+  check_float "last write wins" (-1.25) (Metrics.gauge_value g);
+  Metrics.reset ();
+  check_float "reset zeroes" 0.0 (Metrics.gauge_value g)
+
+let test_histogram_semantics () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.histogram" in
+  Alcotest.(check int) "fresh" 0 (Metrics.count h);
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  Alcotest.(check int) "empty buckets" 0 (Array.length (Metrics.buckets h));
+  (* push past the initial 16-slot buffer to exercise growth *)
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.count h);
+  let xs = Metrics.samples h in
+  Alcotest.(check int) "samples length" 100 (Array.length xs);
+  check_float "observation order" 1.0 xs.(0);
+  check_float "observation order (last)" 100.0 xs.(99);
+  check_float "p50" 50.5 (Metrics.quantile h 0.5);
+  check_float "p0" 1.0 (Metrics.quantile h 0.0);
+  check_float "p100" 100.0 (Metrics.quantile h 1.0);
+  let buckets = Metrics.buckets h in
+  (* samples 1..100 span decades [1,10), [10,100), [100,1000) *)
+  Alcotest.(check int) "log-scale decade count" 3 (Array.length buckets);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "buckets partition samples" 100 total;
+  let lo0, hi0, c0 = buckets.(0) in
+  check_float "first bucket lo" 1.0 lo0;
+  check_float "first bucket hi" 10.0 hi0;
+  Alcotest.(check int) "first decade holds 1..9" 9 c0;
+  Metrics.observe (Metrics.histogram "test.histogram") (-3.0);
+  let buckets = Metrics.buckets h in
+  Alcotest.(check int) "non-positive leading bucket" 4 (Array.length buckets);
+  let lo, _, c = buckets.(0) in
+  check_float "leading bucket starts at 0" 0.0 lo;
+  Alcotest.(check int) "leading bucket count" 1 c;
+  Metrics.reset ();
+  Alcotest.(check int) "reset empties" 0 (Metrics.count h)
+
+let contains ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_metrics_render_and_json () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.render.counter" in
+  Metrics.incr ~by:3 c;
+  let h = Metrics.histogram "test.render.histogram" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0 ];
+  let table = Metrics.render () in
+  Alcotest.(check bool) "counter row present" true
+    (contains ~needle:"test.render.counter" table);
+  Alcotest.(check bool) "histogram row present" true
+    (contains ~needle:"test.render.histogram" table);
+  let lines = String.split_on_char '\n' (Metrics.to_json_lines ()) in
+  Alcotest.(check bool) "one json line per metric" true
+    (List.length (List.filter (fun l -> l <> "") lines)
+    = List.length (Metrics.names ()))
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON checker (recursive descent), enough to validate the
+   Chrome trace export without pulling in a JSON dependency.           *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let pos = ref 0 in
+  let n = String.length s in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some ('"' | '\\' | '/') ->
+          Buffer.add_char b (Option.get (peek ()));
+          advance ()
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'b' -> Buffer.add_char b '\b'; advance ()
+        | Some 'f' -> Buffer.add_char b '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+            | _ -> fail "bad \\u escape"
+          done;
+          Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); J_obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); J_obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); J_list [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); J_list (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field name = function
+  | J_obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let test_span_disabled_is_passthrough () =
+  Span.set_enabled false;
+  Span.reset ();
+  let r = Span.with_ "invisible" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value returned" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.spans ()))
+
+let record_nest () =
+  Span.set_enabled true;
+  Span.reset ();
+  let r =
+    Span.with_ "parent" (fun () ->
+        let a = Span.with_ "child-a" (fun () -> 1) in
+        let b =
+          Span.with_ "child-b" (fun () ->
+              Span.with_ "grandchild" ~args:[ ("k", "v") ] (fun () -> 2))
+        in
+        a + b)
+  in
+  Span.set_enabled false;
+  Alcotest.(check int) "nested value" 3 r;
+  Span.spans ()
+
+let test_span_nesting_and_order () =
+  let spans = record_nest () in
+  Alcotest.(check (list string))
+    "completion order (children first)"
+    [ "child-a"; "grandchild"; "child-b"; "parent" ]
+    (List.map (fun s -> s.Span.name) spans);
+  Alcotest.(check (list int)) "depths" [ 1; 2; 1; 0 ]
+    (List.map (fun s -> s.Span.depth) spans);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Span.name ^ " strictly positive duration")
+        true
+        (Int64.compare s.Span.dur_ns 0L > 0))
+    spans;
+  let find name = List.find (fun s -> s.Span.name = name) spans in
+  let ends s = Int64.add s.Span.start_ns s.Span.dur_ns in
+  let contains outer inner =
+    Int64.compare outer.Span.start_ns inner.Span.start_ns <= 0
+    && Int64.compare (ends inner) (ends outer) <= 0
+  in
+  let parent = find "parent" and child_b = find "child-b" in
+  Alcotest.(check bool) "parent contains child-a" true
+    (contains parent (find "child-a"));
+  Alcotest.(check bool) "parent contains child-b" true (contains parent child_b);
+  Alcotest.(check bool) "child-b contains grandchild" true
+    (contains child_b (find "grandchild"));
+  Alcotest.(check bool) "siblings ordered" true
+    (Int64.compare (ends (find "child-a")) child_b.Span.start_ns <= 0);
+  (* top-level total counts only depth 0 *)
+  Alcotest.(check bool) "top-level total = parent duration" true
+    (Int64.equal (Span.top_level_total_ns ()) parent.Span.dur_ns);
+  let roll = Span.roll_up () in
+  Alcotest.(check int) "roll-up has one row per name" 4 (List.length roll);
+  List.iter
+    (fun (_, calls, total) ->
+      Alcotest.(check int) "one call each" 1 calls;
+      Alcotest.(check bool) "positive total" true (Int64.compare total 0L > 0))
+    roll
+
+let test_span_closes_on_exception () =
+  Span.set_enabled true;
+  Span.reset ();
+  (try
+     Span.with_ "outer" (fun () ->
+         ignore (Span.with_ "raises" (fun () -> failwith "boom")))
+   with Failure _ -> ());
+  Span.set_enabled false;
+  let names = List.map (fun s -> s.Span.name) (Span.spans ()) in
+  Alcotest.(check (list string)) "both spans closed" [ "raises"; "outer" ] names;
+  let raises = List.hd (Span.spans ()) in
+  Alcotest.(check int) "nested depth survives the raise" 1 raises.Span.depth
+
+let test_chrome_export_well_formed () =
+  let spans = record_nest () in
+  let doc = parse_json (Span.export_chrome ()) in
+  let events =
+    match field "traceEvents" doc with
+    | Some (J_list evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  Alcotest.(check int) "one event per span" (List.length spans)
+    (List.length events);
+  let num ev key =
+    match field key ev with
+    | Some (J_num f) -> f
+    | _ -> Alcotest.fail (key ^ " missing or not a number")
+  in
+  List.iter
+    (fun ev ->
+      (match field "name" ev with
+      | Some (J_str _) -> ()
+      | _ -> Alcotest.fail "name missing");
+      (match field "ph" ev with
+      | Some (J_str "X") -> ()
+      | _ -> Alcotest.fail "ph must be \"X\"");
+      Alcotest.(check bool) "ts >= 0" true (num ev "ts" >= 0.0);
+      Alcotest.(check bool) "dur > 0" true (num ev "dur" > 0.0);
+      ignore (num ev "pid");
+      ignore (num ev "tid"))
+    events;
+  let names =
+    List.filter_map
+      (fun ev -> match field "name" ev with Some (J_str s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Span.name ^ " exported") true
+        (List.mem s.Span.name names))
+    spans;
+  (* grandchild args survive the round trip *)
+  let grandchild =
+    List.find (fun ev -> field "name" ev = Some (J_str "grandchild")) events
+  in
+  match field "args" grandchild with
+  | Some (J_obj kvs) ->
+    Alcotest.(check bool) "custom arg exported" true
+      (List.assoc_opt "k" kvs = Some (J_str "v"))
+  | _ -> Alcotest.fail "args missing"
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let mk_iteration i =
+  {
+    Telemetry.optimizer = "test";
+    index = i;
+    vdd = 1.0;
+    vt = 0.2;
+    static_energy = 1e-15;
+    dynamic_energy = 2e-15;
+    total_energy = 3e-15;
+    feasible = i mod 2 = 0;
+  }
+
+let test_telemetry_combinators () =
+  let r1 = Telemetry.recorder () and r2 = Telemetry.recorder () in
+  let obs =
+    Telemetry.tee (Telemetry.record r1)
+      (Telemetry.relabel "renamed" (Telemetry.record r2))
+  in
+  for i = 0 to 4 do
+    obs (mk_iteration i)
+  done;
+  Telemetry.null (mk_iteration 99);
+  Alcotest.(check int) "tee feeds first" 5 (Telemetry.count r1);
+  Alcotest.(check int) "tee feeds second" 5 (Telemetry.count r2);
+  let its1 = Telemetry.iterations r1 and its2 = Telemetry.iterations r2 in
+  Alcotest.(check string) "original label" "test" its1.(0).Telemetry.optimizer;
+  Alcotest.(check string) "relabel rewrites" "renamed"
+    its2.(0).Telemetry.optimizer;
+  Alcotest.(check int) "arrival order" 4 its1.(4).Telemetry.index
+
+let test_telemetry_to_metrics () =
+  Metrics.reset ();
+  let obs = Telemetry.to_metrics () in
+  for i = 0 to 9 do
+    obs (mk_iteration i)
+  done;
+  Alcotest.(check int) "iteration counter" 10
+    (Metrics.value (Metrics.counter "opt.test.iterations"));
+  Alcotest.(check int) "infeasible counter" 5
+    (Metrics.value (Metrics.counter "opt.test.infeasible"));
+  Alcotest.(check int) "vdd histogram sees all" 10
+    (Metrics.count (Metrics.histogram "opt.test.iteration.vdd"));
+  Alcotest.(check int) "energy histogram sees feasible only" 5
+    (Metrics.count (Metrics.histogram "opt.test.iteration.total_energy"));
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic observer on s27: deterministic, bounded by M^3            *)
+
+let s27_env () =
+  let tech = Tech.default in
+  let fc = 300e6 in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find "s27") in
+  let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
+  let profile = Activity.local_profile core specs in
+  let env = Power_model.make_env ~tech ~fc core profile in
+  let raw =
+    (Delay_assign.assign core ~cycle_time:(1.0 /. fc)).Delay_assign.t_max
+  in
+  let budgets =
+    match
+      Budget_repair.repair env ~budgets:raw ~vdd:tech.Tech.vdd_max
+        ~vt:tech.Tech.vt_min
+    with
+    | Budget_repair.Repaired { budgets; _ } -> budgets
+    | Budget_repair.Infeasible _ -> raw
+  in
+  (env, budgets)
+
+let observed_run env ~budgets =
+  let recorder = Telemetry.recorder () in
+  let sol =
+    Heuristic.optimize ~observer:(Telemetry.record recorder) env ~budgets
+  in
+  (sol, Telemetry.iterations recorder)
+
+let test_heuristic_observer_deterministic () =
+  let env, budgets = s27_env () in
+  let sol1, its1 = observed_run env ~budgets in
+  let _sol2, its2 = observed_run env ~budgets in
+  Alcotest.(check bool) "found a solution" true (sol1 <> None);
+  Alcotest.(check bool) "saw iterations" true (Array.length its1 > 0);
+  Alcotest.(check int) "iteration count deterministic" (Array.length its1)
+    (Array.length its2);
+  let m = 16 in
+  Alcotest.(check bool) "bounded by M^3" true
+    (Array.length its1 <= m * m * m);
+  Array.iteri
+    (fun i it ->
+      Alcotest.(check int) "indices are the stream position" i
+        it.Telemetry.index;
+      Alcotest.(check string) "labelled heuristic" "heuristic"
+        it.Telemetry.optimizer;
+      let it2 = its2.(i) in
+      check_float "vdd replays" it.Telemetry.vdd it2.Telemetry.vdd;
+      check_float "vt replays" it.Telemetry.vt it2.Telemetry.vt;
+      Alcotest.(check bool) "feasibility replays" it.Telemetry.feasible
+        it2.Telemetry.feasible;
+      if it.Telemetry.feasible then begin
+        check_float "energy sums" it.Telemetry.total_energy
+          (it.Telemetry.static_energy +. it.Telemetry.dynamic_energy);
+        Alcotest.(check bool) "feasible energy positive" true
+          (it.Telemetry.total_energy > 0.0)
+      end)
+    its1;
+  (* the winning energy is one the observer saw *)
+  match sol1 with
+  | None -> ()
+  | Some sol ->
+    let best = Dcopt_opt.Solution.total_energy sol in
+    Alcotest.(check bool) "solution energy appears in the stream" true
+      (Array.exists
+         (fun it ->
+           it.Telemetry.feasible
+           && Float.abs (it.Telemetry.total_energy -. best)
+              <= 1e-9 *. Float.abs best)
+         its1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "strictly increasing" `Quick
+            test_clock_strictly_increasing ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram" `Quick test_histogram_semantics;
+          Alcotest.test_case "render and json" `Quick
+            test_metrics_render_and_json;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick
+            test_span_disabled_is_passthrough;
+          Alcotest.test_case "nesting and order" `Quick
+            test_span_nesting_and_order;
+          Alcotest.test_case "closes on exception" `Quick
+            test_span_closes_on_exception;
+          Alcotest.test_case "chrome export" `Quick
+            test_chrome_export_well_formed;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "combinators" `Quick test_telemetry_combinators;
+          Alcotest.test_case "to_metrics" `Quick test_telemetry_to_metrics;
+          Alcotest.test_case "heuristic observer deterministic" `Quick
+            test_heuristic_observer_deterministic;
+        ] );
+    ]

@@ -168,6 +168,19 @@ let test_stats_percentile () =
   check_float "p100" 50.0 (Stats.percentile xs 100.0);
   check_float "p25" 20.0 (Stats.percentile xs 25.0)
 
+let test_stats_quantile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  check_float "q0" 10.0 (Stats.quantile xs 0.0);
+  check_float "q0.5" 30.0 (Stats.quantile xs 0.5);
+  check_float "q1" 50.0 (Stats.quantile xs 1.0);
+  (* linear interpolation between order statistics *)
+  check_float "q0.9" 46.0 (Stats.quantile xs 0.9);
+  check_float "q0.125" 15.0 (Stats.quantile xs 0.125);
+  (* order-independent and consistent with percentile *)
+  let ys = [| 50.0; 10.0; 40.0; 20.0; 30.0 |] in
+  check_float "unsorted input" (Stats.percentile xs 75.0) (Stats.quantile ys 0.75);
+  check_float "singleton" 7.0 (Stats.quantile [| 7.0 |] 0.99)
+
 let test_geometric_mean () =
   check_float "geomean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
 
@@ -285,6 +298,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_stats_basics;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
           Alcotest.test_case "geomean" `Quick test_geometric_mean;
           Alcotest.test_case "histogram" `Quick test_histogram;
         ] );
