@@ -19,6 +19,10 @@ module Circuit = Dcopt_netlist.Circuit
    test under `dune runtest` (numbers are then indicative only). *)
 let quick = ref false
 
+(* --json FILE: write the timing experiment's per-kernel estimates as
+   machine-readable JSON, so CI keeps a perf trajectory across commits. *)
+let json_out : string option ref = ref None
+
 let header title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
@@ -273,6 +277,34 @@ let bechamel_tests () =
           fun () -> ignore (Dcopt_opt.Power_model.evaluate env design)));
   ]
 
+let write_timing_json path ~kernels ~full_joint =
+  let esc = Dcopt_obs.Metrics.json_escape in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"dcopt-bench-timing/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" !quick;
+  Printf.bprintf b "  \"jobs\": %d,\n" (Dcopt_par.Par.jobs ());
+  Buffer.add_string b "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"ns_per_run\": %s}%s\n"
+        (esc name)
+        (match ns with Some v -> Printf.sprintf "%.3f" v | None -> "null")
+        (if i < List.length kernels - 1 then "," else ""))
+    kernels;
+  Buffer.add_string b "  ],\n  \"full_joint\": [\n";
+  List.iteri
+    (fun i (circuit, seconds) ->
+      Printf.bprintf b "    {\"circuit\": \"%s\", \"seconds\": %.4f}%s\n"
+        (esc circuit) seconds
+        (if i < List.length full_joint - 1 then "," else ""))
+    full_joint;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents b));
+  Printf.printf "\nwrote kernel timings to %s\n" path
+
 let run_timing () =
   header "Kernel timing (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -297,15 +329,23 @@ let run_timing () =
   let table =
     Dcopt_util.Text_table.create ~headers:[ "Kernel"; "Time per run" ]
   in
-  List.iter
-    (fun (name, ols) ->
-      let cell =
-        match Analyze.OLS.estimates ols with
-        | Some (est :: _) -> Dcopt_util.Si.format ~unit:"s" (est *. 1e-9)
-        | Some [] | None -> "n/a"
-      in
-      Dcopt_util.Text_table.add_row table [ name; cell ])
-    rows;
+  let kernels =
+    List.map
+      (fun (name, ols) ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Some est
+          | Some [] | None -> None
+        in
+        let cell =
+          match ns with
+          | Some est -> Dcopt_util.Si.format ~unit:"s" (est *. 1e-9)
+          | None -> "n/a"
+        in
+        Dcopt_util.Text_table.add_row table [ name; cell ];
+        (name, ns))
+      rows
+  in
   Dcopt_util.Text_table.print table;
   (* the paper reports 5-20 s per circuit on 1997 hardware; report ours *)
   print_newline ();
@@ -313,17 +353,22 @@ let run_timing () =
     Dcopt_util.Text_table.create
       ~headers:[ "Circuit"; "Full joint optimization" ]
   in
-  List.iter
-    (fun name ->
-      let p = Flow.prepare (Suite.find name) in
-      let _, dt = wall (fun () -> Flow.run_joint p) in
-      Dcopt_util.Text_table.add_row t
-        [ name; Printf.sprintf "%.2f s" dt ])
-    (if !quick then [ "s27" ] else [ "s27"; "s298"; "s344"; "s510" ]);
+  let full_joint =
+    List.map
+      (fun name ->
+        let p = Flow.prepare (Suite.find name) in
+        let _, dt = wall (fun () -> Flow.run_joint p) in
+        Dcopt_util.Text_table.add_row t [ name; Printf.sprintf "%.2f s" dt ];
+        (name, dt))
+      (if !quick then [ "s27" ] else [ "s27"; "s298"; "s344"; "s510" ])
+  in
   Dcopt_util.Text_table.print t;
   print_endline
     "\n(The paper quotes 5-20 s per circuit on 1997 hardware for the same \
-     O(M^3) procedure.)"
+     O(M^3) procedure.)";
+  match !json_out with
+  | None -> ()
+  | Some path -> write_timing_json path ~kernels ~full_joint
 
 (* ------------------------------------------------------------------ *)
 
@@ -351,14 +396,28 @@ let experiments =
   ]
 
 let () =
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick := true;
+      parse acc rest
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      parse acc rest
+    | "--jobs" :: value :: rest ->
+      (match int_of_string_opt value with
+      | Some n when n >= 1 -> Dcopt_par.Par.set_jobs n
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects an integer >= 1, got %S\n" value;
+        exit 2);
+      parse acc rest
+    | ("--json" | "--jobs") :: [] ->
+      Printf.eprintf "--json/--jobs expect an argument\n";
+      exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
   let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
+    parse []
       (match Array.to_list Sys.argv with _ :: args -> args | [] -> [])
   in
   let requested =

@@ -22,10 +22,10 @@ module Si = Dcopt_util.Si
 module Text_table = Dcopt_util.Text_table
 open Cmdliner
 
-(* Observability plumbing shared by every subcommand: the Logs reporter
-   with -v/--verbosity, --trace FILE (enables span recording and writes a
-   Chrome trace at exit) and --metrics (prints the metrics registry at
-   exit). *)
+(* Observability and runtime plumbing shared by every subcommand: the
+   Logs reporter with -v/--verbosity, --trace FILE (enables span
+   recording and writes a Chrome trace at exit), --metrics (prints the
+   metrics registry at exit) and --jobs (sizes the Par domain pool). *)
 
 type obs = { trace : string option; metrics : bool }
 
@@ -44,14 +44,27 @@ let obs_term =
     in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let setup level trace metrics =
+  let jobs_arg =
+    let doc =
+      "Worker domains for the parallel optimizer sites (grid scans, \
+       Monte-Carlo samples, annealing restarts, sweeps). Defaults to \
+       $(b,DCOPT_JOBS), or 1 (fully sequential). Any value produces \
+       bit-identical results; only the wall clock changes."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let setup level trace metrics jobs =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level level;
     if trace <> None then Span.set_enabled true;
+    (match jobs with
+    | Some n when n >= 1 -> Dcopt_par.Par.set_jobs n
+    | Some n -> Logs.warn (fun m -> m "--jobs %d ignored (must be >= 1)" n)
+    | None -> ());
     { trace; metrics }
   in
-  Term.(const setup $ Logs_cli.level () $ trace_arg $ metrics_arg)
+  Term.(const setup $ Logs_cli.level () $ trace_arg $ metrics_arg $ jobs_arg)
 
 let finish obs code =
   if obs.metrics then print_string (Metrics.render ());

@@ -47,13 +47,17 @@ let row_of_solution p name density savings sol =
 
 let rows_with ~runner ?(config = Flow.default_config)
     ?(circuits = default_circuits) ?(activities = default_activities) () =
+  (* Each (circuit, activity) table row is an independent optimization:
+     run them on the Par pool and keep the table in the nested scan
+     order. *)
   List.concat_map
     (fun name ->
-      Array.to_list activities
-      |> List.filter_map (fun density ->
-             let p = prepare_at config name density in
-             runner p name density))
+      Array.to_list activities |> List.map (fun density -> (name, density)))
     circuits
+  |> Dcopt_par.Par.map_list ~site:"experiments.rows" (fun (name, density) ->
+         let p = prepare_at config name density in
+         runner p name density)
+  |> List.filter_map Fun.id
 
 let table1 ?config ?circuits ?activities () =
   let runner p name density =

@@ -1,0 +1,61 @@
+type ctx = {
+  vdd : float;
+  vt : float;
+  i_drive : float;
+  i_off : float;
+  slope : float;
+  static_per_width : float;
+  half_vdd_sq : float;
+}
+
+let make tech ~vdd ~vt =
+  let i_drive = Mosfet.i_drive tech ~vdd ~vt in
+  let i_off = Mosfet.i_off tech ~vt in
+  {
+    vdd;
+    vt;
+    i_drive;
+    i_off;
+    slope = Delay.slope_coefficient tech ~vdd ~vt;
+    static_per_width = vdd *. i_off;
+    half_vdd_sq = 0.5 *. vdd *. vdd;
+  }
+
+let effective_drive ctx ~w (load : Delay.load) =
+  let drive = ctx.i_drive *. w /. float_of_int load.Delay.stack_depth in
+  let opposing = float_of_int load.Delay.fanin_count *. ctx.i_off *. w in
+  drive -. opposing
+
+(* Mirrors Delay.gate_delay term by term (same operations, same
+   association) so a context-based evaluation is bit-identical to the
+   uncached one — only the Mosfet/slope transcendentals are reused. *)
+let gate_delay tech ctx ~w (load : Delay.load) =
+  let i_eff = effective_drive ctx ~w load in
+  if i_eff <= 0.0 then infinity
+  else begin
+    let switching =
+      Delay.output_capacitance tech ~w load *. ctx.vdd /. (2.0 *. i_eff)
+    in
+    let internal_nodes = max 0 (load.Delay.fanin_count - 1) in
+    if internal_nodes > 0 && ctx.i_drive <= 0.0 then infinity
+    else begin
+      let stack =
+        if internal_nodes = 0 then 0.0
+        else
+          float_of_int internal_nodes *. tech.Tech.c_intermediate *. ctx.vdd
+          /. (2.0 *. ctx.i_drive)
+      in
+      (ctx.slope *. load.Delay.max_fanin_delay)
+      +. switching +. stack +. load.Delay.res_wire_terms
+      +. load.Delay.flight_time
+    end
+  end
+
+let static_power ctx ~w = ctx.static_per_width *. w
+
+let static_energy ctx ~fc ~w =
+  assert (fc > 0.0);
+  static_power ctx ~w /. fc
+
+let dynamic_energy tech ctx ~w ~activity ~load =
+  ctx.half_vdd_sq *. activity *. Delay.output_capacitance tech ~w load

@@ -1,0 +1,45 @@
+(** Per-(vdd, vt) drive context: the device-model terms that are constant
+    across an entire operating-point trial.
+
+    Procedure 2 evaluates M² (vdd, vt) points, each over N gates × 40
+    width-search iterations, and the dominant per-iteration cost is the
+    transcendental device model ({!Mosfet.i_drive}/{!Mosfet.i_off} call
+    [exp]/[**]). Those terms depend only on (vdd, vt), never on the width
+    being searched, so a trial can compute them once and reuse them for
+    every gate and every iteration. The delay helper here reproduces
+    {!Delay.gate_delay} with identical arithmetic (same operations in the
+    same association), so the cached path is bit-identical to the uncached
+    one; the energy helpers reuse the cached currents through precomputed
+    per-width factors (differences are at round-off, orders below the 1e-9
+    equivalence bound the test suite enforces). *)
+
+type ctx = {
+  vdd : float;              (** supply voltage of the trial, V *)
+  vt : float;               (** threshold voltage of the trial, V *)
+  i_drive : float;          (** {!Mosfet.i_drive} at (vdd, vt), A per w-unit *)
+  i_off : float;            (** {!Mosfet.i_off} at vt, A per w-unit *)
+  slope : float;            (** {!Delay.slope_coefficient} at (vdd, vt) *)
+  static_per_width : float; (** leakage power per w-unit: vdd · i_off, W *)
+  half_vdd_sq : float;      (** dynamic-energy factor: vdd²/2, V² *)
+}
+
+val make : Tech.t -> vdd:float -> vt:float -> ctx
+(** Evaluate the transcendental device model once for this operating
+    point. *)
+
+val effective_drive : ctx -> w:float -> Delay.load -> float
+(** {!Delay.effective_drive} with the cached currents. *)
+
+val gate_delay : Tech.t -> ctx -> w:float -> Delay.load -> float
+(** {!Delay.gate_delay} with the cached currents and slope coefficient —
+    bit-identical to the uncached formula. *)
+
+val static_power : ctx -> w:float -> float
+(** {!Energy.static_power} via the cached per-width factor. *)
+
+val static_energy : ctx -> fc:float -> w:float -> float
+(** {!Energy.static_energy} via the cached per-width factor. *)
+
+val dynamic_energy :
+  Tech.t -> ctx -> w:float -> activity:float -> load:Delay.load -> float
+(** {!Energy.dynamic_energy} via the cached vdd²/2 factor. *)

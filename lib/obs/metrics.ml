@@ -1,6 +1,10 @@
 module Stats = Dcopt_util.Stats
 
-type counter = { mutable count : int }
+(* Counters are atomic: library code bumps module-level counters from
+   inside Par pool tasks (activity, budgeting, simulation), so increments
+   may come from any domain. Gauges and histograms stay plain mutable —
+   every writer is main-domain-only by convention (see the .mli). *)
+type counter = { count : int Atomic.t }
 type gauge = { mutable value : float }
 
 type histogram = {
@@ -26,16 +30,16 @@ let register name help make =
     m
 
 let counter ?help name =
-  match register name help (fun () -> Counter { count = 0 }) with
+  match register name help (fun () -> Counter { count = Atomic.make 0 }) with
   | Counter c -> c
   | Gauge _ | Histogram _ ->
     invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
 
 let incr ?(by = 1) c =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  c.count <- c.count + by
+  ignore (Atomic.fetch_and_add c.count by)
 
-let value c = c.count
+let value c = Atomic.get c.count
 
 let gauge ?help name =
   match register name help (fun () -> Gauge { value = 0.0 }) with
@@ -130,7 +134,7 @@ let reset () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Gauge g -> g.value <- 0.0
       | Histogram h -> h.len <- 0)
     registry
@@ -154,7 +158,8 @@ let render () =
       let row =
         match m with
         | Counter c ->
-          [ name; "counter"; string_of_int c.count; "-"; "-"; "-"; "-"; "-" ]
+          [ name; "counter"; string_of_int (Atomic.get c.count); "-"; "-";
+            "-"; "-"; "-" ]
         | Gauge g ->
           [ name; "gauge"; "-"; format_value g.value; "-"; "-"; "-"; "-" ]
         | Histogram h ->
@@ -211,7 +216,7 @@ let to_json_lines () =
       | Counter c ->
         Buffer.add_string b
           (Printf.sprintf "{\"name\":\"%s\",\"type\":\"counter\",\"value\":%d%s}"
-             (json_escape name) c.count help)
+             (json_escape name) (Atomic.get c.count) help)
       | Gauge g ->
         Buffer.add_string b
           (Printf.sprintf "{\"name\":\"%s\",\"type\":\"gauge\",\"value\":%s%s}"

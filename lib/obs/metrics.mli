@@ -21,7 +21,10 @@ val counter : ?help:string -> string -> counter
 (** Find-or-create the counter registered under this name. *)
 
 val incr : ?by:int -> counter -> unit
-(** Add [by] (default 1, must be >= 0) to the counter. *)
+(** Add [by] (default 1, must be >= 0) to the counter. Counter updates
+    are atomic and may come from any domain (library code bumps
+    module-level counters from inside {!Dcopt_par.Par} pool tasks);
+    gauges and histograms must only be touched from the main domain. *)
 
 val value : counter -> int
 

@@ -15,7 +15,12 @@ let completed : span list ref = ref []
 let open_depth = ref 0
 
 let with_ ?(args = []) name fn =
-  if not !enabled_flag then fn ()
+  (* The span buffer, depth counter and monotonic clock are plain global
+     state: recording from a pool worker would race them and interleave
+     unrelated spans into one nesting. Workers run the function bare;
+     their time is still attributed to the main-domain span that submitted
+     the parallel batch. *)
+  if (not !enabled_flag) || not (Domain.is_main_domain ()) then fn ()
   else begin
     let start_ns = Clock.now_ns () in
     let depth = !open_depth in

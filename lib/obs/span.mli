@@ -27,10 +27,13 @@ val enabled : unit -> bool
 val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_ name fn] runs [fn ()]; when tracing is enabled the elapsed
     interval is recorded as a span named [name], closed even when [fn]
-    raises. Raises [Assert_failure] if the recorded duration is not
-    strictly positive (cannot happen with {!Clock.now_ns}, which is
-    strictly increasing — the assertion guards against a broken clock
-    source). *)
+    raises. On any domain other than the main one (a {!Dcopt_par.Par}
+    pool worker) recording is skipped and [fn] runs bare — the global
+    span buffer is not domain-safe, and worker time is already contained
+    in the main-domain span around the parallel batch. Raises
+    [Assert_failure] if the recorded duration is not strictly positive
+    (cannot happen with {!Clock.now_ns}, which is strictly increasing —
+    the assertion guards against a broken clock source). *)
 
 val reset : unit -> unit
 (** Discard all recorded spans (open spans keep nesting correctly). *)

@@ -69,7 +69,11 @@ let perturb env rng temperature design =
     fresh
   end
 
-let run_pass ?observer ~move_index env ~budgets ~options rng =
+(* [record] buffers one pass's telemetry (indexed 0..moves-1 within the
+   pass); optimize renumbers and forwards the buffers to the observer in
+   pass order, so the stream is identical whether passes ran sequentially
+   or on the Par pool. *)
+let run_pass ?record env ~budgets ~options rng =
   let tech = Power_model.tech env in
   let gates = Power_model.gate_ids env in
   let n = Dcopt_netlist.Circuit.size (Power_model.circuit env) in
@@ -97,18 +101,16 @@ let run_pass ?observer ~move_index env ~budgets ~options rng =
   let current_cost = ref current_cost in
   let best = ref None in
   let temperature = ref options.initial_temperature in
-  for _ = 1 to options.moves_per_pass do
+  for move = 1 to options.moves_per_pass do
     let candidate = perturb env rng !temperature !current in
     let c, e = cost env candidate in
-    (match observer with
+    (match record with
     | None -> ()
-    | Some obs ->
-      let index = !move_index in
-      move_index := index + 1;
-      obs
+    | Some record ->
+      record
         {
           Dcopt_obs.Telemetry.optimizer = "annealing";
-          index;
+          index = move - 1;
           vdd = candidate.Power_model.vdd;
           vt =
             (if Array.length gates = 0 then nan
@@ -141,11 +143,45 @@ let run_pass ?observer ~move_index env ~budgets ~options rng =
 
 let optimize ?observer ?(options = default_options) env ~budgets =
   let rng = Prng.create options.seed in
-  let best = ref None in
-  let move_index = ref 0 in
-  for _ = 1 to options.passes do
-    match run_pass ?observer ~move_index env ~budgets ~options (Prng.split rng) with
-    | Some sol -> best := Solution.better !best sol
-    | None -> ()
+  let passes = max 0 options.passes in
+  (* Split one rng per pass up front, in pass order — the same streams a
+     sequential loop would hand each pass — so the restarts are
+     independent and can run on the Par pool. *)
+  let rngs = Array.make passes rng in
+  for i = 0 to passes - 1 do
+    rngs.(i) <- Prng.split rng
   done;
-  !best
+  let buffers = Array.init passes (fun _ -> ref []) in
+  let results =
+    Dcopt_par.Par.map ~site:"annealing.passes"
+      (fun i ->
+        let record =
+          match observer with
+          | None -> None
+          | Some _ -> Some (fun it -> buffers.(i) := it :: !(buffers.(i)))
+        in
+        run_pass ?record env ~budgets ~options rngs.(i))
+      (Array.init passes Fun.id)
+  in
+  (* Sequential emission in pass order, move indices renumbered to the
+     global stream a sequential run produces. *)
+  (match observer with
+  | None -> ()
+  | Some obs ->
+    Array.iteri
+      (fun p buffer ->
+        List.iter
+          (fun it ->
+            obs
+              {
+                it with
+                Dcopt_obs.Telemetry.index =
+                  (p * options.moves_per_pass) + it.Dcopt_obs.Telemetry.index;
+              })
+          (List.rev !buffer))
+      buffers);
+  Array.fold_left
+    (fun best -> function
+      | Some sol -> Solution.better best sol
+      | None -> best)
+    None results

@@ -18,12 +18,18 @@ let sizing_solution env ~budgets ~vdd ~vt =
   Solution.make ~label:"sizing" ~meets_budgets:ok env design
 
 (* One trial: size at (vdd, vt), report (feasible-with-budgets, energy,
-   solution) and feed the convergence-telemetry stream. *)
-let trial ~emit env ~budgets ~vdd ~vt =
+   solution) and feed the convergence-telemetry stream. The pure sizing
+   part is split out so grid scans can run trials on the Par pool and
+   emit sequentially afterwards. *)
+let joint_trial env ~budgets ~vdd ~vt =
   let sol =
     { (sizing_solution env ~budgets ~vdd ~vt) with Solution.label = "joint" }
   in
   let ok = sol.Solution.meets_budgets && Solution.feasible sol in
+  (ok, sol)
+
+let trial ~emit env ~budgets ~vdd ~vt =
+  let ok, sol = joint_trial env ~budgets ~vdd ~vt in
   emit ~vdd ~vt ~ok sol;
   (ok, sol)
 
@@ -79,19 +85,33 @@ let paper_binary ~emit env ~budgets ~m ~vt_fixed =
 let grid_refine ~emit env ~budgets ~m ~vt_fixed =
   let tech = Power_model.tech env in
   let best = ref None in
-  let try_point vdd vt =
-    let ok, sol = trial ~emit env ~budgets ~vdd ~vt in
-    if ok then best := Solution.better !best sol
-  in
   let vt_points lo hi n =
     match vt_fixed with
     | Some vt -> [| vt |]
     | None -> Dcopt_util.Numeric.linspace ~lo ~hi ~n
   in
+  (* Grid points are independent sizings: run them on the Par pool, then
+     emit telemetry and fold the incumbent in scan order, so the trial
+     stream and the chosen optimum are identical at any --jobs. *)
   let scan vdd_lo vdd_hi vt_lo vt_hi n =
     let vdds = Dcopt_util.Numeric.log_interp_points ~lo:vdd_lo ~hi:vdd_hi ~n in
     let vts = vt_points vt_lo vt_hi n in
-    Array.iter (fun vdd -> Array.iter (fun vt -> try_point vdd vt) vts) vdds
+    let points =
+      Array.concat
+        (Array.to_list
+           (Array.map (fun vdd -> Array.map (fun vt -> (vdd, vt)) vts) vdds))
+    in
+    let results =
+      Dcopt_par.Par.map ~site:"heuristic.grid"
+        (fun (vdd, vt) -> joint_trial env ~budgets ~vdd ~vt)
+        points
+    in
+    Array.iteri
+      (fun i (ok, sol) ->
+        let vdd, vt = points.(i) in
+        emit ~vdd ~vt ~ok sol;
+        if ok then best := Solution.better !best sol)
+      results
   in
   (* Capped at m so the two coarse^2 scans keep the whole optimizer within
      its documented O(M^3)-sizings bound even when this runs as the

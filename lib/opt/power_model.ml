@@ -3,6 +3,7 @@ module Gate = Dcopt_netlist.Gate
 module Tech = Dcopt_device.Tech
 module Delay = Dcopt_device.Delay
 module Energy = Dcopt_device.Energy
+module Drive = Dcopt_device.Drive
 module Wire = Dcopt_wiring.Wire_model
 module Activity = Dcopt_activity.Activity
 
@@ -80,10 +81,19 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
             })
     (Circuit.nodes circuit);
   let gates_topo =
-    Circuit.topo_order circuit
-    |> Array.to_list
-    |> List.filter (fun id -> info.(id) <> None)
-    |> Array.of_list
+    let topo = Circuit.topo_order circuit in
+    let count = ref 0 in
+    Array.iter (fun id -> if info.(id) <> None then incr count) topo;
+    let out = Array.make !count 0 in
+    let next = ref 0 in
+    Array.iter
+      (fun id ->
+        if info.(id) <> None then begin
+          out.(!next) <- id;
+          incr next
+        end)
+      topo;
+    out
   in
   { env_tech = tech; env_circuit = circuit; fc; tc = 1.0 /. fc; info;
     gates_topo; short_circuit = include_short_circuit }
@@ -137,12 +147,36 @@ let budget_fanin_delay env ~budgets id =
       | Some _ -> Float.max acc budgets.(f))
     0.0 nd.Circuit.fanins
 
+(* Trial-scoped cache of drive contexts. A trial fixes vdd, and almost
+   all designs carry one (multi-vt: a few) distinct thresholds, so a tiny
+   assoc list amortizes the transcendental device model over all N gates
+   x 40 width-search iterations of the trial. *)
+type drive_cache = {
+  cache_tech : Tech.t;
+  cache_vdd : float;
+  mutable cache_entries : (float * Drive.ctx) list;
+}
+
+let drive_cache env ~vdd =
+  { cache_tech = env.env_tech; cache_vdd = vdd; cache_entries = [] }
+
+let drive_ctx cache ~vt =
+  let rec find = function
+    | (v, ctx) :: rest -> if v = vt then ctx else find rest
+    | [] ->
+      let ctx = Drive.make cache.cache_tech ~vdd:cache.cache_vdd ~vt in
+      cache.cache_entries <- (vt, ctx) :: cache.cache_entries;
+      ctx
+  in
+  find cache.cache_entries
+
 let evaluate env design =
   let n = Circuit.size env.env_circuit in
   let delays = Array.make n 0.0 in
   let arrival = Array.make n 0.0 in
   let static_e = ref 0.0 and dynamic_e = ref 0.0 in
   let short_e = ref 0.0 in
+  let cache = drive_cache env ~vdd:design.vdd in
   Array.iter
     (fun id ->
       let nd = Circuit.node env.env_circuit id in
@@ -155,7 +189,11 @@ let evaluate env design =
             | Some _ -> Float.max acc delays.(f))
           0.0 nd.Circuit.fanins
       in
-      let d = gate_delay env design ~max_fanin_delay id in
+      let ctx = drive_ctx cache ~vt:design.vt.(id) in
+      let w = design.widths.(id) in
+      (* one load per gate: the delay and the dynamic-energy term share it *)
+      let load = gate_load env design ~max_fanin_delay id in
+      let d = Drive.gate_delay env.env_tech ctx ~w load in
       delays.(id) <- d;
       let worst_arrival =
         Array.fold_left
@@ -163,15 +201,11 @@ let evaluate env design =
           0.0 nd.Circuit.fanins
       in
       arrival.(id) <- worst_arrival +. d;
-      let load = gate_load env design ~max_fanin_delay id in
-      static_e :=
-        !static_e
-        +. Energy.static_energy env.env_tech ~fc:env.fc ~vdd:design.vdd
-             ~vt:design.vt.(id) ~w:design.widths.(id);
+      static_e := !static_e +. Drive.static_energy ctx ~fc:env.fc ~w;
       dynamic_e :=
         !dynamic_e
-        +. Energy.dynamic_energy env.env_tech ~vdd:design.vdd
-             ~w:design.widths.(id) ~activity:info.node_activity ~load;
+        +. Drive.dynamic_energy env.env_tech ctx ~w
+             ~activity:info.node_activity ~load;
       if env.short_circuit then
         short_e :=
           !short_e
@@ -199,32 +233,35 @@ let evaluate env design =
     feasible = critical_delay <= env.tc *. (1.0 +. 1e-6);
   }
 
-let size_gate env design ~budgets id =
+(* The load depends only on the gate's *fanout* widths — fixed for the
+   whole search (combinational circuits have no self-loops, and size_all
+   finalizes fanouts before their drivers) — so it is hoisted out of the
+   40-iteration binary search along with the drive context, leaving a
+   handful of flops per iteration. *)
+let size_gate_ctx env design ~budgets ctx id =
   let tech = env.env_tech in
   let target = budgets.(id) in
   let max_fanin_delay = budget_fanin_delay env ~budgets id in
-  let saved = design.widths.(id) in
-  let delay_at w =
-    design.widths.(id) <- w;
-    gate_delay env design ~max_fanin_delay id
-  in
-  let feasible w = delay_at w <= target in
-  let result =
-    Dcopt_util.Numeric.binary_search_min ~feasible ~lo:tech.Tech.w_min
-      ~hi:tech.Tech.w_max ~iters:40 ()
-  in
-  design.widths.(id) <- saved;
-  result
+  let load = gate_load env design ~max_fanin_delay id in
+  let feasible w = Drive.gate_delay tech ctx ~w load <= target in
+  Dcopt_util.Numeric.binary_search_min ~feasible ~lo:tech.Tech.w_min
+    ~hi:tech.Tech.w_max ~iters:40 ()
+
+let size_gate env design ~budgets id =
+  let ctx = Drive.make env.env_tech ~vdd:design.vdd ~vt:design.vt.(id) in
+  size_gate_ctx env design ~budgets ctx id
 
 let size_all env ~vdd ~vt ~budgets =
   let n = Circuit.size env.env_circuit in
   let design = { vdd; vt; widths = Array.make n env.env_tech.Tech.w_min } in
+  let cache = drive_cache env ~vdd in
   let all_met = ref true in
   (* Reverse topological order: every gate's fanout widths (its load) are
      final before the gate itself is sized. *)
   for i = Array.length env.gates_topo - 1 downto 0 do
     let id = env.gates_topo.(i) in
-    match size_gate env design ~budgets id with
+    let ctx = drive_ctx cache ~vt:vt.(id) in
+    match size_gate_ctx env design ~budgets ctx id with
     | Some w -> design.widths.(id) <- w
     | None ->
       design.widths.(id) <- env.env_tech.Tech.w_max;

@@ -11,10 +11,10 @@ type point = {
 }
 
 let sweep ?(m_steps = 12) ?baseline_vt ~tech ~fc circuit profile ~factors =
-  let nominal_baseline = ref None in
-  let run factor =
-    if factor < 1.0 then
-      invalid_arg "Slack_sweep.sweep: slack factor below 1";
+  (* Solve every slack point on the Par pool, then resolve the nominal
+     reference sequentially in sorted order — the rule a sequential sweep
+     applies ("factor 1 or else the first point that solved"). *)
+  let solve factor =
     let fc_eff = fc /. factor in
     let env = Power_model.make_env ~tech ~fc:fc_eff circuit profile in
     let raw =
@@ -41,25 +41,40 @@ let sweep ?(m_steps = 12) ?baseline_vt ~tech ~fc circuit profile ~factors =
             env ~budgets)
     in
     match (baseline, joint) with
-    | Some b, Some j ->
-      let be = Solution.total_energy b and je = Solution.total_energy j in
-      if factor = 1.0 || !nominal_baseline = None then
-        nominal_baseline := Some be;
-      let reference = Option.value !nominal_baseline ~default:be in
-      Some
-        {
-          slack_factor = factor;
-          baseline_energy = be;
-          joint_energy = je;
-          savings = reference /. je;
-          savings_same_slack = be /. je;
-          joint_vdd = Solution.vdd j;
-          joint_vt =
-            (match Solution.vt_values j with v :: _ -> v | [] -> nan);
-        }
+    | Some b, Some j -> Some (Solution.total_energy b, j)
     | _ -> None
   in
   (* evaluate the nominal point first so the reference is available *)
   let sorted = Array.copy factors in
   Array.sort Float.compare sorted;
-  Array.to_list sorted |> List.filter_map run |> Array.of_list
+  Array.iter
+    (fun factor ->
+      if factor < 1.0 then invalid_arg "Slack_sweep.sweep: slack factor below 1")
+    sorted;
+  let solved =
+    Dcopt_par.Par.map ~site:"slack.factors"
+      (fun factor -> (factor, solve factor))
+      sorted
+  in
+  let nominal_baseline = ref None in
+  Array.to_list solved
+  |> List.filter_map (fun (factor, result) ->
+         match result with
+         | None -> None
+         | Some (be, j) ->
+           let je = Solution.total_energy j in
+           if factor = 1.0 || !nominal_baseline = None then
+             nominal_baseline := Some be;
+           let reference = Option.value !nominal_baseline ~default:be in
+           Some
+             {
+               slack_factor = factor;
+               baseline_energy = be;
+               joint_energy = je;
+               savings = reference /. je;
+               savings_same_slack = be /. je;
+               joint_vdd = Solution.vdd j;
+               joint_vt =
+                 (match Solution.vt_values j with v :: _ -> v | [] -> nan);
+             })
+  |> Array.of_list

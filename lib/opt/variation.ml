@@ -64,9 +64,15 @@ let corner_optimize ?(m_steps = 12) env ~budgets ~tolerance =
   !best
 
 let savings_curve ?m_steps env ~budgets ~baseline_energy ~tolerances =
-  Array.to_list tolerances
-  |> List.filter_map (fun tolerance ->
-         match corner_optimize ?m_steps env ~budgets ~tolerance with
+  (* Tolerance points are independent corner optimizations: run them on
+     the Par pool, keep the curve in input order. *)
+  Dcopt_par.Par.map ~site:"variation.corners"
+    (fun tolerance ->
+      (tolerance, corner_optimize ?m_steps env ~budgets ~tolerance))
+    tolerances
+  |> Array.to_list
+  |> List.filter_map (fun (tolerance, result) ->
+         match result with
          | None -> None
          | Some sol ->
            let e = Solution.total_energy sol in

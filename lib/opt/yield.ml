@@ -18,7 +18,6 @@ let monte_carlo ?(seed = 0xD1E5L) ?(global_fraction = 0.7) env design
   let energies = Array.make samples 0.0 in
   let pass = ref 0 in
   let worst = ref 0.0 in
-  let vt_sample = Array.copy design.Power_model.vt in
   (* Die-to-die (correlated) and within-die (independent) components: the
      correlated part dominates timing loss because it cannot average out
      along a path. *)
@@ -26,22 +25,37 @@ let monte_carlo ?(seed = 0xD1E5L) ?(global_fraction = 0.7) env design
   let sigma_local =
     sqrt (Float.max 0.0 ((sigma_fraction ** 2.0) -. (sigma_global ** 2.0)))
   in
+  (* Draw every sample's thresholds sequentially (the exact stream a
+     sequential run consumes), then evaluate the pure samples on the Par
+     pool and reduce in index order — the report is identical at any
+     --jobs. *)
+  let vt_samples = Array.make samples [||] in
   for i = 0 to samples - 1 do
     let die_shift = Prng.gaussian rng ~mean:0.0 ~sigma:sigma_global in
+    let vt_sample = Array.copy design.Power_model.vt in
     Array.iter
       (fun id ->
         let nominal = design.Power_model.vt.(id) in
-        let local = Prng.gaussian rng ~mean:0.0 ~sigma:(sigma_local *. nominal) in
-        let v = nominal *. (1.0 +. die_shift) +. local in
+        let local =
+          Prng.gaussian rng ~mean:0.0 ~sigma:(sigma_local *. nominal)
+        in
+        let v = (nominal *. (1.0 +. die_shift)) +. local in
         vt_sample.(id) <- Float.max (0.05 *. nominal) v)
       gates;
-    let sample_design = { design with Power_model.vt = vt_sample } in
-    let e = Power_model.evaluate env sample_design in
-    energies.(i) <- e.Power_model.total_energy;
-    if e.Power_model.feasible then incr pass;
-    if e.Power_model.critical_delay > !worst then
-      worst := e.Power_model.critical_delay
+    vt_samples.(i) <- vt_sample
   done;
+  let evals =
+    Dcopt_par.Par.map ~site:"yield.samples"
+      (fun vt -> Power_model.evaluate env { design with Power_model.vt = vt })
+      vt_samples
+  in
+  Array.iteri
+    (fun i e ->
+      energies.(i) <- e.Power_model.total_energy;
+      if e.Power_model.feasible then incr pass;
+      if e.Power_model.critical_delay > !worst then
+        worst := e.Power_model.critical_delay)
+    evals;
   {
     samples;
     timing_yield = float_of_int !pass /. float_of_int samples;

@@ -1,0 +1,207 @@
+(* Golden equivalence of the trial-context fast path.
+
+   Power_model.evaluate and size_all run on cached Drive contexts (the
+   per-(vdd, vt) transcendentals hoisted out of the per-gate and
+   per-iteration loops). These tests re-derive the same numbers through
+   the original uncached formulas — Delay.gate_delay via the public
+   Power_model.gate_delay, and the Energy module directly — exactly as
+   the pre-cache implementation computed them, and require agreement to
+   <= 1e-9 relative error (the delay path is bit-identical by
+   construction; the energy path may differ at round-off). *)
+
+module Circuit = Dcopt_netlist.Circuit
+module Tech = Dcopt_device.Tech
+module Energy = Dcopt_device.Energy
+module Activity = Dcopt_activity.Activity
+module Delay_assign = Dcopt_timing.Delay_assign
+module Power_model = Dcopt_opt.Power_model
+module Budget_repair = Dcopt_opt.Budget_repair
+module Numeric = Dcopt_util.Numeric
+
+let tech = Tech.default
+let fc = 300e6
+let tolerance = 1e-9
+
+let setup core =
+  let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
+  let profile = Activity.local_profile core specs in
+  let env = Power_model.make_env ~tech ~fc core profile in
+  let raw =
+    (Delay_assign.assign core ~cycle_time:(1.0 /. fc)).Delay_assign.t_max
+  in
+  let budgets =
+    match
+      Budget_repair.repair env ~budgets:raw ~vdd:tech.Tech.vdd_max
+        ~vt:tech.Tech.vt_min
+    with
+    | Budget_repair.Repaired { budgets; _ } -> budgets
+    | Budget_repair.Infeasible _ -> raw
+  in
+  (env, budgets)
+
+let s27 () = Circuit.combinational_core (Dcopt_suite.Suite.find "s27")
+
+let adder () =
+  Circuit.combinational_core
+    (Dcopt_netlist.Patterns.ripple_carry_adder ~bits:8)
+
+let check_rel what reference fast =
+  let err =
+    if reference = fast then 0.0 (* covers infinities and exact hits *)
+    else Float.abs (fast -. reference) /. Float.max 1e-300 (Float.abs reference)
+  in
+  if not (err <= tolerance) then
+    Alcotest.failf "%s: reference %.17g fast %.17g (rel err %g)" what
+      reference fast err
+
+(* The pre-cache evaluate, re-derived through the public per-gate API:
+   same topological propagation, same per-gate load, original Energy
+   formulas. *)
+let reference_evaluate env design =
+  let core = Power_model.circuit env in
+  let n = Circuit.size core in
+  let delays = Array.make n 0.0 in
+  let arrival = Array.make n 0.0 in
+  let is_gate = Array.make n false in
+  Array.iter (fun id -> is_gate.(id) <- true) (Power_model.gate_ids env);
+  let static_e = ref 0.0 and dynamic_e = ref 0.0 in
+  Array.iter
+    (fun id ->
+      let nd = Circuit.node core id in
+      let max_fanin_delay =
+        Array.fold_left
+          (fun acc f -> if is_gate.(f) then Float.max acc delays.(f) else acc)
+          0.0 nd.Circuit.fanins
+      in
+      let d = Power_model.gate_delay env design ~max_fanin_delay id in
+      delays.(id) <- d;
+      let worst_arrival =
+        Array.fold_left
+          (fun acc f -> Float.max acc arrival.(f))
+          0.0 nd.Circuit.fanins
+      in
+      arrival.(id) <- worst_arrival +. d;
+      let load = Power_model.gate_load env design ~max_fanin_delay id in
+      static_e :=
+        !static_e
+        +. Energy.static_energy tech ~fc ~vdd:design.Power_model.vdd
+             ~vt:design.Power_model.vt.(id) ~w:design.Power_model.widths.(id);
+      dynamic_e :=
+        !dynamic_e
+        +. Energy.dynamic_energy tech ~vdd:design.Power_model.vdd
+             ~w:design.Power_model.widths.(id)
+             ~activity:(Power_model.activity env id)
+             ~load)
+    (Power_model.gate_ids env);
+  let critical_delay =
+    Array.fold_left
+      (fun acc id -> Float.max acc arrival.(id))
+      0.0 (Circuit.outputs core)
+  in
+  (!static_e, !dynamic_e, delays, critical_delay)
+
+(* The pre-cache size_gate: mutate the width under test, rebuild the load
+   through the public gate_delay every iteration, restore. *)
+let reference_size_gate env design ~budgets id =
+  let target = budgets.(id) in
+  let max_fanin_delay = Power_model.budget_fanin_delay env ~budgets id in
+  let saved = design.Power_model.widths.(id) in
+  let feasible w =
+    design.Power_model.widths.(id) <- w;
+    Power_model.gate_delay env design ~max_fanin_delay id <= target
+  in
+  let result =
+    Numeric.binary_search_min ~feasible ~lo:tech.Tech.w_min
+      ~hi:tech.Tech.w_max ~iters:40 ()
+  in
+  design.Power_model.widths.(id) <- saved;
+  result
+
+let reference_size_all env ~vdd ~vt ~budgets =
+  let n = Circuit.size (Power_model.circuit env) in
+  let design =
+    { Power_model.vdd; vt; widths = Array.make n tech.Tech.w_min }
+  in
+  let gates = Power_model.gate_ids env in
+  let all_met = ref true in
+  for i = Array.length gates - 1 downto 0 do
+    let id = gates.(i) in
+    match reference_size_gate env design ~budgets id with
+    | Some w -> design.Power_model.widths.(id) <- w
+    | None ->
+      design.Power_model.widths.(id) <- tech.Tech.w_max;
+      all_met := false
+  done;
+  (design, !all_met)
+
+let operating_points =
+  [ (1.0, 0.15); (0.6, 0.25); (1.2, 0.45); (0.45, 0.1) ]
+
+let check_evaluate_equiv core_of () =
+  let env, budgets = setup (core_of ()) in
+  List.iter
+    (fun (vdd, vt) ->
+      (* both a uniform design and the sized design at this point *)
+      let designs =
+        [
+          Power_model.uniform_design env ~vdd ~vt ~w:4.0;
+          (let n = Circuit.size (Power_model.circuit env) in
+           fst (Power_model.size_all env ~vdd ~vt:(Array.make n vt) ~budgets));
+        ]
+      in
+      List.iter
+        (fun design ->
+          let fast = Power_model.evaluate env design in
+          let static_e, dynamic_e, delays, critical = reference_evaluate env design in
+          let at = Printf.sprintf "vdd=%.2f vt=%.2f" vdd vt in
+          check_rel (at ^ " static") static_e fast.Power_model.static_energy;
+          check_rel (at ^ " dynamic") dynamic_e fast.Power_model.dynamic_energy;
+          check_rel (at ^ " total") (static_e +. dynamic_e)
+            fast.Power_model.total_energy;
+          check_rel (at ^ " critical") critical fast.Power_model.critical_delay;
+          Array.iteri
+            (fun id d ->
+              check_rel
+                (Printf.sprintf "%s delay[%d]" at id)
+                d fast.Power_model.delays.(id))
+            delays)
+        designs)
+    operating_points
+
+let check_size_all_equiv core_of () =
+  let env, budgets = setup (core_of ()) in
+  let n = Circuit.size (Power_model.circuit env) in
+  List.iter
+    (fun (vdd, vt) ->
+      let vt_arr = Array.make n vt in
+      let fast, fast_met = Power_model.size_all env ~vdd ~vt:vt_arr ~budgets in
+      let refd, ref_met = reference_size_all env ~vdd ~vt:vt_arr ~budgets in
+      Alcotest.(check bool)
+        (Printf.sprintf "all_met at vdd=%.2f vt=%.2f" vdd vt)
+        ref_met fast_met;
+      Array.iteri
+        (fun id w ->
+          check_rel
+            (Printf.sprintf "width[%d] at vdd=%.2f vt=%.2f" id vdd vt)
+            w fast.Power_model.widths.(id))
+        refd.Power_model.widths)
+    operating_points
+
+let () =
+  Alcotest.run "golden_equiv"
+    [
+      ( "evaluate",
+        [
+          Alcotest.test_case "s27 cached = reference" `Quick
+            (check_evaluate_equiv s27);
+          Alcotest.test_case "adder8 cached = reference" `Quick
+            (check_evaluate_equiv adder);
+        ] );
+      ( "size_all",
+        [
+          Alcotest.test_case "s27 cached = reference" `Quick
+            (check_size_all_equiv s27);
+          Alcotest.test_case "adder8 cached = reference" `Quick
+            (check_size_all_equiv adder);
+        ] );
+    ]
