@@ -277,7 +277,112 @@ let bechamel_tests () =
           fun () -> ignore (Dcopt_opt.Power_model.evaluate env design)));
   ]
 
-let write_timing_json path ~kernels ~full_joint =
+(* Incremental vs full per-move cost on s298 — the Incr engine's reason to
+   exist. Both variants replay one deterministic width-move schedule:
+
+   - sizing (TILOS accepted-move shape): apply the width, recover delays,
+     energies and the critical path. Full = whole-circuit evaluate + STA
+     walk; incremental = set_width + commit + arrival-walk.
+   - annealing width-move shape: evaluate the perturbed design, accept
+     every other move. Full = candidate copy + whole-circuit evaluate;
+     incremental = in-place set_width + commit/rollback. *)
+let measure_incremental () =
+  let module Power_model = Dcopt_opt.Power_model in
+  let module Incr = Dcopt_opt.Power_model.Incr in
+  let module Prng = Dcopt_util.Prng in
+  let tech = Dcopt_device.Tech.default in
+  let core = Circuit.combinational_core (Suite.find "s298") in
+  let specs =
+    Dcopt_activity.Activity.uniform_inputs core ~probability:0.5 ~density:0.1
+  in
+  let profile = Dcopt_activity.Activity.local_profile core specs in
+  let env = Power_model.make_env ~tech ~fc:300e6 core profile in
+  let gates = Power_model.gate_ids env in
+  let gate_count = Array.length gates in
+  let moves = if !quick then 300 else 3000 in
+  let clamp_w w =
+    Dcopt_util.Numeric.clamp ~lo:tech.Dcopt_device.Tech.w_min
+      ~hi:tech.Dcopt_device.Tech.w_max w
+  in
+  let schedule =
+    let rng = Prng.create 0xBE7CL in
+    Array.init moves (fun _ ->
+        ( gates.(Prng.int rng gate_count),
+          exp (Prng.gaussian rng ~mean:0.0 ~sigma:0.4) ))
+  in
+  let fresh_design () = Power_model.uniform_design env ~vdd:1.0 ~vt:0.2 ~w:4.0 in
+  let sizing_full () =
+    let design = fresh_design () in
+    Array.iter
+      (fun (id, factor) ->
+        design.Power_model.widths.(id) <-
+          clamp_w (design.Power_model.widths.(id) *. factor);
+        let e = Power_model.evaluate env design in
+        ignore
+          (Dcopt_timing.Sta.critical_path core ~delays:e.Power_model.delays))
+      schedule
+  in
+  let sizing_incr () =
+    let inc = Incr.create env (fresh_design ()) in
+    Array.iter
+      (fun (id, factor) ->
+        Incr.set_width inc id
+          (clamp_w ((Incr.design inc).Power_model.widths.(id) *. factor));
+        Incr.commit inc;
+        ignore (Incr.critical_path inc))
+      schedule
+  in
+  let anneal_full () =
+    let design = ref (fresh_design ()) in
+    Array.iteri
+      (fun i (id, factor) ->
+        let cand =
+          {
+            !design with
+            Power_model.vt = Array.copy !design.Power_model.vt;
+            widths = Array.copy !design.Power_model.widths;
+          }
+        in
+        cand.Power_model.widths.(id) <-
+          clamp_w (cand.Power_model.widths.(id) *. factor);
+        ignore (Power_model.evaluate env cand);
+        if i land 1 = 0 then design := cand)
+      schedule
+  in
+  let anneal_incr () =
+    let inc = Incr.create env (fresh_design ()) in
+    Array.iteri
+      (fun i (id, factor) ->
+        Incr.set_width inc id
+          (clamp_w ((Incr.design inc).Power_model.widths.(id) *. factor));
+        ignore (Incr.total_energy inc);
+        if i land 1 = 0 then Incr.commit inc else Incr.rollback inc)
+      schedule
+  in
+  let per_move f =
+    let _, dt = wall f in
+    dt /. float_of_int moves *. 1e9
+  in
+  let dirty = Dcopt_obs.Metrics.counter "incr.dirty_gates" in
+  let moves_c = Dcopt_obs.Metrics.counter "incr.moves" in
+  let measure name full incr =
+    let full_ns = per_move full in
+    let d0 = Dcopt_obs.Metrics.value dirty in
+    let m0 = Dcopt_obs.Metrics.value moves_c in
+    let incr_ns = per_move incr in
+    let dirty_per_move =
+      float_of_int (Dcopt_obs.Metrics.value dirty - d0)
+      /. float_of_int (max 1 (Dcopt_obs.Metrics.value moves_c - m0))
+    in
+    (name, full_ns, incr_ns, dirty_per_move)
+  in
+  ( [
+      measure "sizing_incr" sizing_full sizing_incr;
+      measure "anneal_incr" anneal_full anneal_incr;
+    ],
+    gate_count )
+
+let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count =
   let esc = Dcopt_obs.Metrics.json_escape in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"dcopt-bench-timing/1\",\n";
@@ -298,6 +403,18 @@ let write_timing_json path ~kernels ~full_joint =
         (esc circuit) seconds
         (if i < List.length full_joint - 1 then "," else ""))
     full_joint;
+  Buffer.add_string b "  ],\n  \"incremental\": [\n";
+  List.iteri
+    (fun i (name, full_ns, incr_ns, dirty_per_move) ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"full_ns_per_move\": %.1f, \
+         \"incr_ns_per_move\": %.1f, \"speedup\": %.2f, \
+         \"dirty_gates_per_move\": %.2f, \"gate_count\": %d}%s\n"
+        (esc name) full_ns incr_ns
+        (full_ns /. Float.max 1e-9 incr_ns)
+        dirty_per_move gate_count
+        (if i < List.length incremental - 1 then "," else ""))
+    incremental;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out path in
   Fun.protect
@@ -366,9 +483,35 @@ let run_timing () =
   print_endline
     "\n(The paper quotes 5-20 s per circuit on 1997 hardware for the same \
      O(M^3) procedure.)";
+  print_newline ();
+  let incremental, gate_count = measure_incremental () in
+  let it =
+    Dcopt_util.Text_table.create
+      ~headers:
+        [
+          "Per-move path (s298)";
+          "full";
+          "incremental";
+          "speedup";
+          "dirty gates/move";
+        ]
+  in
+  List.iter
+    (fun (name, full_ns, incr_ns, dirty_per_move) ->
+      Dcopt_util.Text_table.add_row it
+        [
+          name;
+          Dcopt_util.Si.format ~unit:"s" (full_ns *. 1e-9);
+          Dcopt_util.Si.format ~unit:"s" (incr_ns *. 1e-9);
+          Printf.sprintf "%.1fx" (full_ns /. Float.max 1e-9 incr_ns);
+          Printf.sprintf "%.1f of %d" dirty_per_move gate_count;
+        ])
+    incremental;
+  Dcopt_util.Text_table.print it;
   match !json_out with
   | None -> ()
-  | Some path -> write_timing_json path ~kernels ~full_joint
+  | Some path ->
+    write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
 
 (* ------------------------------------------------------------------ *)
 

@@ -7,7 +7,7 @@ module Drive = Dcopt_device.Drive
 module Wire = Dcopt_wiring.Wire_model
 module Activity = Dcopt_activity.Activity
 
-type design = { vdd : float; vt : float array; widths : float array }
+type design = { mutable vdd : float; vt : float array; widths : float array }
 
 type gate_info = {
   fanin_count : int;
@@ -81,18 +81,15 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
             })
     (Circuit.nodes circuit);
   let gates_topo =
-    let topo = Circuit.topo_order circuit in
     let count = ref 0 in
-    Array.iter (fun id -> if info.(id) <> None then incr count) topo;
+    Circuit.iter_topo circuit (fun id -> if info.(id) <> None then incr count);
     let out = Array.make !count 0 in
     let next = ref 0 in
-    Array.iter
-      (fun id ->
+    Circuit.iter_topo circuit (fun id ->
         if info.(id) <> None then begin
           out.(!next) <- id;
           incr next
-        end)
-      topo;
+        end);
     out
   in
   { env_tech = tech; env_circuit = circuit; fc; tc = 1.0 /. fc; info;
@@ -103,6 +100,7 @@ let circuit env = env.env_circuit
 let cycle_time env = env.tc
 let clock_frequency env = env.fc
 let gate_ids env = Array.copy env.gates_topo
+let unsafe_gate_ids env = env.gates_topo
 
 let get_info env id =
   match env.info.(id) with
@@ -170,6 +168,13 @@ let drive_ctx cache ~vt =
   in
   find cache.cache_entries
 
+let sc_energy env design ~max_fanin_delay id =
+  let info = get_info env id in
+  Dcopt_device.Short_circuit.energy env.env_tech ~vdd:design.vdd
+    ~vt:design.vt.(id) ~w:design.widths.(id) ~activity:info.node_activity
+    ~input_transition_time:
+      (Dcopt_device.Short_circuit.transition_time_of_delay max_fanin_delay)
+
 let evaluate env design =
   let n = Circuit.size env.env_circuit in
   let delays = Array.make n 0.0 in
@@ -207,14 +212,7 @@ let evaluate env design =
         +. Drive.dynamic_energy env.env_tech ctx ~w
              ~activity:info.node_activity ~load;
       if env.short_circuit then
-        short_e :=
-          !short_e
-          +. Dcopt_device.Short_circuit.energy env.env_tech ~vdd:design.vdd
-               ~vt:design.vt.(id) ~w:design.widths.(id)
-               ~activity:info.node_activity
-               ~input_transition_time:
-                 (Dcopt_device.Short_circuit.transition_time_of_delay
-                    max_fanin_delay))
+        short_e := !short_e +. sc_energy env design ~max_fanin_delay id)
     env.gates_topo;
   let critical_delay =
     Array.fold_left
@@ -268,3 +266,264 @@ let size_all env ~vdd ~vt ~budgets =
       all_met := false
   done;
   (design, !all_met)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental evaluation                                              *)
+
+module Incr = struct
+  module Incr_sta = Dcopt_timing.Incr_sta
+  module Metrics = Dcopt_obs.Metrics
+
+  let m_moves = Metrics.counter ~help:"incremental-evaluation moves" "incr.moves"
+
+  let m_dirty =
+    Metrics.counter ~help:"gates recomputed by incremental moves"
+      "incr.dirty_gates"
+
+  let m_fallbacks =
+    Metrics.counter ~help:"incremental moves that re-swept every gate"
+      "incr.full_fallbacks"
+
+  let h_cone =
+    Metrics.histogram ~help:"gates recomputed per incremental move"
+      "incr.cone_size"
+
+  type undo =
+    | Width of int * float
+    | Vt of int * float
+    | Vdd of float * drive_cache
+    | Vt_all of float array
+
+  type t = {
+    ienv : env;
+    idesign : design;
+    ist : Incr_sta.t;
+    mutable icache : drive_cache;
+    st_terms : float array;
+    dy_terms : float array;
+    sc_terms : float array;
+    mutable st_total : float;
+    mutable dy_total : float;
+    mutable sc_total : float;
+    mutable crit : float;
+    term_journaled : bool array;
+    mutable term_journal : (int * float * float * float) list;
+    mutable design_journal : undo list;
+    (* totals and critical delay at move start, restored verbatim on
+       rollback so rejected moves leave no floating-point residue *)
+    mutable saved : (float * float * float * float) option;
+  }
+
+  let env t = t.ienv
+  let design t = t.idesign
+  let delays t = Incr_sta.delays t.ist
+  let arrivals t = Incr_sta.arrivals t.ist
+
+  (* One gate's full re-evaluation: the same context, load sharing and
+     formulas as [evaluate]'s topological sweep, so an unchanged gate
+     reproduces its delay bit for bit. Energy terms are swapped into the
+     running totals (subtract the stored term, add the new one). *)
+  let recompute t ~id ~max_fanin_delay =
+    let env = t.ienv in
+    let design = t.idesign in
+    let info = get_info env id in
+    let ctx = drive_ctx t.icache ~vt:design.vt.(id) in
+    let w = design.widths.(id) in
+    let load = gate_load env design ~max_fanin_delay id in
+    let d = Drive.gate_delay env.env_tech ctx ~w load in
+    if not t.term_journaled.(id) then begin
+      t.term_journaled.(id) <- true;
+      t.term_journal <-
+        (id, t.st_terms.(id), t.dy_terms.(id), t.sc_terms.(id))
+        :: t.term_journal
+    end;
+    let st = Drive.static_energy ctx ~fc:env.fc ~w in
+    let dy =
+      Drive.dynamic_energy env.env_tech ctx ~w ~activity:info.node_activity
+        ~load
+    in
+    let sc =
+      if env.short_circuit then sc_energy env design ~max_fanin_delay id
+      else 0.0
+    in
+    t.st_total <- t.st_total -. t.st_terms.(id) +. st;
+    t.dy_total <- t.dy_total -. t.dy_terms.(id) +. dy;
+    t.sc_total <- t.sc_total -. t.sc_terms.(id) +. sc;
+    t.st_terms.(id) <- st;
+    t.dy_terms.(id) <- dy;
+    t.sc_terms.(id) <- sc;
+    d
+
+  let recompute_critical t =
+    let arrival = Incr_sta.arrivals t.ist in
+    t.crit <-
+      Array.fold_left
+        (fun acc id -> Float.max acc arrival.(id))
+        0.0
+        (Circuit.outputs t.ienv.env_circuit)
+
+  let create env design =
+    if Array.length design.vt <> Circuit.size env.env_circuit
+       || Array.length design.widths <> Circuit.size env.env_circuit
+    then invalid_arg "Power_model.Incr.create: design size mismatch";
+    let n = Circuit.size env.env_circuit in
+    let t =
+      {
+        ienv = env;
+        idesign = design;
+        ist = Incr_sta.create env.env_circuit;
+        icache = drive_cache env ~vdd:design.vdd;
+        st_terms = Array.make n 0.0;
+        dy_terms = Array.make n 0.0;
+        sc_terms = Array.make n 0.0;
+        st_total = 0.0;
+        dy_total = 0.0;
+        sc_total = 0.0;
+        crit = 0.0;
+        term_journaled = Array.make n false;
+        term_journal = [];
+        design_journal = [];
+        saved = None;
+      }
+    in
+    (* Populate by a full sweep: the sub-then-add updates against zeroed
+       terms reduce to the exact left-to-right sums [evaluate] computes. *)
+    Incr_sta.refresh t.ist ~recompute:(fun ~id ~max_fanin_delay ->
+        recompute t ~id ~max_fanin_delay);
+    recompute_critical t;
+    Incr_sta.commit t.ist;
+    List.iter (fun (id, _, _, _) -> t.term_journaled.(id) <- false)
+      t.term_journal;
+    t.term_journal <- [];
+    t
+
+  let begin_move t =
+    Metrics.incr m_moves;
+    if t.saved = None then
+      t.saved <- Some (t.st_total, t.dy_total, t.sc_total, t.crit)
+
+  let finish_move t ~cone =
+    Metrics.incr ~by:cone m_dirty;
+    if Domain.is_main_domain () then
+      Metrics.observe h_cone (float_of_int cone);
+    recompute_critical t
+
+  let require_gate t id =
+    if not (Incr_sta.is_gate t.ist id) then
+      invalid_arg "Power_model.Incr: node is not a gate"
+
+  let set_width t id w =
+    require_gate t id;
+    begin_move t;
+    t.design_journal <- Width (id, t.idesign.widths.(id)) :: t.design_journal;
+    t.idesign.widths.(id) <- w;
+    (* the gate's own delay/energy change, and so do its fanin drivers':
+       their load includes this gate's input capacitance *)
+    Incr_sta.mark_dirty t.ist id;
+    Array.iter
+      (fun f -> Incr_sta.mark_dirty t.ist f)
+      (Circuit.node t.ienv.env_circuit id).Circuit.fanins;
+    let cone =
+      Incr_sta.propagate t.ist ~recompute:(fun ~id ~max_fanin_delay ->
+          recompute t ~id ~max_fanin_delay)
+    in
+    finish_move t ~cone
+
+  let set_vt t id vt =
+    require_gate t id;
+    begin_move t;
+    t.design_journal <- Vt (id, t.idesign.vt.(id)) :: t.design_journal;
+    t.idesign.vt.(id) <- vt;
+    (* a threshold change is local: no other gate's load or context moves *)
+    Incr_sta.mark_dirty t.ist id;
+    let cone =
+      Incr_sta.propagate t.ist ~recompute:(fun ~id ~max_fanin_delay ->
+          recompute t ~id ~max_fanin_delay)
+    in
+    finish_move t ~cone
+
+  let full_refresh t =
+    Metrics.incr m_fallbacks;
+    Incr_sta.refresh t.ist ~recompute:(fun ~id ~max_fanin_delay ->
+        recompute t ~id ~max_fanin_delay);
+    finish_move t ~cone:(Array.length t.ienv.gates_topo)
+
+  let set_vdd t vdd =
+    begin_move t;
+    t.design_journal <- Vdd (t.idesign.vdd, t.icache) :: t.design_journal;
+    t.idesign.vdd <- vdd;
+    t.icache <- drive_cache t.ienv ~vdd;
+    full_refresh t
+
+  let set_vt_uniform t vt =
+    begin_move t;
+    t.design_journal <- Vt_all (Array.copy t.idesign.vt) :: t.design_journal;
+    Array.iter (fun id -> t.idesign.vt.(id) <- vt) t.ienv.gates_topo;
+    full_refresh t
+
+  let clear_journals t =
+    List.iter (fun (id, _, _, _) -> t.term_journaled.(id) <- false)
+      t.term_journal;
+    t.term_journal <- [];
+    t.design_journal <- [];
+    t.saved <- None
+
+  let commit t =
+    Incr_sta.commit t.ist;
+    clear_journals t
+
+  let rollback t =
+    Incr_sta.rollback t.ist;
+    List.iter
+      (fun (id, st, dy, sc) ->
+        t.term_journaled.(id) <- false;
+        t.st_terms.(id) <- st;
+        t.dy_terms.(id) <- dy;
+        t.sc_terms.(id) <- sc)
+      t.term_journal;
+    t.term_journal <- [];
+    (* newest first: replaying the whole list leaves the oldest (= original)
+       value of any field written twice *)
+    List.iter
+      (function
+        | Width (id, w) -> t.idesign.widths.(id) <- w
+        | Vt (id, v) -> t.idesign.vt.(id) <- v
+        | Vdd (v, cache) ->
+          t.idesign.vdd <- v;
+          t.icache <- cache
+        | Vt_all old -> Array.blit old 0 t.idesign.vt 0 (Array.length old))
+      t.design_journal;
+    t.design_journal <- [];
+    (match t.saved with
+    | Some (st, dy, sc, crit) ->
+      t.st_total <- st;
+      t.dy_total <- dy;
+      t.sc_total <- sc;
+      t.crit <- crit
+    | None -> ());
+    t.saved <- None
+
+  let static_energy t = t.st_total
+  let dynamic_energy t = t.dy_total
+  let short_circuit_energy t = t.sc_total
+  let total_energy t = t.st_total +. t.dy_total +. t.sc_total
+  let critical_delay t = t.crit
+  let feasible t = t.crit <= t.ienv.tc *. (1.0 +. 1e-6)
+
+  let critical_path t =
+    Dcopt_timing.Sta.critical_path_of_arrival t.ienv.env_circuit
+      ~arrival:(Incr_sta.arrivals t.ist) ~delays:(Incr_sta.delays t.ist)
+
+  let snapshot t =
+    {
+      static_energy = t.st_total;
+      dynamic_energy = t.dy_total;
+      short_circuit_energy = t.sc_total;
+      total_energy = total_energy t;
+      static_power = t.st_total *. t.ienv.fc;
+      dynamic_power = (t.dy_total +. t.sc_total) *. t.ienv.fc;
+      delays = Array.copy (Incr_sta.delays t.ist);
+      critical_delay = t.crit;
+      feasible = feasible t;
+    }
+end

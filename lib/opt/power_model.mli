@@ -6,7 +6,9 @@
     O(gates). *)
 
 type design = {
-  vdd : float;
+  mutable vdd : float;
+                        (** mutable so {!Incr} global moves can swing the
+                            supply in place; treat as read-only elsewhere *)
   vt : float array;     (** per node id; only gate entries are read *)
   widths : float array; (** per node id, in w-units; only gate entries read *)
 }
@@ -54,6 +56,11 @@ val activity : env -> int -> float
 val gate_ids : env -> int array
 (** Ids of the combinational gates, in topological order. *)
 
+val unsafe_gate_ids : env -> int array
+(** The backing gate-id array of {!gate_ids}, without the defensive copy.
+    Treat as read-only — for per-move hot paths (annealing draws a random
+    gate every move). *)
+
 val uniform_design : env -> vdd:float -> vt:float -> w:float -> design
 (** A design with one global threshold and width. *)
 
@@ -85,3 +92,87 @@ val size_all :
 (** Sizes every gate to its minimal feasible width (reverse topological
     order). The boolean is true when every gate met its budget; gates that
     could not are left at [w_max]. *)
+
+(** Incremental evaluation engine for single-gate moves.
+
+    Both gate-sizing optimizers (TILOS, annealing) change one gate per move
+    but previously paid a whole-circuit {!evaluate} (plus a second full STA
+    pass for the critical path) per move. [Incr] keeps the current delays,
+    arrival times, critical delay and running energy totals as mutable
+    state and re-evaluates only the affected cone of a move:
+
+    - a width change at gate [g] invalidates [g]'s own delay, the delays of
+      [g]'s fanin drivers (their load includes [w_g]) and everything
+      downstream of a changed delay/arrival — propagated by
+      {!Dcopt_timing.Incr_sta}'s topological worklist, which stops where
+      recomputed values are bit-identical to the old ones;
+    - a per-gate threshold change invalidates only that gate (loads don't
+      move) plus its downstream cone;
+    - global moves (supply voltage, uniform threshold) fall back to a full
+      journaled sweep — the [incr.full_fallbacks] counter tracks these.
+
+    Energy totals are maintained by subtracting the touched gates' stored
+    terms and adding the recomputed ones, so they track the full
+    {!evaluate} within accumulated round-off (the differential test suite
+    bounds the drift at 1e-9 relative); delays and arrival times are
+    bit-identical by construction. Moves are transactional: {!Incr.commit}
+    accepts, {!Incr.rollback} restores every journaled value — including
+    the design fields — exactly.
+
+    Instruments [incr.moves], [incr.dirty_gates], [incr.full_fallbacks]
+    and the [incr.cone_size] histogram in {!Dcopt_obs.Metrics}. *)
+module Incr : sig
+  type t
+
+  val create : env -> design -> t
+  (** Full initial evaluation. The design record is owned by the engine
+      from here on: mutate it only through [set_*] (callers may still
+      probe-and-restore fields between engine calls, as TILOS's
+      sensitivity probe does). *)
+
+  val env : t -> env
+  val design : t -> design
+  (** The live design under optimization (see {!create} for the
+      mutation contract). *)
+
+  val delays : t -> float array
+  (** Live per-node achieved delays — current after every [set_*]/
+      {!rollback}. Treat as read-only. *)
+
+  val arrivals : t -> float array
+  (** Live per-node arrival times. Treat as read-only. *)
+
+  val set_width : t -> int -> float -> unit
+  (** Set a gate's width and re-evaluate its cone. O(affected cone). *)
+
+  val set_vt : t -> int -> float -> unit
+  (** Set a gate's threshold and re-evaluate its cone. O(affected cone). *)
+
+  val set_vdd : t -> float -> unit
+  (** Global supply move: full journaled re-sweep (fallback). *)
+
+  val set_vt_uniform : t -> float -> unit
+  (** Set every gate's threshold: full journaled re-sweep (fallback). *)
+
+  val commit : t -> unit
+  (** Accept all changes since the last commit/rollback. *)
+
+  val rollback : t -> unit
+  (** Undo all changes since the last commit/rollback: design fields,
+      delays, arrivals, energy terms and totals are restored exactly. *)
+
+  val static_energy : t -> float
+  val dynamic_energy : t -> float
+  val short_circuit_energy : t -> float
+  val total_energy : t -> float
+  val critical_delay : t -> float
+  val feasible : t -> bool
+
+  val critical_path : t -> int list
+  (** One maximal-arrival path under the current state, via
+      {!Dcopt_timing.Sta.critical_path_of_arrival} — no extra STA pass. *)
+
+  val snapshot : t -> evaluation
+  (** The current state as a regular {!evaluation} record (copies the
+      delay array). *)
+end

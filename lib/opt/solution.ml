@@ -8,6 +8,9 @@ type t = {
 let make ~label ~meets_budgets env design =
   { label; design; evaluation = Power_model.evaluate env design; meets_budgets }
 
+let of_evaluation ~label ~meets_budgets design evaluation =
+  { label; design; evaluation; meets_budgets }
+
 let vdd t = t.design.Power_model.vdd
 
 let vt_values t =
@@ -19,7 +22,9 @@ let vt_values t =
   |> List.sort_uniq Float.compare
 
 let gate_widths t env =
-  Array.map (fun id -> t.design.Power_model.widths.(id)) (Power_model.gate_ids env)
+  Array.map
+    (fun id -> t.design.Power_model.widths.(id))
+    (Power_model.unsafe_gate_ids env)
 
 let mean_width t env = Dcopt_util.Stats.mean (gate_widths t env)
 

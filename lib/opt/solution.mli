@@ -12,6 +12,12 @@ val make :
   Power_model.env -> Power_model.design -> t
 (** Evaluates the design and packages it. *)
 
+val of_evaluation :
+  label:string -> meets_budgets:bool ->
+  Power_model.design -> Power_model.evaluation -> t
+(** Packages an already-computed evaluation (e.g. a {!Power_model.Incr}
+    snapshot) without re-running the full model. *)
+
 val vdd : t -> float
 
 val vt_values : t -> float list

@@ -80,20 +80,24 @@ let size_for_cycle ?(step = 1.15) ?max_iterations env ~vdd ~vt =
       else Some (delay_gain /. energy_cost, id, w')
     end
   in
+  (* One incremental state for the whole greedy loop: an accepted upsize
+     re-evaluates only its cone, and the critical path is walked from the
+     maintained arrival times — no full evaluate/STA pass per iteration.
+     The sensitivity probes in [try_upsize] stay as local probe-and-restore
+     reads against the engine's live design and delays. *)
+  let inc = Power_model.Incr.create env design in
   let rec loop iteration =
-    let e = Power_model.evaluate env design in
-    if e.Power_model.feasible then Some design
+    if Power_model.Incr.feasible inc then Some design
     else if iteration >= limit then None
     else begin
-      let path =
-        Dcopt_timing.Sta.critical_path circuit ~delays:e.Power_model.delays
-      in
+      let path = Power_model.Incr.critical_path inc in
+      let delays = Power_model.Incr.delays inc in
       let best =
         List.fold_left
           (fun best id ->
             if not (is_gate id) then best
             else
-              match try_upsize e.Power_model.delays id with
+              match try_upsize delays id with
               | None -> best
               | Some (s, _, _) as cand -> (
                 match best with
@@ -104,7 +108,8 @@ let size_for_cycle ?(step = 1.15) ?max_iterations env ~vdd ~vt =
       match best with
       | None -> None (* every critical gate saturated: unreachable *)
       | Some (_, id, w') ->
-        design.Power_model.widths.(id) <- w';
+        Power_model.Incr.set_width inc id w';
+        Power_model.Incr.commit inc;
         loop (iteration + 1)
     end
   in

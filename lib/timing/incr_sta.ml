@@ -1,0 +1,126 @@
+module Circuit = Dcopt_netlist.Circuit
+module Gate = Dcopt_netlist.Gate
+module Heap = Dcopt_util.Heap
+
+type t = {
+  circuit : Circuit.t;
+  heap_priority : float array; (* negated topo position: Heap is a max-heap *)
+  is_gate : bool array;
+  delays : float array;
+  arrival : float array;
+  heap : int Heap.t;
+  queued : bool array;
+  journaled : bool array;
+  mutable journal : (int * float * float) list;
+}
+
+let create circuit =
+  if not (Circuit.is_combinational circuit) then
+    invalid_arg "Incr_sta.create: circuit is sequential";
+  let n = Circuit.size circuit in
+  let heap_priority = Array.make n 0.0 in
+  let next = ref 0 in
+  Circuit.iter_topo circuit (fun id ->
+      heap_priority.(id) <- -.float_of_int !next;
+      incr next);
+  let is_gate = Array.make n false in
+  Array.iter
+    (fun nd ->
+      match nd.Circuit.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | _ -> is_gate.(nd.Circuit.id) <- true)
+    (Circuit.nodes circuit);
+  {
+    circuit;
+    heap_priority;
+    is_gate;
+    delays = Array.make n 0.0;
+    arrival = Array.make n 0.0;
+    heap = Heap.create ();
+    queued = Array.make n false;
+    journaled = Array.make n false;
+    journal = [];
+  }
+
+let circuit t = t.circuit
+let delays t = t.delays
+let arrivals t = t.arrival
+let is_gate t id = t.is_gate.(id)
+
+let mark_dirty t id =
+  if t.is_gate.(id) && not t.queued.(id) then begin
+    t.queued.(id) <- true;
+    Heap.push t.heap ~priority:t.heap_priority.(id) id
+  end
+
+let drain t =
+  let rec go () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some (_, id) ->
+      t.queued.(id) <- false;
+      go ()
+  in
+  go ()
+
+(* Same folds, in the same order, as the full evaluation's topological
+   sweep, so a recomputed node whose inputs are unchanged reproduces its
+   previous delay and arrival bit for bit — that equality is the worklist's
+   termination test. *)
+let max_fanin_delay t fanins =
+  Array.fold_left
+    (fun acc f -> if t.is_gate.(f) then Float.max acc t.delays.(f) else acc)
+    0.0 fanins
+
+let worst_fanin_arrival t fanins =
+  Array.fold_left (fun acc f -> Float.max acc t.arrival.(f)) 0.0 fanins
+
+let step t ~recompute id =
+  if not t.journaled.(id) then begin
+    t.journaled.(id) <- true;
+    t.journal <- (id, t.delays.(id), t.arrival.(id)) :: t.journal
+  end;
+  let nd = Circuit.node t.circuit id in
+  let mfd = max_fanin_delay t nd.Circuit.fanins in
+  let d = recompute ~id ~max_fanin_delay:mfd in
+  let a = worst_fanin_arrival t nd.Circuit.fanins +. d in
+  let changed =
+    not (Float.equal d t.delays.(id) && Float.equal a t.arrival.(id))
+  in
+  t.delays.(id) <- d;
+  t.arrival.(id) <- a;
+  changed
+
+let propagate t ~recompute =
+  let processed = ref 0 in
+  let running = ref true in
+  while !running do
+    match Heap.pop t.heap with
+    | None -> running := false
+    | Some (_, id) ->
+      t.queued.(id) <- false;
+      incr processed;
+      if step t ~recompute id then
+        Array.iter (fun f -> mark_dirty t f) (Circuit.fanouts t.circuit id)
+  done;
+  !processed
+
+let refresh t ~recompute =
+  drain t;
+  Circuit.iter_topo t.circuit (fun id ->
+      if t.is_gate.(id) then ignore (step t ~recompute id))
+
+let commit t =
+  drain t;
+  List.iter (fun (id, _, _) -> t.journaled.(id) <- false) t.journal;
+  t.journal <- []
+
+let rollback t =
+  drain t;
+  List.iter
+    (fun (id, d, a) ->
+      t.journaled.(id) <- false;
+      t.delays.(id) <- d;
+      t.arrival.(id) <- a)
+    t.journal;
+  t.journal <- []

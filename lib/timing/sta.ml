@@ -13,16 +13,19 @@ let gate_delay delays circuit id =
   | Gate.Input -> 0.0
   | _ -> delays.(id)
 
-let analyze ?required_time circuit ~delays =
+let validate name circuit ~delays =
   if not (Circuit.is_combinational circuit) then
-    invalid_arg "Sta.analyze: circuit is sequential";
+    invalid_arg (name ^ ": circuit is sequential");
   if Array.length delays <> Circuit.size circuit then
-    invalid_arg "Sta.analyze: delay array size mismatch";
+    invalid_arg (name ^ ": delay array size mismatch")
+
+(* Forward pass only: arrival times and critical delay. The backward
+   (required/slack) pass is paid by [analyze] alone, so callers that only
+   need the critical delay or a critical path do half the work. *)
+let forward circuit ~delays =
   let n = Circuit.size circuit in
-  let order = Circuit.topo_order circuit in
   let arrival = Array.make n 0.0 in
-  Array.iter
-    (fun id ->
+  Circuit.iter_topo circuit (fun id ->
       let nd = Circuit.node circuit id in
       match nd.Circuit.kind with
       | Gate.Input -> arrival.(id) <- 0.0
@@ -31,13 +34,18 @@ let analyze ?required_time circuit ~delays =
           Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0
             nd.Circuit.fanins
         in
-        arrival.(id) <- worst +. delays.(id))
-    order;
+        arrival.(id) <- worst +. delays.(id));
   let critical_delay =
     Array.fold_left
       (fun acc id -> Float.max acc arrival.(id))
       0.0 (Circuit.outputs circuit)
   in
+  (arrival, critical_delay)
+
+let analyze ?required_time circuit ~delays =
+  validate "Sta.analyze" circuit ~delays;
+  let n = Circuit.size circuit in
+  let arrival, critical_delay = forward circuit ~delays in
   let target = Option.value required_time ~default:critical_delay in
   let required = Array.make n infinity in
   Array.iter
@@ -45,32 +53,22 @@ let analyze ?required_time circuit ~delays =
     (Circuit.outputs circuit);
   (* Backward pass in reverse topological order: a node must settle early
      enough for every consumer to still meet its own requirement. *)
-  let rev = Array.copy order in
-  let len = Array.length rev in
-  for i = 0 to (len / 2) - 1 do
-    let tmp = rev.(i) in
-    rev.(i) <- rev.(len - 1 - i);
-    rev.(len - 1 - i) <- tmp
-  done;
-  Array.iter
-    (fun id ->
+  Circuit.iter_topo_rev circuit (fun id ->
       Array.iter
         (fun consumer ->
           let need = required.(consumer) -. gate_delay delays circuit consumer in
           if need < required.(id) then required.(id) <- need)
-        (Circuit.fanouts circuit id))
-    rev;
+        (Circuit.fanouts circuit id));
   let slack = Array.init n (fun id -> required.(id) -. arrival.(id)) in
   { arrival; critical_delay; required; slack }
 
-let critical_path circuit ~delays =
-  let r = analyze circuit ~delays in
+let critical_path_of_arrival circuit ~arrival ~delays =
   let worst_output =
     Array.fold_left
       (fun best id ->
         match best with
         | None -> Some id
-        | Some b -> if r.arrival.(id) > r.arrival.(b) then Some id else best)
+        | Some b -> if arrival.(id) > arrival.(b) then Some id else best)
       None (Circuit.outputs circuit)
   in
   match worst_output with
@@ -81,20 +79,43 @@ let critical_path circuit ~delays =
       match nd.Circuit.kind with
       | Gate.Input -> acc
       | _ ->
-        let worst_fanin =
-          Array.fold_left
-            (fun best f ->
-              match best with
-              | None -> Some f
-              | Some b -> if r.arrival.(f) > r.arrival.(b) then Some f else best)
-            None nd.Circuit.fanins
-        in
-        (match worst_fanin with
-        | None -> id :: acc
-        | Some f -> walk f (id :: acc))
+        let acc = id :: acc in
+        let fanins = nd.Circuit.fanins in
+        let len = Array.length fanins in
+        if len = 0 then acc
+        else begin
+          (* The worst fanin satisfies arrival(f) + delay(id) = arrival(id)
+             exactly (that sum is how arrival(id) was computed), and any
+             fanin reaching it under rounding ties the maximum, so the scan
+             can stop at the first hit instead of visiting every fanin. *)
+          let found = ref (-1) in
+          let i = ref 0 in
+          while !found < 0 && !i < len do
+            let f = fanins.(!i) in
+            if arrival.(f) +. delays.(id) >= arrival.(id) then found := f;
+            incr i
+          done;
+          let next =
+            if !found >= 0 then !found
+            else
+              Array.fold_left
+                (fun best f -> if arrival.(f) > arrival.(best) then f else best)
+                fanins.(0) fanins
+          in
+          walk next acc
+        end
     in
     walk last []
 
+let critical_path_of_result r circuit ~delays =
+  critical_path_of_arrival circuit ~arrival:r.arrival ~delays
+
+let critical_path circuit ~delays =
+  validate "Sta.critical_path" circuit ~delays;
+  let arrival, _ = forward circuit ~delays in
+  critical_path_of_arrival circuit ~arrival ~delays
+
 let meets circuit ~delays ~cycle_time =
-  let r = analyze circuit ~delays in
-  r.critical_delay <= cycle_time *. (1.0 +. 1e-4)
+  validate "Sta.meets" circuit ~delays;
+  let _, critical_delay = forward circuit ~delays in
+  critical_delay <= cycle_time *. (1.0 +. 1e-4)

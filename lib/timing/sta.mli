@@ -21,8 +21,21 @@ val analyze :
     ignored. Requires a combinational circuit. *)
 
 val critical_path : Dcopt_netlist.Circuit.t -> delays:float array -> int list
-(** Gate ids of one maximal-arrival path, source to output. *)
+(** Gate ids of one maximal-arrival path, source to output. Runs the
+    forward pass only (no required-time/slack computation). *)
+
+val critical_path_of_result :
+  result -> Dcopt_netlist.Circuit.t -> delays:float array -> int list
+(** {!critical_path} from an existing {!analyze} result, so callers that
+    already ran the analysis don't pay a second propagation pass. *)
+
+val critical_path_of_arrival :
+  Dcopt_netlist.Circuit.t ->
+  arrival:float array -> delays:float array -> int list
+(** The backward path walk alone, over externally maintained arrival times
+    (e.g. {!Incr_sta}'s): at each node the walk follows the first fanin
+    whose arrival plus the node's delay reaches the node's arrival. *)
 
 val meets : Dcopt_netlist.Circuit.t -> delays:float array -> cycle_time:float -> bool
 (** True when the critical delay is at most [cycle_time] (with 0.01%%
-    tolerance for float accumulation). *)
+    tolerance for float accumulation). Forward pass only. *)
