@@ -241,7 +241,7 @@ let run_pipeline () =
 
 let bechamel_tests () =
   let open Bechamel in
-  let core = Circuit.combinational_core (Suite.find "s298") in
+  let core = Circuit.combinational_core (Suite.find_exn "s298") in
   let specs =
     Dcopt_activity.Activity.uniform_inputs core ~probability:0.5 ~density:0.1
   in
@@ -291,7 +291,7 @@ let measure_incremental () =
   let module Incr = Dcopt_opt.Power_model.Incr in
   let module Prng = Dcopt_util.Prng in
   let tech = Dcopt_device.Tech.default in
-  let core = Circuit.combinational_core (Suite.find "s298") in
+  let core = Circuit.combinational_core (Suite.find_exn "s298") in
   let specs =
     Dcopt_activity.Activity.uniform_inputs core ~probability:0.5 ~density:0.1
   in
@@ -473,7 +473,7 @@ let run_timing () =
   let full_joint =
     List.map
       (fun name ->
-        let p = Flow.prepare (Suite.find name) in
+        let p = Flow.prepare (Suite.find_exn name) in
         let _, dt = wall (fun () -> Flow.run_joint p) in
         Dcopt_util.Text_table.add_row t [ name; Printf.sprintf "%.2f s" dt ];
         (name, dt))

@@ -10,8 +10,13 @@
      minpower list *)
 
 module Flow = Dcopt_core.Flow
+module Optimizer = Dcopt_core.Optimizer
 module Solution = Dcopt_opt.Solution
 module Suite = Dcopt_suite.Suite
+module Json = Dcopt_util.Json
+module Service = Dcopt_service.Service
+module Job = Dcopt_service.Job
+module Store = Dcopt_service.Store
 module Circuit = Dcopt_netlist.Circuit
 module Stats = Dcopt_netlist.Circuit_stats
 module Span = Dcopt_obs.Span
@@ -80,8 +85,21 @@ let finish obs code =
       if code = 0 then 1 else code)
 
 let load_circuit spec =
-  if Sys.file_exists spec then Dcopt_netlist.Bench_format.parse_file spec
-  else Suite.find spec
+  if Sys.file_exists spec then
+    try Ok (Dcopt_netlist.Bench_format.parse_file spec)
+    with Dcopt_netlist.Bench_format.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" spec line message)
+  else
+    match Suite.find spec with
+    | Ok c -> Ok c
+    | Error msg -> Error (msg ^ " (try `minpower list`)")
+
+let with_circuit spec f =
+  match load_circuit spec with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok circuit -> f circuit
 
 let circuit_arg =
   let doc =
@@ -144,79 +162,99 @@ let config_of ?tech fc activity probability m_steps exact =
   }
 
 let with_prepared spec config f =
-  match load_circuit spec with
-  | exception Not_found ->
-    Printf.eprintf "unknown circuit %S (try `minpower list`)\n" spec;
-    1
-  | exception Dcopt_netlist.Bench_format.Parse_error { line; message } ->
-    Printf.eprintf "%s:%d: %s\n" spec line message;
-    1
-  | circuit -> f (Flow.prepare ~config circuit)
+  with_circuit spec (fun circuit -> f (Flow.prepare ~config circuit))
 
-let print_solution p = function
+(* Shared --json convention: commands that produce a solution can emit it
+   as the versioned machine-readable document of Solution.to_json instead
+   of the human report. *)
+let json_arg =
+  let doc =
+    "Print results as JSON (the versioned schema of the service layer) \
+     instead of the human-readable report."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let print_solution ?(json = false) p = function
   | Some sol ->
-    print_endline (Flow.report p sol);
+    if json then print_endline (Json.to_string_hum (Solution.to_json sol))
+    else print_endline (Flow.report p sol);
     0
   | None ->
-    Printf.printf
-      "no feasible design at %.0f MHz: the cycle time is unreachable at \
-       this corner\n"
-      (p.Flow.config.Flow.clock_frequency /. 1e6);
+    if json then
+      print_endline
+        (Json.to_string_hum
+           (Json.Obj [ ("feasible", Json.Bool false) ]))
+    else
+      Printf.printf
+        "no feasible design at %.0f MHz: the cycle time is unreachable at \
+         this corner\n"
+        (p.Flow.config.Flow.clock_frequency /. 1e6);
     1
 
 let optimize_cmd =
-  let run spec fc activity probability m_steps exact grid n_vt tech obs =
+  let run spec fc activity probability m_steps exact grid n_vt tech json obs =
     let config = config_of ?tech fc activity probability m_steps exact in
     finish obs
       (with_prepared spec config (fun p ->
+           (* dispatch through the registry so the CLI exercises the same
+              descriptors as the batch service *)
            let sol =
              if n_vt > 1 then Flow.run_multi_vt ~n_vt p
              else
-               Flow.run_joint
-                 ~strategy:
-                   (if grid then Dcopt_opt.Heuristic.Grid_refine
-                    else Dcopt_opt.Heuristic.Paper_binary)
-                 p
+               let name = if grid then "joint-grid" else "joint" in
+               (Optimizer.get name).Optimizer.run p
            in
-           print_solution p sol))
+           print_solution ~json p sol))
   in
   let doc = "Jointly optimize Vdd, Vt and device widths (Procedure 2)." in
   Cmd.v
     (Cmd.info "optimize" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ tech_arg $ obs_term)
+      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ tech_arg $ json_arg
+      $ obs_term)
 
 let baseline_cmd =
-  let run spec fc activity probability m_steps exact vt obs =
+  let run spec fc activity probability m_steps exact vt json obs =
     let config = config_of fc activity probability m_steps exact in
     finish obs
       (with_prepared spec config (fun p ->
-           print_solution p (Flow.run_baseline ~vt p)))
+           print_solution ~json p (Flow.run_baseline ~vt p)))
   in
   let doc = "Optimize only Vdd and widths at a fixed threshold (Table 1)." in
   Cmd.v
     (Cmd.info "baseline" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ vt_arg $ obs_term)
+      $ m_steps_arg $ exact_arg $ vt_arg $ json_arg $ obs_term)
 
 let compare_cmd =
-  let run spec fc activity probability m_steps exact vt obs =
+  let run spec fc activity probability m_steps exact vt json obs =
     let config = config_of fc activity probability m_steps exact in
     finish obs
       (with_prepared spec config (fun p ->
            let base = Flow.run_baseline ~vt p in
-           let joint =
-             Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
-           in
+           let joint = (Optimizer.get "joint-grid").Optimizer.run p in
            match (base, joint) with
            | Some base, Some joint ->
-             print_endline (Flow.report p base);
-             print_endline "";
-             print_endline (Flow.report p joint);
-             Printf.printf "\npower savings: %.1fx\n"
-               (Solution.savings ~baseline:base joint);
+             if json then
+               print_endline
+                 (Json.to_string_hum
+                    (Json.Obj
+                       [
+                         ("baseline", Solution.to_json base);
+                         ("joint", Solution.to_json joint);
+                         ( "savings",
+                           Json.Float (Solution.savings ~baseline:base joint)
+                         );
+                       ]))
+             else begin
+               print_endline (Flow.report p base);
+               print_endline "";
+               print_endline (Flow.report p joint);
+               Printf.printf "\npower savings: %.1fx\n"
+                 (Solution.savings ~baseline:base joint)
+             end;
              0
            | None, _ ->
              print_endline "baseline infeasible at this threshold/frequency";
@@ -230,7 +268,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc)
     Term.(
       const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ vt_arg $ obs_term)
+      $ m_steps_arg $ exact_arg $ vt_arg $ json_arg $ obs_term)
 
 (* profile: run one optimizer end-to-end with tracing forced on and print
    where the time and the iterations went. *)
@@ -340,13 +378,7 @@ let profile_cmd =
            let observer =
              Telemetry.tee (Telemetry.record recorder) (Telemetry.to_metrics ())
            in
-           let sol =
-             match optimizer with
-             | `Joint -> Flow.run_joint ~observer p
-             | `Baseline -> Flow.run_baseline ~observer p
-             | `Tilos -> Flow.run_tilos ~observer p
-             | `Annealing -> Flow.run_annealing ~observer p
-           in
+           let sol = optimizer.Optimizer.run ~observer p in
            let wall_ns = Int64.sub (Clock.now_ns ()) t0 in
            print_phase_breakdown ~wall_ns;
            print_iteration_summary recorder;
@@ -358,17 +390,25 @@ let profile_cmd =
      (combine with $(b,--trace) and $(b,--metrics))."
   in
   let optimizer =
+    (* resolved through the registry, so anything the batch service can
+       run can also be profiled *)
+    let parse name =
+      match Optimizer.find name with
+      | Some o -> Ok o
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown optimizer %S (known: %s)" name
+                (String.concat ", " (Optimizer.names ()))))
+    in
+    let print ppf o = Format.pp_print_string ppf o.Optimizer.name in
     let doc =
-      "Optimizer to profile: $(b,joint), $(b,baseline), $(b,tilos) or \
-       $(b,annealing)."
+      Printf.sprintf "Optimizer to profile: %s."
+        (String.concat ", " (Optimizer.names ()))
     in
     Arg.(
       value
-      & opt
-          (enum
-             [ ("joint", `Joint); ("baseline", `Baseline); ("tilos", `Tilos);
-               ("annealing", `Annealing) ])
-          `Joint
+      & opt (conv (parse, print)) (Optimizer.get "joint")
       & info [ "optimizer" ] ~docv:"NAME" ~doc)
   in
   Cmd.v
@@ -380,15 +420,11 @@ let profile_cmd =
 let stats_cmd =
   let run spec obs =
     finish obs
-      (match load_circuit spec with
-      | exception Not_found ->
-        Printf.eprintf "unknown circuit %S\n" spec;
-        1
-      | circuit ->
-        print_endline (Stats.to_string (Stats.compute circuit));
-        let core = Circuit.combinational_core circuit in
-        print_endline ("core: " ^ Stats.to_string (Stats.compute core));
-        0)
+      (with_circuit spec (fun circuit ->
+           print_endline (Stats.to_string (Stats.compute circuit));
+           let core = Circuit.combinational_core circuit in
+           print_endline ("core: " ^ Stats.to_string (Stats.compute core));
+           0))
   in
   let doc = "Print structural statistics of a circuit." in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ circuit_arg $ obs_term)
@@ -397,7 +433,7 @@ let list_cmd =
   let run obs =
     List.iter
       (fun name ->
-        let c = Suite.find name in
+        let c = Suite.find_exn name in
         Printf.printf "%-6s %s\n" name (Stats.to_string (Stats.compute c)))
       Suite.names;
     finish obs 0
@@ -437,18 +473,14 @@ let body_bias_cmd =
 let dump_cmd =
   let run spec max_fanin obs =
     finish obs
-      (match load_circuit spec with
-      | exception Not_found ->
-        Printf.eprintf "unknown circuit %S\n" spec;
-        1
-      | circuit ->
-        let circuit =
-          match max_fanin with
-          | Some k -> Dcopt_netlist.Tech_map.decompose ~max_fanin:k circuit
-          | None -> circuit
-        in
-        print_string (Dcopt_netlist.Bench_format.to_string circuit);
-        0)
+      (with_circuit spec (fun circuit ->
+           let circuit =
+             match max_fanin with
+             | Some k -> Dcopt_netlist.Tech_map.decompose ~max_fanin:k circuit
+             | None -> circuit
+           in
+           print_string (Dcopt_netlist.Bench_format.to_string circuit);
+           0))
   in
   let doc = "Write a circuit as ISCAS-89 .bench text to stdout." in
   let max_fanin =
@@ -468,46 +500,42 @@ let pareto_cmd =
       Dcopt_util.Numeric.log_interp_points ~lo:fc_lo ~hi:fc_hi ~n:points
     in
     finish obs
-      (match load_circuit spec with
-      | exception Not_found ->
-        Printf.eprintf "unknown circuit %S\n" spec;
-        1
-      | circuit ->
-        let table =
-          Text_table.create
-            ~headers:
-              [ "Clock"; "Vdd (V)"; "Vt (mV)"; "Energy/cycle"; "Power";
-                "Energy*Delay" ]
-        in
-        Array.iter
-          (fun fc ->
-            let config = config_of fc activity probability m_steps false in
-            let p = Flow.prepare ~config circuit in
-            match
-              Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
-            with
-            | None ->
-              Text_table.add_row table
-                [ Printf.sprintf "%.0f MHz" (fc /. 1e6); "-"; "-"; "-"; "-";
-                  "infeasible" ]
-            | Some sol ->
-              let e = Solution.total_energy sol in
-              Text_table.add_row table
-                [
-                  Printf.sprintf "%.0f MHz" (fc /. 1e6);
-                  Printf.sprintf "%.2f" (Solution.vdd sol);
-                  Printf.sprintf "%.0f"
-                    ((match Solution.vt_values sol with
-                     | v :: _ -> v
-                     | [] -> nan)
-                    *. 1000.0);
-                  Si.format ~unit:"J" e;
-                  Si.format ~unit:"W" (e *. fc);
-                  Si.format ~unit:"Js" (e /. fc);
-                ])
-          frequencies;
-        Text_table.print table;
-        0)
+      (with_circuit spec (fun circuit ->
+           let table =
+             Text_table.create
+               ~headers:
+                 [ "Clock"; "Vdd (V)"; "Vt (mV)"; "Energy/cycle"; "Power";
+                   "Energy*Delay" ]
+           in
+           Array.iter
+             (fun fc ->
+               let config = config_of fc activity probability m_steps false in
+               let p = Flow.prepare ~config circuit in
+               match
+                 Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+               with
+               | None ->
+                 Text_table.add_row table
+                   [ Printf.sprintf "%.0f MHz" (fc /. 1e6); "-"; "-"; "-";
+                     "-"; "infeasible" ]
+               | Some sol ->
+                 let e = Solution.total_energy sol in
+                 Text_table.add_row table
+                   [
+                     Printf.sprintf "%.0f MHz" (fc /. 1e6);
+                     Printf.sprintf "%.2f" (Solution.vdd sol);
+                     Printf.sprintf "%.0f"
+                       ((match Solution.vt_values sol with
+                        | v :: _ -> v
+                        | [] -> nan)
+                       *. 1000.0);
+                     Si.format ~unit:"J" e;
+                     Si.format ~unit:"W" (e *. fc);
+                     Si.format ~unit:"Js" (e /. fc);
+                   ])
+             frequencies;
+           Text_table.print table;
+           0))
   in
   let doc = "Sweep the clock target and print the energy-performance \
              Pareto frontier of the joint optimizer." in
@@ -560,24 +588,20 @@ let characterize_cmd =
 let spice_cmd =
   let run spec vdd vt optimize obs =
     finish obs
-      (match load_circuit spec with
-      | exception Not_found ->
-        Printf.eprintf "unknown circuit %S\n" spec;
-        1
-      | circuit ->
-        let core = Circuit.combinational_core circuit in
-        let tech = Dcopt_device.Tech.default in
-        let widths =
-          if not optimize then None
-          else
-            let p = Flow.prepare circuit in
-            Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
-            |> Option.map (fun sol ->
-                   sol.Solution.design.Dcopt_opt.Power_model.widths)
-        in
-        print_string
-          (Dcopt_device.Spice_export.deck ~vdd ~vt ?widths tech core);
-        0)
+      (with_circuit spec (fun circuit ->
+           let core = Circuit.combinational_core circuit in
+           let tech = Dcopt_device.Tech.default in
+           let widths =
+             if not optimize then None
+             else
+               let p = Flow.prepare circuit in
+               Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+               |> Option.map (fun sol ->
+                      sol.Solution.design.Dcopt_opt.Power_model.widths)
+           in
+           print_string
+             (Dcopt_device.Spice_export.deck ~vdd ~vt ?widths tech core);
+           0))
   in
   let doc = "Expand the combinational core to transistors and print a \
              level-1 SPICE deck (sized from the optimizer with \
@@ -599,10 +623,10 @@ let equiv_cmd =
   let run spec_a spec_b obs =
     finish obs
       (match (load_circuit spec_a, load_circuit spec_b) with
-      | exception Not_found ->
-        Printf.eprintf "unknown circuit\n";
+      | Error msg, _ | _, Error msg ->
+        Printf.eprintf "%s\n" msg;
         2
-      | a, b -> (
+      | Ok a, Ok b -> (
         let core_a = Circuit.combinational_core a in
         let core_b = Circuit.combinational_core b in
         match Dcopt_activity.Equiv.check core_a core_b with
@@ -628,6 +652,144 @@ let equiv_cmd =
   let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First circuit.") in
   let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Second circuit.") in
   Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ a $ b $ obs_term)
+
+(* batch/serve: the JSONL front of Dcopt_service. A jobs file holds one
+   job spec per line; unparsable lines become failure rows in place, so
+   one bad spec never kills the batch. *)
+
+let store_arg =
+  let doc =
+    "Directory of the content-addressed result store; solved and \
+     infeasible outcomes are served from and persisted to it (created \
+     when missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let read_lines ic =
+  let rec go acc n =
+    match input_line ic with
+    | line -> go ((n, line) :: acc) (n + 1)
+    | exception End_of_file -> List.rev acc
+  in
+  go [] 1
+
+let batch_cmd =
+  let run jobs_path store table require_cached obs =
+    let lines =
+      if jobs_path = "-" then read_lines stdin
+      else begin
+        let ic = open_in jobs_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> read_lines ic)
+      end
+    in
+    let entries =
+      List.filter_map
+        (fun (line_no, line) ->
+          if String.trim line = "" then None
+          else
+            match Result.bind (Json.of_string line) Job.of_json with
+            | Ok job -> Some (`Job job)
+            | Error msg ->
+              Some
+                (`Row
+                   {
+                     Job.job_id = Printf.sprintf "line%d" line_no;
+                     row_circuit = "";
+                     row_optimizer = "";
+                     digest = "";
+                     cache_hit = false;
+                     outcome =
+                       Job.Failed
+                         {
+                           error =
+                             Printf.sprintf "%s:%d: %s" jobs_path line_no msg;
+                           attempts = 0;
+                         };
+                   }))
+        lines
+    in
+    let store = Option.map Store.open_ store in
+    let jobs =
+      List.filter_map (function `Job j -> Some j | `Row _ -> None) entries
+    in
+    let rows = Service.run_batch ?store jobs in
+    let rec merge entries rows =
+      match (entries, rows) with
+      | [], _ -> []
+      | `Row r :: tl, rows -> r :: merge tl rows
+      | `Job _ :: tl, r :: rows -> r :: merge tl rows
+      | `Job _ :: _, [] -> assert false
+    in
+    let rows = merge entries rows in
+    if table then print_string (Job.render_rows rows)
+    else
+      List.iter
+        (fun row -> print_endline (Json.to_string (Job.row_to_json row)))
+        rows;
+    let any_failed =
+      List.exists
+        (fun r -> match r.Job.outcome with Job.Failed _ -> true | _ -> false)
+        rows
+    in
+    let any_miss = List.exists (fun r -> not r.Job.cache_hit) rows in
+    finish obs
+      (if require_cached && any_miss then 3 else if any_failed then 1 else 0)
+  in
+  let doc =
+    "Run a batch of optimization jobs from a JSONL file (one job spec \
+     per line, e.g. {\"circuit\":\"s27\",\"optimizer\":\"joint\"}; \
+     optional members: id, config, timeout_s, retries; $(b,-) reads \
+     stdin). Results come out as JSONL in job order, byte-identical at \
+     any $(b,--jobs) count; failures are rows, not batch aborts."
+  in
+  let jobs_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOBS" ~doc:"Job-spec file (JSONL), or - for stdin.")
+  in
+  let table =
+    Arg.(
+      value & flag
+      & info [ "table" ] ~doc:"Print a human-readable table instead of JSONL.")
+  in
+  let require_cached =
+    Arg.(
+      value & flag
+      & info [ "require-cached" ]
+          ~doc:
+            "Exit with status 3 unless every row was answered from the \
+             result store (warm-cache assertion for scripts and tests).")
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ jobs_path $ store_arg $ table $ require_cached $ obs_term)
+
+let serve_cmd =
+  let run store socket obs =
+    let store = Option.map Store.open_ store in
+    (match socket with
+    | Some path -> Service.serve_unix_socket ?store path
+    | None -> Service.serve ?store stdin stdout);
+    finish obs 0
+  in
+  let doc =
+    "Serve optimization jobs as a long-running loop: one JSON job spec \
+     per input line, one JSON result row per output line, until EOF \
+     (default stdin/stdout; $(b,--socket) listens on a unix domain \
+     socket instead)."
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a unix domain socket at $(docv).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ store_arg $ socket $ obs_term)
 
 let tech_cmd =
   let run scale_factor obs =
@@ -659,6 +821,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ optimize_cmd; baseline_cmd; compare_cmd; profile_cmd; stats_cmd;
-            list_cmd; body_bias_cmd; dump_cmd; pareto_cmd; characterize_cmd;
-            spice_cmd; tech_cmd; equiv_cmd ]))
+          [ optimize_cmd; baseline_cmd; compare_cmd; batch_cmd; serve_cmd;
+            profile_cmd; stats_cmd; list_cmd; body_bias_cmd; dump_cmd;
+            pareto_cmd; characterize_cmd; spice_cmd; tech_cmd; equiv_cmd ]))

@@ -18,7 +18,7 @@ module Tech = Dcopt_device.Tech
 
 let () =
   let tech = Tech.default in
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s386") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s386") in
   match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
   | None -> print_endline "no feasible design"
   | Some sol ->

@@ -33,7 +33,7 @@ let () =
       let energies =
         List.filter_map
           (fun name ->
-            let p = Flow.prepare (Dcopt_suite.Suite.find name) in
+            let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
             Flow.run_baseline ~vt p |> Option.map Solution.total_energy)
           circuits
       in

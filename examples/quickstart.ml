@@ -11,7 +11,7 @@ module Solution = Dcopt_opt.Solution
 let () =
   (* 1. Pick a circuit: a named suite benchmark, a parsed .bench file, or
      anything built with Dcopt_netlist.Circuit.create. *)
-  let circuit = Dcopt_suite.Suite.find "s298" in
+  let circuit = Dcopt_suite.Suite.find_exn "s298" in
 
   (* 2. Prepare: combinational core, activity profile, wire loads and
      Procedure-1 delay budgets at the clock target. *)

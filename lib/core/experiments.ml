@@ -28,7 +28,7 @@ let default_circuits = Suite.table_circuits
 
 let prepare_at config name density =
   let config = { config with Flow.input_density = density } in
-  Flow.prepare ~config (Suite.find name)
+  Flow.prepare ~config (Suite.find_exn name)
 
 let row_of_solution p name density savings sol =
   {
@@ -59,25 +59,32 @@ let rows_with ~runner ?(config = Flow.default_config)
          runner p name density)
   |> List.filter_map Fun.id
 
-let table1 ?config ?circuits ?activities () =
+(* The table drivers dispatch through the {!Optimizer} registry — the
+   same descriptors the CLI and the batch service use — rather than
+   hard-coding Flow entry points. *)
+
+let rows_for ~optimizer ?baseline ?config ?circuits ?activities () =
+  let opt = Optimizer.get optimizer in
+  let base = Option.map Optimizer.get baseline in
   let runner p name density =
-    Flow.run_baseline p
-    |> Option.map (row_of_solution p name density None)
+    match opt.Optimizer.run p with
+    | None -> None
+    | Some sol ->
+      let savings =
+        Option.bind base (fun b ->
+            b.Optimizer.run p
+            |> Option.map (fun b -> Solution.savings ~baseline:b sol))
+      in
+      Some (row_of_solution p name density savings sol)
   in
   rows_with ~runner ?config ?circuits ?activities ()
 
+let table1 ?config ?circuits ?activities () =
+  rows_for ~optimizer:"baseline" ?config ?circuits ?activities ()
+
 let table2 ?config ?circuits ?activities () =
-  let runner p name density =
-    match Flow.run_joint ~strategy:Heuristic.Grid_refine p with
-    | None -> None
-    | Some joint ->
-      let savings =
-        Flow.run_baseline p
-        |> Option.map (fun base -> Solution.savings ~baseline:base joint)
-      in
-      Some (row_of_solution p name density savings joint)
-  in
-  rows_with ~runner ?config ?circuits ?activities ()
+  rows_for ~optimizer:"joint-grid" ~baseline:"baseline" ?config ?circuits
+    ?activities ()
 
 let render_table ~title rows =
   let t =
@@ -139,7 +146,7 @@ let render_fig2a points =
 
 let fig2b ?(config = Flow.default_config) ?(circuit = "s298")
     ?(factors = [| 1.0; 1.25; 1.5; 2.0; 2.5; 3.0 |]) () =
-  let core = Circuit.combinational_core (Suite.find circuit) in
+  let core = Circuit.combinational_core (Suite.find_exn circuit) in
   let specs =
     Dcopt_activity.Activity.uniform_inputs core
       ~probability:config.Flow.input_probability
@@ -520,7 +527,7 @@ let glitch_study ?(config = Flow.default_config) () =
       (Dcopt_netlist.Patterns.ripple_carry_adder ~bits:8);
     study "mult6 (array multiplier)"
       (Dcopt_netlist.Patterns.array_multiplier ~bits:6);
-    study "s298 (random logic)" (Suite.find "s298");
+    study "s298 (random logic)" (Suite.find_exn "s298");
   ]
 
 let render_glitch rows =
@@ -558,7 +565,7 @@ let state_activity_study ?(config = Flow.default_config)
     ?(circuits = [ "s27"; "s298"; "s344" ]) () =
   List.filter_map
     (fun name ->
-      let circuit = Suite.find name in
+      let circuit = Suite.find_exn name in
       let trace =
         Dcopt_sim.Seq_sim.simulate ~cycles:4000
           ~input_probability:config.Flow.input_probability
@@ -663,7 +670,7 @@ let ablation_sizing ?(config = Flow.default_config) ?(circuit = "s298") () =
     ]
 
 let ablation_fanin ?(config = Flow.default_config) ?(circuit = "s298") () =
-  let core = Circuit.combinational_core (Suite.find circuit) in
+  let core = Circuit.combinational_core (Suite.find_exn circuit) in
   let run c label =
     let p = Flow.prepare ~config c in
     Flow.run_joint ~strategy:Heuristic.Grid_refine p
@@ -715,7 +722,7 @@ let beyond_paper_pipeline ?(config = Flow.default_config)
     ?(circuit = "s298") () =
   let core =
     Dcopt_netlist.Tech_map.prune
-      (Circuit.combinational_core (Suite.find circuit))
+      (Circuit.combinational_core (Suite.find_exn circuit))
   in
   let optimize_on c =
     let p = Flow.prepare ~config c in

@@ -21,6 +21,15 @@ type table_row = {
 val default_activities : float array
 (** The two input transition densities used by Tables 1-2 (0.1, 0.5). *)
 
+val rows_for :
+  optimizer:string -> ?baseline:string ->
+  ?config:Flow.config -> ?circuits:string list -> ?activities:float array ->
+  unit -> table_row list
+(** One table row per (circuit, activity) pair under any registered
+    {!Optimizer} (dispatched by name); with [baseline] set, each row's
+    savings column compares against that optimizer's result on the same
+    prepared circuit. Raises [Invalid_argument] on unknown names. *)
+
 val table1 :
   ?config:Flow.config -> ?circuits:string list -> ?activities:float array ->
   unit -> table_row list

@@ -145,54 +145,51 @@ let repaired_budgets p ~vt =
 
 let fast_budgets p = repaired_budgets p ~vt:p.config.tech.Tech.vt_min
 
-let run_baseline ?observer ?(vt = Baseline.default_vt) p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "baseline") ] @@ fun () ->
-  match Span.with_ "budget-repair" (fun () -> repaired_budgets p ~vt) with
+(* Every budget-constrained optimizer entry point is the same pipeline:
+   an "optimize" span around Budget_repair at the right corner and the
+   search itself. The run_* functions below stay as thin named wrappers
+   (the compatible public API); uniform dispatch lives in {!Optimizer}. *)
+let run_with_budgets ~name ?vt p search =
+  Span.with_ "optimize" ~args:[ ("optimizer", name) ] @@ fun () ->
+  let budgets =
+    Span.with_ "budget-repair" (fun () ->
+        match vt with Some vt -> repaired_budgets p ~vt | None -> fast_budgets p)
+  in
+  match budgets with
   | None -> None
-  | Some budgets ->
-    Span.with_ "search" (fun () ->
-        Baseline.optimize ?observer ~vt ~m_steps:p.config.m_steps p.env
-          ~budgets)
+  | Some budgets -> Span.with_ "search" (fun () -> search budgets)
+
+let run_baseline ?observer ?(vt = Baseline.default_vt) p =
+  run_with_budgets ~name:"baseline" ~vt p (fun budgets ->
+      Baseline.optimize ?observer ~vt ~m_steps:p.config.m_steps p.env ~budgets)
 
 let run_joint ?observer ?(strategy = Heuristic.Paper_binary) p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "heuristic") ] @@ fun () ->
-  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
-  | None -> None
-  | Some budgets ->
-    let sol =
-      Span.with_ "search" (fun () ->
-          Heuristic.optimize ?observer
-            ~options:
-              { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
-            p.env ~budgets)
-    in
-    (match sol with
-    | Some sol ->
-      Log.info (fun m ->
-          m "joint optimum: Vdd %.2f V, Vt %s mV, %s per cycle"
-            (Solution.vdd sol)
-            (Solution.vt_values sol
-            |> List.map (fun v -> Printf.sprintf "%.0f" (v *. 1000.0))
-            |> String.concat "/")
-            (Dcopt_util.Si.format ~unit:"J" (Solution.total_energy sol)))
-    | None -> Log.warn (fun m -> m "joint optimization found no feasible design"));
-    sol
+  let sol =
+    run_with_budgets ~name:"heuristic" p (fun budgets ->
+        Heuristic.optimize ?observer
+          ~options:
+            { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
+          p.env ~budgets)
+  in
+  (match sol with
+  | Some sol ->
+    Log.info (fun m ->
+        m "joint optimum: Vdd %.2f V, Vt %s mV, %s per cycle"
+          (Solution.vdd sol)
+          (Solution.vt_values sol
+          |> List.map (fun v -> Printf.sprintf "%.0f" (v *. 1000.0))
+          |> String.concat "/")
+          (Dcopt_util.Si.format ~unit:"J" (Solution.total_energy sol)))
+  | None -> Log.warn (fun m -> m "joint optimization found no feasible design"));
+  sol
 
 let run_annealing ?observer ?options p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "annealing") ] @@ fun () ->
-  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
-  | None -> None
-  | Some budgets ->
-    Span.with_ "search" (fun () ->
-        Annealing.optimize ?observer ?options p.env ~budgets)
+  run_with_budgets ~name:"annealing" p (fun budgets ->
+      Annealing.optimize ?observer ?options p.env ~budgets)
 
 let run_multi_vt ?(n_vt = 2) p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "multi-vt") ] @@ fun () ->
-  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
-  | None -> None
-  | Some budgets ->
-    Span.with_ "search" (fun () ->
-        Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets)
+  run_with_budgets ~name:"multi-vt" p (fun budgets ->
+      Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets)
 
 let run_tilos ?observer p =
   Span.with_ "optimize" ~args:[ ("optimizer", "tilos") ] @@ fun () ->
@@ -200,12 +197,142 @@ let run_tilos ?observer p =
       Dcopt_opt.Tilos.optimize ?observer ~m_steps:p.config.m_steps p.env)
 
 let run_multi_vdd p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "multi-vdd") ] @@ fun () ->
-  match Span.with_ "budget-repair" (fun () -> fast_budgets p) with
-  | None -> None
-  | Some budgets ->
-    Span.with_ "search" (fun () ->
-        Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets)
+  run_with_budgets ~name:"multi-vdd" p (fun budgets ->
+      Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets)
+
+(* ------------------------------------------------------------------ *)
+(* Config JSON (schema version 1). [config_of_json] reads a partial
+   object over a base configuration, so service job specs can override
+   only the fields they care about; unknown keys are typed errors. *)
+
+module Json = Dcopt_util.Json
+
+let json_schema_version = 1
+
+let engine_to_json = function
+  | First_order -> Json.Obj [ ("kind", Json.String "first-order") ]
+  | Exact_when_small -> Json.Obj [ ("kind", Json.String "exact-when-small") ]
+  | Windowed window ->
+    Json.Obj [ ("kind", Json.String "windowed"); ("window", Json.Int window) ]
+  | Monte_carlo { vectors; seed } ->
+    Json.Obj
+      [
+        ("kind", Json.String "monte-carlo");
+        ("vectors", Json.Int vectors);
+        ("seed", Json.String (Int64.to_string seed));
+      ]
+  | Sequential_trace { cycles; seed } ->
+    Json.Obj
+      [
+        ("kind", Json.String "sequential-trace");
+        ("cycles", Json.Int cycles);
+        ("seed", Json.String (Int64.to_string seed));
+      ]
+
+let config_to_json c =
+  Json.Obj
+    [
+      ("version", Json.Int json_schema_version);
+      ("tech", Dcopt_device.Tech_io.to_json c.tech);
+      ("clock_frequency", Json.Float c.clock_frequency);
+      ("input_probability", Json.Float c.input_probability);
+      ("input_density", Json.Float c.input_density);
+      ("engine", engine_to_json c.engine);
+      ("skew_factor", Json.Float c.skew_factor);
+      ("m_steps", Json.Int c.m_steps);
+      ("include_short_circuit", Json.Bool c.include_short_circuit);
+    ]
+
+let ( let* ) = Result.bind
+
+let engine_of_json json =
+  let int_field name =
+    match Json.field name json with
+    | Some v -> (
+      match Json.get_int v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "engine: %S must be an integer" name))
+    | None -> Error (Printf.sprintf "engine: missing field %S" name)
+  in
+  let seed_field () =
+    match Json.field "seed" json with
+    | Some (Json.String s) -> (
+      match Int64.of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error "engine: seed is not an integer")
+    | Some (Json.Int i) -> Ok (Int64.of_int i)
+    | Some _ -> Error "engine: seed must be an integer or string"
+    | None -> Error "engine: missing field \"seed\""
+  in
+  match Option.bind (Json.field "kind" json) Json.get_string with
+  | None -> Error "engine: expected an object with a \"kind\" string"
+  | Some "first-order" -> Ok First_order
+  | Some "exact-when-small" -> Ok Exact_when_small
+  | Some "windowed" ->
+    let* window = int_field "window" in
+    Ok (Windowed window)
+  | Some "monte-carlo" ->
+    let* vectors = int_field "vectors" in
+    let* seed = seed_field () in
+    Ok (Monte_carlo { vectors; seed })
+  | Some "sequential-trace" ->
+    let* cycles = int_field "cycles" in
+    let* seed = seed_field () in
+    Ok (Sequential_trace { cycles; seed })
+  | Some kind -> Error (Printf.sprintf "engine: unknown kind %S" kind)
+
+let config_of_json ?(base = default_config) json =
+  match Json.get_obj json with
+  | None -> Error "config: expected a JSON object"
+  | Some members ->
+    let float_of name v =
+      match Json.get_float v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "config: %S must be a number" name)
+    in
+    let rec apply config = function
+      | [] -> Ok config
+      | (key, v) :: rest ->
+        let* config =
+          match key with
+          | "version" -> (
+            match Json.get_int v with
+            | Some n when n = json_schema_version -> Ok config
+            | Some n ->
+              Error (Printf.sprintf "config: unsupported version %d" n)
+            | None -> Error "config: version must be an integer")
+          | "tech" ->
+            let* tech = Dcopt_device.Tech_io.of_json ~base:config.tech v in
+            Ok { config with tech }
+          | "clock_frequency" ->
+            let* f = float_of key v in
+            Ok { config with clock_frequency = f }
+          | "input_probability" ->
+            let* f = float_of key v in
+            Ok { config with input_probability = f }
+          | "input_density" ->
+            let* f = float_of key v in
+            Ok { config with input_density = f }
+          | "engine" ->
+            let* engine = engine_of_json v in
+            Ok { config with engine }
+          | "skew_factor" ->
+            let* f = float_of key v in
+            Ok { config with skew_factor = f }
+          | "m_steps" -> (
+            match Json.get_int v with
+            | Some m when m >= 1 -> Ok { config with m_steps = m }
+            | Some _ -> Error "config: m_steps must be >= 1"
+            | None -> Error "config: m_steps must be an integer")
+          | "include_short_circuit" -> (
+            match Json.get_bool v with
+            | Some b -> Ok { config with include_short_circuit = b }
+            | None -> Error "config: include_short_circuit must be a boolean")
+          | key -> Error (Printf.sprintf "config: unknown field %S" key)
+        in
+        apply config rest
+    in
+    apply base members
 
 let report p sol =
   Printf.sprintf "circuit %s (%d gates, depth %d)\n%s"

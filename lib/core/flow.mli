@@ -39,6 +39,18 @@ val default_config : config
 (** 300 MHz, probability 0.5, density 0.1, first-order activities,
     b = 0.95, M = 16, [Tech.default]. *)
 
+val config_to_json : config -> Dcopt_util.Json.t
+(** Versioned JSON (schema version 1) with every field explicit — the
+    embedded tech via {!Dcopt_device.Tech_io.to_json} — and exact float
+    round-trips. The service layer digests this rendering to key its
+    result cache. *)
+
+val config_of_json :
+  ?base:config -> Dcopt_util.Json.t -> (config, string) result
+(** Reads a (possibly partial) config object over [base] (default
+    {!default_config}), so job specs can override single fields; unknown
+    fields are typed errors. *)
+
 type prepared = {
   config : config;
   core : Dcopt_netlist.Circuit.t;   (** combinational core *)

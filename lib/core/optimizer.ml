@@ -1,0 +1,85 @@
+module Solution = Dcopt_opt.Solution
+
+type t = {
+  name : string;
+  doc : string;
+  run :
+    ?observer:Dcopt_obs.Telemetry.observer ->
+    Flow.prepared ->
+    Solution.t option;
+}
+
+let builtins =
+  [
+    {
+      name = "baseline";
+      doc = "fixed 700 mV threshold, Vdd and widths optimized (Table 1)";
+      run = (fun ?observer p -> Flow.run_baseline ?observer p);
+    };
+    {
+      name = "joint";
+      doc = "Procedure 2: nested binary search over (Vdd, Vt, widths)";
+      run = (fun ?observer p -> Flow.run_joint ?observer p);
+    };
+    {
+      name = "joint-grid";
+      doc = "Procedure 2 with the grid-refine search strategy";
+      run =
+        (fun ?observer p ->
+          Flow.run_joint ?observer ~strategy:Dcopt_opt.Heuristic.Grid_refine p);
+    };
+    {
+      name = "annealing";
+      doc = "multi-pass simulated annealing over the same variables";
+      run = (fun ?observer p -> Flow.run_annealing ?observer p);
+    };
+    {
+      name = "multi-vt";
+      doc = "dual threshold voltages (n_v = 2)";
+      run = (fun ?observer:_ p -> Flow.run_multi_vt p);
+    };
+    {
+      name = "multi-vdd";
+      doc = "dual supplies via clustered voltage scaling";
+      run =
+        (fun ?observer:_ p ->
+          Flow.run_multi_vdd p
+          |> Option.map (fun r -> r.Dcopt_opt.Multi_vdd.solution));
+    };
+    {
+      name = "tilos";
+      doc = "budget-free TILOS sensitivity sizing";
+      run = (fun ?observer p -> Flow.run_tilos ?observer p);
+    };
+  ]
+
+let registered : t list ref = ref []
+
+let register opt =
+  if opt.name = "" then invalid_arg "Optimizer.register: empty name";
+  registered := List.filter (fun o -> o.name <> opt.name) !registered @ [ opt ]
+
+let all () =
+  let extra =
+    List.filter
+      (fun o -> not (List.exists (fun b -> b.name = o.name) builtins))
+      !registered
+  in
+  List.map
+    (fun b ->
+      match List.find_opt (fun o -> o.name = b.name) !registered with
+      | Some o -> o
+      | None -> b)
+    builtins
+  @ extra
+
+let find name = List.find_opt (fun o -> o.name = name) (all ())
+let names () = List.map (fun o -> o.name) (all ())
+
+let get name =
+  match find name with
+  | Some o -> o
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Optimizer.get: unknown optimizer %S (known: %s)" name
+         (String.concat ", " (names ())))

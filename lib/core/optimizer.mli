@@ -1,0 +1,45 @@
+(** First-class optimizer descriptors and the registry behind every
+    dispatch-by-name surface ([minpower --optimizer], the batch service's
+    job specs, {!Experiments} drivers).
+
+    A descriptor wraps one optimization entry point behind the uniform
+    signature [?observer -> Flow.prepared -> Solution.t option]; the
+    {!Flow.run_*} functions remain as thin typed wrappers for callers
+    that want optimizer-specific options. Descriptors whose underlying
+    engine takes no telemetry observer (multi-vt, multi-vdd) ignore the
+    argument — which also means service timeouts cannot interrupt them
+    mid-search (cooperative cancellation rides the observer stream; see
+    {!Dcopt_service.Service}). *)
+
+type t = {
+  name : string;  (** unique registry key, e.g. "joint" *)
+  doc : string;   (** one-line description for listings *)
+  run :
+    ?observer:Dcopt_obs.Telemetry.observer ->
+    Flow.prepared ->
+    Dcopt_opt.Solution.t option;
+}
+
+val builtins : t list
+(** The seven built-in optimizers, in presentation order: [baseline],
+    [joint] (Procedure 2, paper binary search), [joint-grid] (grid-refine
+    strategy), [annealing], [multi-vt], [multi-vdd] (reports the
+    clustered-voltage-scaling solution), [tilos]. *)
+
+val register : t -> unit
+(** Add (or replace, by name) a descriptor — used by tests to inject
+    faulty optimizers and by embedders to expose custom engines through
+    the same CLI/service surfaces. Raises [Invalid_argument] on an empty
+    name. *)
+
+val all : unit -> t list
+(** {!builtins} followed by registered descriptors, registration order;
+    a registered descriptor shadowing a builtin replaces it in place. *)
+
+val find : string -> t option
+val get : string -> t
+(** [get name] raises [Invalid_argument] with the known names when the
+    optimizer does not exist. *)
+
+val names : unit -> string list
+(** Names of {!all}, in the same order. *)

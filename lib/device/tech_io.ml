@@ -110,3 +110,49 @@ let write_file path t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* JSON (schema version 1): {"version":1,"name":...,<float fields>}    *)
+
+module Json = Dcopt_util.Json
+
+let json_schema_version = 1
+
+let to_json t =
+  Json.Obj
+    (("version", Json.Int json_schema_version)
+    :: ("name", Json.String t.Tech.tech_name)
+    :: List.map (fun (k, get, _) -> (k, Json.Float (get t))) float_fields)
+
+let of_json ?(base = Tech.default) json =
+  match Json.get_obj json with
+  | None -> Error "tech: expected a JSON object"
+  | Some members -> (
+    let rec apply tech = function
+      | [] -> Ok tech
+      | ("version", v) :: rest -> (
+        match Json.get_int v with
+        | Some n when n = json_schema_version -> apply tech rest
+        | Some n -> Error (Printf.sprintf "tech: unsupported version %d" n)
+        | None -> Error "tech: version must be an integer")
+      | ("name", v) :: rest -> (
+        match Json.get_string v with
+        | Some name -> apply { tech with Tech.tech_name = name } rest
+        | None -> Error "tech: name must be a string")
+      | (key, v) :: rest -> (
+        match List.find_opt (fun (k, _, _) -> k = key) float_fields with
+        | None ->
+          Error
+            (Printf.sprintf "tech: unknown parameter %S (known: %s)" key
+               (String.concat ", " known_keys))
+        | Some (_, _, set) -> (
+          match Json.get_float v with
+          | Some f -> apply (set tech f) rest
+          | None -> Error (Printf.sprintf "tech: %S is not a number" key)))
+    in
+    match apply base members with
+    | Error _ as e -> e
+    | Ok tech -> (
+      match Tech.validate tech with
+      | Ok () -> Ok tech
+      | Error msg -> Error ("tech: " ^ msg)))

@@ -32,3 +32,13 @@ val write_file : string -> Tech.t -> unit
 
 val known_keys : string list
 (** Accepted parameter names, for error messages and documentation. *)
+
+val to_json : Tech.t -> Dcopt_util.Json.t
+(** Versioned JSON object (schema version 1, every field explicit, exact
+    float round-trip). [to_json] then {!of_json} reproduces the record
+    bit-for-bit. *)
+
+val of_json : ?base:Tech.t -> Dcopt_util.Json.t -> (Tech.t, string) result
+(** Reads a (possibly partial) tech object over [base] (default
+    {!Tech.default}); unknown keys and {!Tech.validate} failures are
+    typed errors, never silent defaults. *)

@@ -52,6 +52,111 @@ let better best candidate =
       Some candidate
     else best
 
+(* ------------------------------------------------------------------ *)
+(* JSON (schema version 1). The design and evaluation arrays are
+   serialized in full (indexed by node id), so a decoded solution is
+   field-for-field and bit-for-bit the one that was encoded — the service
+   result cache depends on this to replay cached rows byte-identically. *)
+
+module Json = Dcopt_util.Json
+
+let json_schema_version = 1
+
+let float_array_json a =
+  Json.List (List.map (fun f -> Json.Float f) (Array.to_list a))
+
+let to_json t =
+  let d = t.design and e = t.evaluation in
+  Json.Obj
+    [
+      ("version", Json.Int json_schema_version);
+      ("label", Json.String t.label);
+      ("meets_budgets", Json.Bool t.meets_budgets);
+      ( "design",
+        Json.Obj
+          [
+            ("vdd", Json.Float d.Power_model.vdd);
+            ("vt", float_array_json d.Power_model.vt);
+            ("widths", float_array_json d.Power_model.widths);
+          ] );
+      ( "evaluation",
+        Json.Obj
+          [
+            ("static_energy", Json.Float e.Power_model.static_energy);
+            ("dynamic_energy", Json.Float e.Power_model.dynamic_energy);
+            ( "short_circuit_energy",
+              Json.Float e.Power_model.short_circuit_energy );
+            ("total_energy", Json.Float e.Power_model.total_energy);
+            ("static_power", Json.Float e.Power_model.static_power);
+            ("dynamic_power", Json.Float e.Power_model.dynamic_power);
+            ("delays", float_array_json e.Power_model.delays);
+            ("critical_delay", Json.Float e.Power_model.critical_delay);
+            ("feasible", Json.Bool e.Power_model.feasible);
+          ] );
+    ]
+
+let ( let* ) = Result.bind
+
+let req json name conv =
+  match Json.field name json with
+  | None -> Error (Printf.sprintf "solution: missing field %S" name)
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "solution: field %S has the wrong type" name))
+
+let float_array_of json name =
+  let* items = req json name Json.get_list in
+  let rec convert acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | v :: rest -> (
+      match Json.get_float v with
+      | Some f -> convert (f :: acc) rest
+      | None ->
+        Error (Printf.sprintf "solution: %S must be an array of numbers" name))
+  in
+  convert [] items
+
+let of_json json =
+  let* version = req json "version" Json.get_int in
+  if version <> json_schema_version then
+    Error (Printf.sprintf "solution: unsupported version %d" version)
+  else
+    let* label = req json "label" Json.get_string in
+    let* meets_budgets = req json "meets_budgets" Json.get_bool in
+    let* d = req json "design" Option.some in
+    let* vdd = req d "vdd" Json.get_float in
+    let* vt = float_array_of d "vt" in
+    let* widths = float_array_of d "widths" in
+    let* e = req json "evaluation" Option.some in
+    let* static_energy = req e "static_energy" Json.get_float in
+    let* dynamic_energy = req e "dynamic_energy" Json.get_float in
+    let* short_circuit_energy = req e "short_circuit_energy" Json.get_float in
+    let* total_energy = req e "total_energy" Json.get_float in
+    let* static_power = req e "static_power" Json.get_float in
+    let* dynamic_power = req e "dynamic_power" Json.get_float in
+    let* delays = float_array_of e "delays" in
+    let* critical_delay = req e "critical_delay" Json.get_float in
+    let* feasible = req e "feasible" Json.get_bool in
+    Ok
+      {
+        label;
+        meets_budgets;
+        design = { Power_model.vdd; vt; widths };
+        evaluation =
+          {
+            Power_model.static_energy;
+            dynamic_energy;
+            short_circuit_energy;
+            total_energy;
+            static_power;
+            dynamic_power;
+            delays;
+            critical_delay;
+            feasible;
+          };
+      }
+
 let describe env t =
   let vts =
     vt_values t

@@ -46,3 +46,11 @@ val better : t option -> t -> t option
 
 val describe : Power_model.env -> t -> string
 (** Multi-line human-readable summary. *)
+
+val to_json : t -> Dcopt_util.Json.t
+(** Versioned JSON (schema version 1) carrying the full design and
+    evaluation — including the per-node [vt]/[widths]/[delays] arrays —
+    with exact float round-trips, so {!of_json} reproduces the solution
+    bit-for-bit. Used by the service result cache and [minpower --json]. *)
+
+val of_json : Dcopt_util.Json.t -> (t, string) result

@@ -1,0 +1,316 @@
+module Flow = Dcopt_core.Flow
+module Optimizer = Dcopt_core.Optimizer
+module Solution = Dcopt_opt.Solution
+module Par = Dcopt_par.Par
+module Metrics = Dcopt_obs.Metrics
+module Span = Dcopt_obs.Span
+module Clock = Dcopt_obs.Clock
+module Json = Dcopt_util.Json
+
+let jobs_c = Metrics.counter ~help:"Jobs submitted to the service" "service.jobs"
+let solved_c = Metrics.counter ~help:"Jobs that found a design" "service.solved"
+
+let infeasible_c =
+  Metrics.counter ~help:"Jobs whose optimizer closed no timing" "service.infeasible"
+
+let failed_c =
+  Metrics.counter ~help:"Jobs that failed after all retries" "service.failed"
+
+let retries_c =
+  Metrics.counter ~help:"Re-attempts after a crash or timeout" "service.retries"
+
+let cache_hits_c =
+  Metrics.counter ~help:"Jobs answered from the result store or an identical \
+                         sibling" "service.cache.hits"
+
+let cache_misses_c =
+  Metrics.counter ~help:"Jobs that had to compute" "service.cache.misses"
+
+let queue_depth_g =
+  Metrics.gauge ~help:"Distinct computations scheduled by the running batch"
+    "service.queue_depth"
+
+let in_flight_g =
+  Metrics.gauge ~help:"Worker domains occupied by the running batch"
+    "service.in_flight"
+
+let latency_h =
+  Metrics.histogram ~help:"Per-job compute seconds (all attempts)"
+    "service.latency"
+
+let attempts_h =
+  Metrics.histogram ~help:"Attempts per computed job" "service.attempts"
+
+exception Timed_out
+
+let resolve_circuit spec =
+  if Sys.file_exists spec then
+    try Ok (Dcopt_netlist.Bench_format.parse_file spec)
+    with Dcopt_netlist.Bench_format.Parse_error { line; message } ->
+      Error (Printf.sprintf "%s:%d: %s" spec line message)
+  else Dcopt_suite.Suite.find spec
+
+(* A job whose inputs all resolved: ready to digest and run. *)
+type resolved = {
+  optimizer : Optimizer.t;
+  config : Flow.config;
+  circuit : Dcopt_netlist.Circuit.t;
+  key : string;
+  timeout_s : float option;
+  retries : int;
+}
+
+let ( let* ) = Result.bind
+
+let resolve_job (job : Job.t) =
+  let* circuit = resolve_circuit job.Job.circuit in
+  let* optimizer =
+    match Optimizer.find job.Job.optimizer with
+    | Some o -> Ok o
+    | None ->
+      Error
+        (Printf.sprintf "unknown optimizer %S (known: %s)" job.Job.optimizer
+           (String.concat ", " (Optimizer.names ())))
+  in
+  let* config =
+    match job.Job.config with
+    | None -> Ok Flow.default_config
+    | Some overrides -> (
+      match Flow.config_of_json overrides with
+      | Ok c -> Ok c
+      | Error msg -> Error ("config: " ^ msg))
+  in
+  let key = Store.digest ~optimizer:optimizer.Optimizer.name ~config circuit in
+  Ok
+    {
+      optimizer;
+      config;
+      circuit;
+      key;
+      timeout_s = job.Job.timeout_s;
+      retries = job.Job.retries;
+    }
+
+(* The result-store value format (Failed outcomes are never written). *)
+let store_doc = function
+  | Job.Solved sol ->
+    Some
+      (Json.Obj
+         [
+           ("version", Json.Int 1);
+           ("status", Json.String "solved");
+           ("solution", Solution.to_json sol);
+         ])
+  | Job.Infeasible ->
+    Some
+      (Json.Obj
+         [ ("version", Json.Int 1); ("status", Json.String "infeasible") ])
+  | Job.Failed _ -> None
+
+let outcome_of_store doc =
+  match Option.bind (Json.field "status" doc) Json.get_string with
+  | Some "infeasible" -> Some Job.Infeasible
+  | Some "solved" -> (
+    match Json.field "solution" doc with
+    | None -> None
+    | Some s -> (
+      match Solution.of_json s with
+      | Ok sol -> Some (Job.Solved sol)
+      | Error _ -> None))
+  | _ -> None
+
+type computed = {
+  comp_outcome : Job.outcome;
+  comp_attempts : int;
+  comp_latency_s : float;
+}
+
+(* One computation, fully isolated: any exception out of prepare or the
+   optimizer — including the cooperative [Timed_out] the injected
+   observer raises past the deadline — is retried up to [retries] times
+   and then recorded as [Failed]. Runs on a pool worker, so it touches
+   only counters (atomic), never gauges/histograms/spans. *)
+let compute r =
+  let t0 = Clock.now_ns () in
+  let attempts_allowed = r.retries + 1 in
+  let rec go attempt =
+    let deadline =
+      match r.timeout_s with
+      | None -> Int64.max_int
+      | Some s -> Int64.add (Clock.now_ns ()) (Int64.of_float (s *. 1e9))
+    in
+    let observer _it =
+      if Int64.compare (Clock.now_ns ()) deadline > 0 then raise Timed_out
+    in
+    match
+      let p = Flow.prepare ~config:r.config r.circuit in
+      r.optimizer.Optimizer.run ~observer p
+    with
+    | Some sol -> (Job.Solved sol, attempt)
+    | None -> (Job.Infeasible, attempt)
+    | exception e ->
+      let error =
+        match e with
+        | Timed_out ->
+          Printf.sprintf "timed out after %gs"
+            (match r.timeout_s with Some s -> s | None -> 0.0)
+        | e -> Printexc.to_string e
+      in
+      if attempt < attempts_allowed then begin
+        Metrics.incr retries_c;
+        go (attempt + 1)
+      end
+      else (Job.Failed { error; attempts = attempt }, attempt)
+  in
+  let outcome, attempts =
+    Span.with_ "service.job"
+      ~args:[ ("optimizer", r.optimizer.Optimizer.name); ("digest", r.key) ]
+      (fun () -> go 1)
+  in
+  {
+    comp_outcome = outcome;
+    comp_attempts = attempts;
+    comp_latency_s = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0);
+  }
+
+let cacheable = function
+  | Job.Solved _ | Job.Infeasible -> true
+  | Job.Failed _ -> false
+
+let run_batch ?store jobs =
+  Span.with_ "service.batch" @@ fun () ->
+  let jobs = Array.of_list jobs in
+  Metrics.incr ~by:(Array.length jobs) jobs_c;
+  let resolved = Array.map resolve_job jobs in
+  (* first-occurrence order of each distinct digest; later identical
+     jobs reuse the first one's outcome, so cache_hit flags and results
+     never depend on scheduling *)
+  let first_index : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let unique = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok r when not (Hashtbl.mem first_index r.key) ->
+        Hashtbl.add first_index r.key i;
+        unique := r :: !unique
+      | _ -> ())
+    resolved;
+  let unique = List.rev !unique in
+  (* store lookups happen on the main domain, before scheduling *)
+  let from_store : (string, Job.outcome) Hashtbl.t = Hashtbl.create 16 in
+  (match store with
+  | None -> ()
+  | Some st ->
+    List.iter
+      (fun r ->
+        match Option.bind (Store.find st r.key) outcome_of_store with
+        | Some outcome -> Hashtbl.add from_store r.key outcome
+        | None -> ())
+      unique);
+  let to_compute =
+    Array.of_list
+      (List.filter (fun r -> not (Hashtbl.mem from_store r.key)) unique)
+  in
+  Metrics.set queue_depth_g (float_of_int (Array.length to_compute));
+  Metrics.set in_flight_g
+    (float_of_int (min (Par.jobs ()) (Array.length to_compute)));
+  let computed = Par.map ~site:"service" compute to_compute in
+  Metrics.set queue_depth_g 0.0;
+  Metrics.set in_flight_g 0.0;
+  (* post-batch bookkeeping, main domain only: histograms, store writes *)
+  let by_key : (string, computed) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      Metrics.observe latency_h c.comp_latency_s;
+      Metrics.observe attempts_h (float_of_int c.comp_attempts);
+      (match store with
+      | Some st -> (
+        match store_doc c.comp_outcome with
+        | Some doc -> Store.put st to_compute.(i).key doc
+        | None -> ())
+      | None -> ());
+      Hashtbl.replace by_key to_compute.(i).key c)
+    computed;
+  (* emit rows in job order *)
+  List.mapi
+    (fun i (job : Job.t) ->
+      let job_id =
+        match job.Job.id with Some id -> id | None -> Printf.sprintf "job%d" i
+      in
+      let digest, cache_hit, outcome =
+        match resolved.(i) with
+        | Error msg -> ("", false, Job.Failed { error = msg; attempts = 0 })
+        | Ok r -> (
+          match Hashtbl.find_opt from_store r.key with
+          | Some outcome -> (r.key, true, outcome)
+          | None ->
+            let c = Hashtbl.find by_key r.key in
+            let duplicate = Hashtbl.find first_index r.key <> i in
+            (r.key, duplicate && cacheable c.comp_outcome, c.comp_outcome))
+      in
+      Metrics.incr (if cache_hit then cache_hits_c else cache_misses_c);
+      Metrics.incr
+        (match outcome with
+        | Job.Solved _ -> solved_c
+        | Job.Infeasible -> infeasible_c
+        | Job.Failed _ -> failed_c);
+      {
+        Job.job_id;
+        row_circuit = job.Job.circuit;
+        row_optimizer = job.Job.optimizer;
+        digest;
+        cache_hit;
+        outcome;
+      })
+    (Array.to_list jobs)
+
+let failed_line_row ~line_no error =
+  {
+    Job.job_id = Printf.sprintf "line%d" line_no;
+    row_circuit = "";
+    row_optimizer = "";
+    digest = "";
+    cache_hit = false;
+    outcome = Job.Failed { error; attempts = 0 };
+  }
+
+let serve ?store ic oc =
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         let rows =
+           match Json.of_string line with
+           | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
+           | Ok json -> (
+             match Job.of_json json with
+             | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
+             | Ok job -> run_batch ?store [ job ])
+         in
+         List.iter
+           (fun row ->
+             output_string oc (Json.to_string (Job.row_to_json row));
+             output_char oc '\n')
+           rows;
+         flush oc
+       end
+     done
+   with End_of_file -> ());
+  flush oc
+
+let serve_unix_socket ?store path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Logs.app (fun m -> m "serving on unix socket %s" path);
+  while true do
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try serve ?store ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+    (* closing the out channel flushes and closes the shared fd *)
+    close_out_noerr oc
+  done

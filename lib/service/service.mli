@@ -1,0 +1,53 @@
+(** Batch optimization service: schedule many {!Job}s over the
+    {!Dcopt_par.Par} domain pool with per-job isolation, cooperative
+    timeouts, bounded retry and a content-addressed {!Store} cache.
+
+    Guarantees:
+
+    - {b Determinism}: result rows come back in job order and carry no
+      wall-clock data, so a batch at [--jobs 4] is byte-identical to
+      [--jobs 1] (latency and retry counts go to {!Dcopt_obs.Metrics}
+      instead). Identical jobs are deduplicated by digest before
+      scheduling, so their [cache_hit] flags don't depend on scheduling
+      either: the first occurrence computes (or hits the store), the
+      rest always read as hits.
+    - {b Isolation}: everything a job can do wrong — unknown circuit or
+      optimizer, malformed config, optimizer exception, timeout after
+      all retries — becomes a [Failed] row; sibling jobs and the batch
+      itself are unaffected.
+    - {b Bounded retry}: a crash or timeout is retried up to
+      [job.retries] times; each attempt gets a fresh deadline.
+
+    Timeouts are cooperative: the service injects a deadline check into
+    the optimizer's telemetry observer stream, so optimizers that ignore
+    [?observer] (multi-vt, multi-vdd — see {!Dcopt_core.Optimizer})
+    run to completion regardless.
+
+    Observability (all under the [service.] prefix): [jobs],
+    [solved]/[infeasible]/[failed], [cache.hits]/[cache.misses] and
+    [retries] counters; [queue_depth] and [in_flight] gauges set around
+    the batch; [latency] (seconds per job) and [attempts] histograms
+    observed after the batch on the main domain; a [service.batch] span
+    with per-job [service.job] children (recorded when sequential). *)
+
+val resolve_circuit :
+  string -> (Dcopt_netlist.Circuit.t, string) result
+(** The CLI rule: an existing path is parsed as a [.bench] file
+    (parse errors become [Error]), anything else is looked up in
+    {!Dcopt_suite.Suite}. *)
+
+val run_batch : ?store:Store.t -> Job.t list -> Job.row list
+(** Run every job (worker count from {!Dcopt_par.Par.jobs}); with a
+    [store], solved/infeasible outcomes are served from and persisted to
+    it. Never raises on job-level problems. *)
+
+val serve :
+  ?store:Store.t -> in_channel -> out_channel -> unit
+(** Long-running loop: one job spec as JSON per input line, one result
+    row as JSON per output line (flushed), until EOF. Blank lines are
+    skipped; unparsable lines produce a [Failed] row with id
+    ["line<n>"]. *)
+
+val serve_unix_socket : ?store:Store.t -> string -> unit
+(** Bind a unix domain socket at this path (unlinking a stale one) and
+    {!serve} each connection in sequence, forever. *)

@@ -1,0 +1,58 @@
+module Json = Dcopt_util.Json
+
+type t = { dir : string }
+
+(* bump whenever device models, optimizers or the config/solution
+   schemas change numerically observable behaviour *)
+let code_model_version = "1"
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then mkdir_p parent;
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.is_directory path -> ()
+  end
+
+let open_ path =
+  mkdir_p path;
+  if not (Sys.is_directory path) then
+    raise (Sys_error (path ^ ": not a directory"));
+  { dir = path }
+
+let dir t = t.dir
+
+let digest ~optimizer ~config circuit =
+  let payload =
+    String.concat "\n"
+      [
+        code_model_version;
+        optimizer;
+        Json.to_string (Dcopt_core.Flow.config_to_json config);
+        Dcopt_netlist.Bench_format.to_string circuit;
+      ]
+  in
+  Digest.to_hex (Digest.string payload)
+
+let path_of t key = Filename.concat t.dir (key ^ ".json")
+
+let find t key =
+  let path = path_of t key in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> None
+  | text -> (
+    match Json.of_string text with Ok v -> Some v | Error _ -> None)
+
+let put t key value =
+  let path = path_of t key in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string value));
+  Sys.rename tmp path

@@ -1,0 +1,41 @@
+(** Content-addressed on-disk result cache for the batch service.
+
+    Keys are stable digests of everything that determines an
+    optimization result: the netlist {e structure} (its canonical
+    [.bench] rendering, so a suite name and an identical file hit the
+    same entry), the full serialized {!Dcopt_core.Flow.config}
+    (technology included), the optimizer name, and
+    {!code_model_version} — a constant bumped whenever the numerical
+    models change, which implicitly invalidates every older entry.
+
+    Values are one JSON document per entry ([<digest>.json] in the store
+    directory), written atomically (temp file + rename), so a killed
+    batch never leaves a corrupt entry; unreadable or unparsable entries
+    read back as misses. *)
+
+type t
+
+val code_model_version : string
+(** Folded into every digest; bump on any behavioural model change. *)
+
+val open_ : string -> t
+(** Open (creating the directory, including parents) a store rooted at
+    this path. Raises [Sys_error] when the path exists but is not a
+    directory. *)
+
+val dir : t -> string
+
+val digest :
+  optimizer:string ->
+  config:Dcopt_core.Flow.config ->
+  Dcopt_netlist.Circuit.t ->
+  string
+(** The cache key: an MD5 hex digest over {!code_model_version}, the
+    optimizer name, the canonical config JSON and the canonical [.bench]
+    text of the circuit. *)
+
+val find : t -> string -> Dcopt_util.Json.t option
+(** Look a digest up; [None] on absence or on any read/parse failure. *)
+
+val put : t -> string -> Dcopt_util.Json.t -> unit
+(** Atomically (over)write an entry. *)

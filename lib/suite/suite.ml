@@ -70,16 +70,22 @@ let cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 16
 
 let find name =
   match Hashtbl.find_opt cache name with
-  | Some c -> c
-  | None ->
+  | Some c -> Ok c
+  | None -> (
     let circuit =
-      if name = "s27" then s27 ()
-      else
-        match profile name with
-        | Some p -> Generator.generate p
-        | None -> raise Not_found
+      if name = "s27" then Some (s27 ())
+      else Option.map Generator.generate (profile name)
     in
-    Hashtbl.add cache name circuit;
-    circuit
+    match circuit with
+    | Some circuit ->
+      Hashtbl.add cache name circuit;
+      Ok circuit
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %S (known: %s)" name
+           (String.concat " " names)))
 
-let all () = List.map (fun n -> (n, find n)) names
+let find_exn name =
+  match find name with Ok c -> c | Error _ -> raise Not_found
+
+let all () = List.map (fun n -> (n, find_exn n)) names

@@ -27,10 +27,15 @@ val profile : string -> Dcopt_netlist.Generator.profile option
 (** The generation profile of a synthetic suite circuit ([None] for
     ["s27"], which is not generated, and for unknown names). *)
 
-val find : string -> Dcopt_netlist.Circuit.t
-(** Circuit by name (generating it on first use); raises [Not_found] for
-    unknown names. The result is sequential; analyses should take its
-    combinational core. *)
+val find : string -> (Dcopt_netlist.Circuit.t, string) result
+(** Circuit by name (generating it on first use); unknown names are a
+    typed [Error] carrying the known-name list, so CLI/service callers
+    surface them as failure rows instead of an escaping [Not_found]. The
+    result is sequential; analyses should take its combinational core. *)
+
+val find_exn : string -> Dcopt_netlist.Circuit.t
+(** {!find}, raising [Not_found] on unknown names (the historical
+    behaviour, for callers with known-good names). *)
 
 val all : unit -> (string * Dcopt_netlist.Circuit.t) list
 (** Every suite circuit, in {!names} order. *)

@@ -53,7 +53,7 @@ let test_sc_order_of_magnitude_below_switching () =
   Alcotest.(check bool) "sc below switching" true (sc < sw)
 
 let test_sc_in_power_model () =
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find "s27") in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27") in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.3 in
   let profile = Activity.local_profile core specs in
   let env_off = Power_model.make_env ~tech ~fc:300e6 core profile in
@@ -93,7 +93,7 @@ let test_event_sim_matches_eval () =
     r.Event_sim.values
 
 let test_event_sim_settle_bounded_by_sta () =
-  let c = Circuit.combinational_core (Dcopt_suite.Suite.find "s298") in
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s298") in
   let delays = unit_delays c in
   let sta = Dcopt_timing.Sta.analyze c ~delays in
   let rng = Dcopt_util.Prng.create 7L in
@@ -134,7 +134,7 @@ let test_event_sim_counts_glitches () =
   Alcotest.(check int) "zero-delay sees nothing" 0 zd.(Circuit.find c "y")
 
 let test_monte_carlo_activity_sane () =
-  let c = Circuit.combinational_core (Dcopt_suite.Suite.find "s27") in
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27") in
   let rng = Dcopt_util.Prng.create 11L in
   let est =
     Event_sim.monte_carlo_activity c ~rng ~vectors:800 ~input_probability:0.5
@@ -179,7 +179,7 @@ let test_monte_carlo_vs_najm_on_tree () =
 (* Windowed activity                                                   *)
 
 let test_windowed_equals_local_at_window_one () =
-  let c = Circuit.combinational_core (Dcopt_suite.Suite.find "s298") in
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s298") in
   let specs = Activity.uniform_inputs c ~probability:0.5 ~density:0.2 in
   let local = Activity.local_profile c specs in
   let windowed = Activity.windowed_profile ~window:1 c specs in
@@ -225,7 +225,7 @@ let test_windowed_resolves_local_reconvergence () =
 (* Multi-vdd                                                           *)
 
 let setup name =
-  let p = Flow.prepare (Dcopt_suite.Suite.find name) in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
   let budgets = Option.get (Flow.repaired_budgets p ~vt:tech.Tech.vt_min) in
   (p.Flow.env, budgets)
 
@@ -277,7 +277,7 @@ let test_multivdd_optimize_no_worse () =
       (r.Multi_vdd.vdd_low <= r.Multi_vdd.vdd_high)
 
 let test_multivdd_helps_fixed_vt () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s298") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s298") in
   let budgets = Option.get (Flow.repaired_budgets p ~vt:0.7) in
   let env = p.Flow.env in
   let single = Option.get (Dcopt_opt.Baseline.optimize env ~budgets) in

@@ -4,7 +4,7 @@ module Circuit = Dcopt_netlist.Circuit
 module Sta = Dcopt_timing.Sta
 
 let test_prepare_defaults () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s27") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s27") in
   Alcotest.(check bool) "core combinational" true
     (Circuit.is_combinational p.Flow.core);
   Alcotest.(check bool) "first-order engine" false p.Flow.used_exact_activity;
@@ -15,18 +15,18 @@ let test_prepare_exact_engine () =
   let config =
     { Flow.default_config with Flow.engine = Flow.Exact_when_small }
   in
-  let p = Flow.prepare ~config (Dcopt_suite.Suite.find "s27") in
+  let p = Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s27") in
   Alcotest.(check bool) "exact used on s27" true p.Flow.used_exact_activity
 
 let test_budgets_meet_cycle () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s298") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s298") in
   let sta = Sta.analyze p.Flow.core ~delays:(Flow.budgets p) in
   Alcotest.(check bool) "within skewed cycle" true
     (sta.Sta.critical_delay
     <= 0.95 /. Flow.default_config.Flow.clock_frequency *. (1.0 +. 1e-9))
 
 let test_repaired_budgets_still_meet_cycle () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s344") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s344") in
   match Flow.repaired_budgets p ~vt:0.7 with
   | None -> Alcotest.fail "s344 repairable"
   | Some budgets ->
@@ -36,7 +36,7 @@ let test_repaired_budgets_still_meet_cycle () =
       <= 1.0 /. Flow.default_config.Flow.clock_frequency *. (1.0 +. 1e-6))
 
 let test_end_to_end_s27 () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s27") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s27") in
   let baseline = Flow.run_baseline p in
   let joint = Flow.run_joint p in
   match (baseline, joint) with
@@ -51,7 +51,7 @@ let test_whole_suite_end_to_end () =
   (* the headline reproduction: every Table-1/2 circuit closes both ways *)
   List.iter
     (fun name ->
-      let p = Flow.prepare (Dcopt_suite.Suite.find name) in
+      let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
       match (Flow.run_baseline p, Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p) with
       | Some b, Some j ->
         let savings = Solution.savings ~baseline:b j in
@@ -67,7 +67,7 @@ let test_paper_binary_across_circuits () =
      must close and deliver order-of-magnitude savings on its own *)
   List.iter
     (fun name ->
-      let p = Flow.prepare (Dcopt_suite.Suite.find name) in
+      let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
       match (Flow.run_baseline p, Flow.run_joint p) with
       | Some b, Some j ->
         let savings = Solution.savings ~baseline:b j in
@@ -79,7 +79,7 @@ let test_paper_binary_across_circuits () =
     [ "s298"; "s382"; "s444" ]
 
 let test_report_contains_key_numbers () =
-  let p = Flow.prepare (Dcopt_suite.Suite.find "s27") in
+  let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s27") in
   match Flow.run_joint p with
   | None -> Alcotest.fail "expected solution"
   | Some sol ->
@@ -97,17 +97,17 @@ let test_report_contains_key_numbers () =
 
 let test_infeasible_frequency_returns_none () =
   let config = { Flow.default_config with Flow.clock_frequency = 30e9 } in
-  let p = Flow.prepare ~config (Dcopt_suite.Suite.find "s298") in
+  let p = Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s298") in
   Alcotest.(check bool) "no joint" true (Flow.run_joint p = None);
   Alcotest.(check bool) "no baseline" true (Flow.run_baseline p = None)
 
 let test_custom_frequency_feasible () =
   let config = { Flow.default_config with Flow.clock_frequency = 50e6 } in
-  let p = Flow.prepare ~config (Dcopt_suite.Suite.find "s298") in
+  let p = Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s298") in
   match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
   | None -> Alcotest.fail "50 MHz should be easy"
   | Some slow ->
-    let p300 = Flow.prepare (Dcopt_suite.Suite.find "s298") in
+    let p300 = Flow.prepare (Dcopt_suite.Suite.find_exn "s298") in
     (match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p300 with
     | None -> Alcotest.fail "300 MHz feasible"
     | Some fast ->

@@ -39,7 +39,7 @@ let setup core =
   in
   (env, budgets)
 
-let s27 () = Circuit.combinational_core (Dcopt_suite.Suite.find "s27")
+let s27 () = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27")
 
 let adder () =
   Circuit.combinational_core

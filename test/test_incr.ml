@@ -112,8 +112,8 @@ let run_moves ?include_short_circuit ~moves ~seed name core () =
     else Incr.commit inc
   done
 
-let s27 () = Circuit.combinational_core (Dcopt_suite.Suite.find "s27")
-let s298 () = Circuit.combinational_core (Dcopt_suite.Suite.find "s298")
+let s27 () = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27")
+let s298 () = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s298")
 
 let adder () =
   Circuit.combinational_core

@@ -444,7 +444,7 @@ let test_telemetry_to_metrics () =
 let s27_env () =
   let tech = Tech.default in
   let fc = 300e6 in
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find "s27") in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27") in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
   let profile = Activity.local_profile core specs in
   let env = Power_model.make_env ~tech ~fc core profile in

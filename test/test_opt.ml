@@ -17,7 +17,7 @@ let tech = Tech.default
 let fc = 300e6
 
 let setup ?(name = "s298") ?(density = 0.1) () =
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find name) in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn name) in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density in
   let profile = Activity.local_profile core specs in
   let env = Power_model.make_env ~tech ~fc core profile in
@@ -211,7 +211,7 @@ let test_tilos_sizing_meets_cycle () =
     Alcotest.(check bool) "meets cycle" true e.Power_model.feasible
 
 let test_tilos_detects_unreachable () =
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find "s27") in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s27") in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
   let profile = Activity.local_profile core specs in
   let env = Power_model.make_env ~tech ~fc:50e9 core profile in
@@ -351,7 +351,7 @@ let test_repair_idempotent () =
 
 let test_repair_detects_impossible () =
   (* at 30 GHz nothing can close timing *)
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find "s298") in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s298") in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
   let profile = Activity.local_profile core specs in
   let env = Power_model.make_env ~tech ~fc:30e9 core profile in

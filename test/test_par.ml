@@ -20,7 +20,7 @@ let tech = Tech.default
 let fc = 300e6
 
 let setup ?(name = "s27") () =
-  let core = Circuit.combinational_core (Dcopt_suite.Suite.find name) in
+  let core = Circuit.combinational_core (Dcopt_suite.Suite.find_exn name) in
   let specs = Activity.uniform_inputs core ~probability:0.5 ~density:0.1 in
   let profile = Activity.local_profile core specs in
   let env = Power_model.make_env ~tech ~fc core profile in

@@ -1,0 +1,337 @@
+module Flow = Dcopt_core.Flow
+module Optimizer = Dcopt_core.Optimizer
+module Solution = Dcopt_opt.Solution
+module Suite = Dcopt_suite.Suite
+module Tech = Dcopt_device.Tech
+module Tech_io = Dcopt_device.Tech_io
+module Json = Dcopt_util.Json
+module Service = Dcopt_service.Service
+module Job = Dcopt_service.Job
+module Store = Dcopt_service.Store
+module Telemetry = Dcopt_obs.Telemetry
+module Metrics = Dcopt_obs.Metrics
+module Par = Dcopt_par.Par
+
+let rows_to_string rows =
+  String.concat "\n" (List.map (fun r -> Json.to_string (Job.row_to_json r)) rows)
+
+(* fresh relative store directories inside the dune sandbox *)
+let temp_store =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir = Printf.sprintf "service_test_store_%d" !n in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+    dir
+
+(* --- exact JSON round-trips ------------------------------------------- *)
+
+let test_config_roundtrip () =
+  let check config =
+    let j1 = Flow.config_to_json config in
+    match Flow.config_of_json j1 with
+    | Error msg -> Alcotest.fail msg
+    | Ok config' ->
+      Alcotest.(check string)
+        "config json round-trips byte-exactly" (Json.to_string j1)
+        (Json.to_string (Flow.config_to_json config'))
+  in
+  check Flow.default_config;
+  check
+    {
+      Flow.default_config with
+      Flow.clock_frequency = 123.456789e6;
+      engine = Flow.Monte_carlo { vectors = 77; seed = 42L };
+      skew_factor = 0.875;
+      include_short_circuit = true;
+    }
+
+let test_config_partial_override () =
+  match
+    Flow.config_of_json
+      (Json.Obj
+         [ ("version", Json.Int 1); ("clock_frequency", Json.Float 2e8) ])
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Alcotest.(check (float 0.0)) "overridden" 2e8 c.Flow.clock_frequency;
+    Alcotest.(check (float 0.0))
+      "others kept" Flow.default_config.Flow.input_density c.Flow.input_density
+
+let test_tech_roundtrip () =
+  let tech = Tech.scale Tech.default ~factor:0.7 in
+  let j1 = Tech_io.to_json tech in
+  match Tech_io.of_json j1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok tech' ->
+    Alcotest.(check string)
+      "tech json round-trips byte-exactly" (Json.to_string j1)
+      (Json.to_string (Tech_io.to_json tech'))
+
+let test_solution_roundtrip () =
+  let p = Flow.prepare (Suite.find_exn "s27") in
+  match Flow.run_baseline p with
+  | None -> Alcotest.fail "s27 baseline infeasible"
+  | Some sol -> (
+    let j1 = Solution.to_json sol in
+    match Solution.of_json j1 with
+    | Error msg -> Alcotest.fail msg
+    | Ok sol' ->
+      Alcotest.(check string)
+        "solution json round-trips byte-exactly" (Json.to_string j1)
+        (Json.to_string (Solution.to_json sol')))
+
+let test_job_and_row_roundtrip () =
+  let job =
+    Job.make ~id:"a" ~optimizer:"joint-grid"
+      ~config:(Json.Obj [ ("input_density", Json.Float 0.25) ])
+      ~timeout_s:1.5 ~retries:2 "s27"
+  in
+  (match Job.of_json (Job.to_json job) with
+  | Error msg -> Alcotest.fail msg
+  | Ok job' ->
+    Alcotest.(check string)
+      "job spec round-trips" (Json.to_string (Job.to_json job))
+      (Json.to_string (Job.to_json job')));
+  let rows = Service.run_batch [ Job.make "s27" ] in
+  List.iter
+    (fun row ->
+      match Job.row_of_json (Job.row_to_json row) with
+      | Error msg -> Alcotest.fail msg
+      | Ok row' ->
+        Alcotest.(check string)
+          "result row round-trips" (Json.to_string (Job.row_to_json row))
+          (Json.to_string (Job.row_to_json row')))
+    rows
+
+let test_job_rejects_unknown_field () =
+  match
+    Job.of_json (Json.Obj [ ("circuit", Json.String "s27");
+                            ("timeout", Json.Float 1.0) ])
+  with
+  | Error msg ->
+    Alcotest.(check bool) "names the field" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected an error for the misspelled field"
+
+(* --- batch semantics -------------------------------------------------- *)
+
+let batch_jobs () =
+  [
+    Job.make ~optimizer:"joint" "s27";
+    Job.make ~optimizer:"baseline" "s27";
+    Job.make ~optimizer:"joint"
+      ~config:(Json.Obj [ ("input_density", Json.Float 0.5) ])
+      "s27";
+  ]
+
+let test_jobs_count_invariance () =
+  let seq = Service.run_batch (batch_jobs ()) in
+  Par.set_jobs 4;
+  let par =
+    Fun.protect
+      ~finally:(fun () -> Par.set_jobs 1)
+      (fun () -> Service.run_batch (batch_jobs ()))
+  in
+  Alcotest.(check string)
+    "batch rows are byte-identical at --jobs 4 and --jobs 1"
+    (rows_to_string seq) (rows_to_string par)
+
+let test_warm_run_all_hits () =
+  let store = Store.open_ (temp_store ()) in
+  let cold = Service.run_batch ~store (batch_jobs ()) in
+  List.iter
+    (fun r -> Alcotest.(check bool) "cold is a miss" false r.Job.cache_hit)
+    cold;
+  let warm = Service.run_batch ~store (batch_jobs ()) in
+  List.iter
+    (fun r -> Alcotest.(check bool) "warm is a hit" true r.Job.cache_hit)
+    warm;
+  let strip rows =
+    List.map
+      (fun r -> Json.to_string (Job.row_to_json { r with Job.cache_hit = false }))
+      rows
+  in
+  Alcotest.(check (list string))
+    "cache replay is byte-identical to the computed rows" (strip cold)
+    (strip warm)
+
+let test_within_batch_dedup () =
+  let rows = Service.run_batch [ Job.make "s27"; Job.make "s27" ] in
+  match rows with
+  | [ a; b ] ->
+    Alcotest.(check string) "same digest" a.Job.digest b.Job.digest;
+    Alcotest.(check bool) "first computes" false a.Job.cache_hit;
+    Alcotest.(check bool) "duplicate hits" true b.Job.cache_hit;
+    Alcotest.(check string)
+      "same outcome"
+      (Json.to_string (Job.row_to_json { a with Job.job_id = ""; cache_hit = false }))
+      (Json.to_string (Job.row_to_json { b with Job.job_id = ""; cache_hit = false }))
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_digest_sensitivity () =
+  let digest_of ~optimizer config =
+    Store.digest ~optimizer ~config (Suite.find_exn "s27")
+  in
+  let d0 = digest_of ~optimizer:"joint" Flow.default_config in
+  Alcotest.(check bool) "optimizer changes the key" true
+    (d0 <> digest_of ~optimizer:"baseline" Flow.default_config);
+  Alcotest.(check bool) "config changes the key" true
+    (d0
+    <> digest_of ~optimizer:"joint"
+         { Flow.default_config with Flow.input_density = 0.2 });
+  Alcotest.(check string) "key is stable" d0
+    (digest_of ~optimizer:"joint" Flow.default_config)
+
+(* --- isolation, retry, timeout ---------------------------------------- *)
+
+let test_fault_injection_and_isolation () =
+  let calls = Atomic.make 0 in
+  Optimizer.register
+    {
+      Optimizer.name = "test-flaky";
+      doc = "fails twice, then delegates to the baseline";
+      run =
+        (fun ?observer:_ p ->
+          if Atomic.fetch_and_add calls 1 < 2 then failwith "injected fault";
+          Flow.run_baseline p);
+    };
+  Optimizer.register
+    {
+      Optimizer.name = "test-broken";
+      doc = "always raises";
+      run = (fun ?observer:_ _ -> failwith "always broken");
+    };
+  Metrics.reset ();
+  let rows =
+    Service.run_batch
+      [
+        Job.make ~id:"flaky" ~optimizer:"test-flaky" ~retries:2 "s27";
+        Job.make ~id:"broken" ~optimizer:"test-broken" ~retries:1 "s27";
+        Job.make ~id:"healthy" ~optimizer:"baseline" "s27";
+      ]
+  in
+  (match rows with
+  | [ flaky; broken; healthy ] ->
+    (match flaky.Job.outcome with
+    | Job.Solved _ -> ()
+    | _ -> Alcotest.fail "flaky job should succeed on its third attempt");
+    (match broken.Job.outcome with
+    | Job.Failed { attempts; error } ->
+      Alcotest.(check int) "broken used both attempts" 2 attempts;
+      Alcotest.(check bool) "error is reported" true
+        (String.length error > 0)
+    | _ -> Alcotest.fail "broken job should fail");
+    (match healthy.Job.outcome with
+    | Job.Solved _ -> ()
+    | _ -> Alcotest.fail "sibling job must be unaffected")
+  | _ -> Alcotest.fail "expected three rows");
+  Alcotest.(check int) "flaky retried twice, broken once" 3
+    (Metrics.value (Metrics.counter "service.retries"));
+  Alcotest.(check int) "one failure recorded" 1
+    (Metrics.value (Metrics.counter "service.failed"))
+
+let test_timeout () =
+  Optimizer.register
+    {
+      Optimizer.name = "test-spin";
+      doc = "spins forever, cooperatively observable";
+      run =
+        (fun ?observer _ ->
+          let observe = Option.value observer ~default:Telemetry.null in
+          let it =
+            {
+              Telemetry.optimizer = "test-spin";
+              index = 0;
+              vdd = 1.0;
+              vt = 0.1;
+              static_energy = 0.0;
+              dynamic_energy = 0.0;
+              total_energy = 0.0;
+              feasible = false;
+            }
+          in
+          while true do
+            observe it
+          done;
+          None);
+    };
+  let rows =
+    Service.run_batch
+      [
+        Job.make ~id:"spin" ~optimizer:"test-spin" ~timeout_s:0.05 ~retries:1
+          "s27";
+        Job.make ~id:"healthy" ~optimizer:"baseline" "s27";
+      ]
+  in
+  match rows with
+  | [ spin; healthy ] ->
+    (match spin.Job.outcome with
+    | Job.Failed { attempts; error } ->
+      Alcotest.(check int) "both attempts timed out" 2 attempts;
+      Alcotest.(check bool) "reported as a timeout" true
+        (String.length error >= 9 && String.sub error 0 9 = "timed out")
+    | _ -> Alcotest.fail "spinning job should time out");
+    (match healthy.Job.outcome with
+    | Job.Solved _ -> ()
+    | _ -> Alcotest.fail "sibling job must be unaffected")
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_unknown_inputs_become_rows () =
+  let rows =
+    Service.run_batch
+      [
+        Job.make ~id:"nocirc" "s9999";
+        Job.make ~id:"noopt" ~optimizer:"bogus" "s27";
+        Job.make ~id:"badcfg"
+          ~config:(Json.Obj [ ("no_such_field", Json.Int 1) ])
+          "s27";
+      ]
+  in
+  List.iter
+    (fun r ->
+      match r.Job.outcome with
+      | Job.Failed { attempts; _ } ->
+        Alcotest.(check int) "never attempted" 0 attempts
+      | _ -> Alcotest.fail (r.Job.job_id ^ " should be a failure row"))
+    rows
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "config round-trip" `Quick test_config_roundtrip;
+          Alcotest.test_case "config partial override" `Quick
+            test_config_partial_override;
+          Alcotest.test_case "tech round-trip" `Quick test_tech_roundtrip;
+          Alcotest.test_case "solution round-trip" `Quick
+            test_solution_roundtrip;
+          Alcotest.test_case "job and row round-trip" `Quick
+            test_job_and_row_roundtrip;
+          Alcotest.test_case "unknown job field" `Quick
+            test_job_rejects_unknown_field;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "jobs-count invariance" `Quick
+            test_jobs_count_invariance;
+          Alcotest.test_case "warm run hits the store" `Quick
+            test_warm_run_all_hits;
+          Alcotest.test_case "within-batch dedup" `Quick
+            test_within_batch_dedup;
+          Alcotest.test_case "digest sensitivity" `Quick
+            test_digest_sensitivity;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "fault injection and retry" `Quick
+            test_fault_injection_and_isolation;
+          Alcotest.test_case "cooperative timeout" `Quick test_timeout;
+          Alcotest.test_case "unknown inputs" `Quick
+            test_unknown_inputs_become_rows;
+        ] );
+    ]

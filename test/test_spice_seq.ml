@@ -186,7 +186,7 @@ let test_seq_sim_deterministic () =
   Alcotest.(check bool) "same seed, same trace" true (run () = run ())
 
 let test_seq_sim_profile_usable () =
-  let c = Dcopt_suite.Suite.find "s298" in
+  let c = Dcopt_suite.Suite.find_exn "s298" in
   let r =
     Seq_sim.simulate ~cycles:1500 ~input_probability:0.5 ~input_density:0.1 c
   in
@@ -206,7 +206,7 @@ let test_seq_sim_flow_engine () =
       Dcopt_core.Flow.engine =
         Dcopt_core.Flow.Sequential_trace { cycles = 1000; seed = 1L } }
   in
-  let p = Dcopt_core.Flow.prepare ~config (Dcopt_suite.Suite.find "s27") in
+  let p = Dcopt_core.Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s27") in
   match Dcopt_core.Flow.run_joint p with
   | Some sol ->
     Alcotest.(check bool) "feasible under traced activity" true

@@ -35,7 +35,7 @@ let test_table_circuit_profiles_match () =
       match Suite.profile name with
       | None -> Alcotest.fail ("missing profile for " ^ name)
       | Some p ->
-        let s = Stats.compute (Suite.find name) in
+        let s = Stats.compute (Suite.find_exn name) in
         Alcotest.(check int) (name ^ " PI") p.Dcopt_netlist.Generator.primary_inputs
           s.Stats.primary_inputs;
         Alcotest.(check int) (name ^ " PO") p.Dcopt_netlist.Generator.primary_outputs
@@ -51,7 +51,7 @@ let test_table_circuit_profiles_match () =
 let test_published_iscas_sizes () =
   (* spot-check against the published ISCAS-89 numbers *)
   let expect name pi po ff gates =
-    let s = Stats.compute (Suite.find name) in
+    let s = Stats.compute (Suite.find_exn name) in
     Alcotest.(check int) (name ^ " PI") pi s.Stats.primary_inputs;
     Alcotest.(check int) (name ^ " PO") po s.Stats.primary_outputs;
     Alcotest.(check int) (name ^ " DFF") ff s.Stats.flip_flops;
@@ -68,7 +68,7 @@ let test_extended_profiles_match () =
       match Suite.profile name with
       | None -> Alcotest.fail ("missing profile for " ^ name)
       | Some p ->
-        let s = Stats.compute (Suite.find name) in
+        let s = Stats.compute (Suite.find_exn name) in
         Alcotest.(check int) (name ^ " gates")
           p.Dcopt_netlist.Generator.gates s.Stats.gates;
         Alcotest.(check int) (name ^ " depth")
@@ -81,7 +81,7 @@ let test_extended_circuits_optimizable () =
      300 MHz leaves no room for voltage scaling *)
   List.iter
     (fun name ->
-      let p = Dcopt_core.Flow.prepare (Suite.find name) in
+      let p = Dcopt_core.Flow.prepare (Suite.find_exn name) in
       match
         ( Dcopt_core.Flow.run_baseline p,
           Dcopt_core.Flow.run_joint
@@ -97,13 +97,23 @@ let test_extended_circuits_optimizable () =
     Suite.extended_circuits
 
 let test_find_unknown () =
-  match Suite.find "s9999" with
+  (match Suite.find "s9999" with
+  | Error msg ->
+    (* the typed error should name the offending circuit *)
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "error names the circuit" true (contains "s9999" msg)
+  | Ok _ -> Alcotest.fail "expected Error for unknown circuit");
+  match Suite.find_exn "s9999" with
   | exception Not_found -> ()
   | _ -> Alcotest.fail "expected Not_found"
 
 let test_find_cached () =
   Alcotest.(check bool) "physically cached" true
-    (Suite.find "s298" == Suite.find "s298")
+    (Suite.find_exn "s298" == Suite.find_exn "s298")
 
 let test_all_lists_everything () =
   let all = Suite.all () in
@@ -145,7 +155,7 @@ let test_data_files_roundtrip () =
         let path = Filename.concat dir (name ^ ".bench") in
         if Sys.file_exists path then begin
           let parsed = Dcopt_netlist.Bench_format.parse_file path in
-          let s1 = Stats.compute parsed and s2 = Stats.compute (Suite.find name) in
+          let s1 = Stats.compute parsed and s2 = Stats.compute (Suite.find_exn name) in
           Alcotest.(check int) (name ^ " gates") s2.Stats.gates s1.Stats.gates;
           Alcotest.(check int) (name ^ " depth") s2.Stats.depth s1.Stats.depth;
           Alcotest.(check int) (name ^ " fanout") s2.Stats.total_fanout

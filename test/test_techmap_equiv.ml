@@ -139,7 +139,7 @@ let decompose_equivalence_property =
       Tech_map.max_gate_fanin d <= k && Equiv.equivalent c d)
 
 let test_decompose_suite_circuit () =
-  let c = Circuit.combinational_core (Dcopt_suite.Suite.find "s298") in
+  let c = Circuit.combinational_core (Dcopt_suite.Suite.find_exn "s298") in
   let d = Tech_map.decompose ~max_fanin:2 c in
   Alcotest.(check bool) "bounded at 2" true (Tech_map.max_gate_fanin d <= 2);
   Alcotest.(check bool) "still equivalent" true (Equiv.equivalent c d);
