@@ -17,6 +17,7 @@ module Json = Dcopt_util.Json
 module Service = Dcopt_service.Service
 module Job = Dcopt_service.Job
 module Store = Dcopt_service.Store
+module Checkpoint = Dcopt_service.Checkpoint
 module Circuit = Dcopt_netlist.Circuit
 module Stats = Dcopt_netlist.Circuit_stats
 module Span = Dcopt_obs.Span
@@ -86,9 +87,13 @@ let finish obs code =
 
 let load_circuit spec =
   if Sys.file_exists spec then
-    try Ok (Dcopt_netlist.Bench_format.parse_file spec)
-    with Dcopt_netlist.Bench_format.Parse_error { line; message } ->
-      Error (Printf.sprintf "%s:%d: %s" spec line message)
+    match Dcopt_netlist.Bench_format.parse_file_checked spec with
+    | Ok c -> Ok c
+    | Error diags ->
+      (* every problem in the file, one located line each, plus a roll-up *)
+      Error
+        (Dcopt_util.Diag.render diags
+        ^ Printf.sprintf "%s: %s" spec (Dcopt_util.Diag.summary diags))
   else
     match Suite.find spec with
     | Ok c -> Ok c
@@ -665,6 +670,18 @@ let store_arg =
   in
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Directory of per-job crash-safe checkpoints (created when missing). \
+     Completed jobs are recorded there the moment they finish; on SIGINT \
+     or SIGTERM the batch prints the rows already answerable and exits, \
+     and re-running the same batch with the same directory resumes — \
+     skipping completed jobs and producing output byte-identical to an \
+     uninterrupted run."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
 let read_lines ic =
   let rec go acc n =
     match input_line ic with
@@ -674,7 +691,7 @@ let read_lines ic =
   go [] 1
 
 let batch_cmd =
-  let run jobs_path store table require_cached obs =
+  let run jobs_path store checkpoint table require_cached obs =
     let lines =
       if jobs_path = "-" then read_lines stdin
       else begin
@@ -711,10 +728,35 @@ let batch_cmd =
         lines
     in
     let store = Option.map Store.open_ store in
+    let checkpoint = Option.map Checkpoint.open_ checkpoint in
     let jobs =
       List.filter_map (function `Job j -> Some j | `Row _ -> None) entries
     in
-    let rows = Service.run_batch ?store jobs in
+    (* With a checkpoint, an interrupt is a clean partial exit: flush what
+       is already answerable as JSONL, point at the resume command, and
+       die with the conventional 128+signal status. Everything the signal
+       handler reads is on disk (worker writes are atomic), so this is
+       safe whenever the signal lands. *)
+    (match checkpoint with
+    | None -> ()
+    | Some ck ->
+      let interrupted signal =
+        let rows = Service.partial_rows ?store ~checkpoint:ck jobs in
+        List.iter
+          (fun row -> print_endline (Json.to_string (Job.row_to_json row)))
+          rows;
+        flush stdout;
+        Printf.eprintf
+          "interrupted: %d of %d jobs answerable; resume with --checkpoint \
+           %s\n\
+           %!"
+          (List.length rows) (List.length jobs) (Checkpoint.dir ck);
+        Stdlib.exit (if signal = Sys.sigterm then 143 else 130)
+      in
+      List.iter
+        (fun s -> Sys.set_signal s (Sys.Signal_handle interrupted))
+        [ Sys.sigint; Sys.sigterm ]);
+    let rows = Service.run_batch ?store ?checkpoint jobs in
     let rec merge entries rows =
       match (entries, rows) with
       | [], _ -> []
@@ -766,7 +808,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(
-      const run $ jobs_path $ store_arg $ table $ require_cached $ obs_term)
+      const run $ jobs_path $ store_arg $ checkpoint_arg $ table
+      $ require_cached $ obs_term)
 
 let serve_cmd =
   let run store socket obs =

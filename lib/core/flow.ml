@@ -46,6 +46,58 @@ let default_config =
     include_short_circuit = false;
   }
 
+(* Reject ill-posed physics before any optimizer touches the config: a
+   vt at or above vdd, a zero/negative cycle target or an empty width
+   range would otherwise surface only as NaN deep inside Power_model. *)
+let validate_config c =
+  let module Diag = Dcopt_util.Diag in
+  let diags = ref [] in
+  let diagf ~code fmt =
+    Printf.ksprintf (fun m -> diags := Diag.error ~code m :: !diags) fmt
+  in
+  if not (Float.is_finite c.clock_frequency && c.clock_frequency > 0.0) then
+    diagf ~code:"config.physics"
+      "clock_frequency must be a positive finite frequency (got %g; the \
+       cycle target 1/fc would be zero, negative or undefined)"
+      c.clock_frequency;
+  if
+    not
+      (Float.is_finite c.input_probability
+      && c.input_probability >= 0.0
+      && c.input_probability <= 1.0)
+  then
+    diagf ~code:"config.range" "input_probability must lie in [0, 1] (got %g)"
+      c.input_probability;
+  if not (Float.is_finite c.input_density && c.input_density >= 0.0) then
+    diagf ~code:"config.range"
+      "input_density must be a non-negative finite transition count (got %g)"
+      c.input_density;
+  if
+    not
+      (Float.is_finite c.skew_factor
+      && c.skew_factor > 0.0
+      && c.skew_factor <= 1.0)
+  then
+    diagf ~code:"config.range" "skew_factor must lie in (0, 1] (got %g)"
+      c.skew_factor;
+  if c.m_steps < 1 then
+    diagf ~code:"config.range" "m_steps must be >= 1 (got %d)" c.m_steps;
+  (match c.engine with
+  | First_order | Exact_when_small -> ()
+  | Windowed window ->
+    if window < 1 then
+      diagf ~code:"config.range" "engine window must be >= 1 (got %d)" window
+  | Monte_carlo { vectors; _ } ->
+    if vectors < 1 then
+      diagf ~code:"config.range" "engine vectors must be >= 1 (got %d)" vectors
+  | Sequential_trace { cycles; _ } ->
+    if cycles < 1 then
+      diagf ~code:"config.range" "engine cycles must be >= 1 (got %d)" cycles);
+  List.iter
+    (fun msg -> diags := Diag.error ~code:"config.tech" msg :: !diags)
+    (Dcopt_device.Tech.validate_all c.tech);
+  List.rev !diags
+
 type prepared = {
   config : config;
   core : Circuit.t;
@@ -63,6 +115,12 @@ let engine_name = function
   | Sequential_trace _ -> "sequential-trace"
 
 let prepare ?(config = default_config) circuit =
+  (match Dcopt_util.Diag.errors (validate_config config) with
+  | [] -> ()
+  | errors ->
+    invalid_arg
+      ("Flow.prepare: ill-posed configuration\n"
+      ^ Dcopt_util.Diag.render errors));
   Span.with_ "flow.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
   @@ fun () ->
   let core =
@@ -332,7 +390,14 @@ let config_of_json ?(base = default_config) json =
         in
         apply config rest
     in
-    apply base members
+    let* config = apply base members in
+    (match Dcopt_util.Diag.errors (validate_config config) with
+    | [] -> Ok config
+    | errors ->
+      Error
+        ("config: "
+        ^ String.concat "; "
+            (List.map (fun d -> d.Dcopt_util.Diag.message) errors)))
 
 let report p sol =
   Printf.sprintf "circuit %s (%d gates, depth %d)\n%s"

@@ -39,6 +39,17 @@ val default_config : config
 (** 300 MHz, probability 0.5, density 0.1, first-order activities,
     b = 0.95, M = 16, [Tech.default]. *)
 
+val validate_config : config -> Dcopt_util.Diag.t list
+(** Every problem with the configuration: non-positive/non-finite clock
+    frequency (a zero or negative cycle target), probabilities and
+    densities out of range, a degenerate skew factor or [m_steps], bad
+    engine parameters, and every {!Dcopt_device.Tech.validate_all}
+    problem (empty vdd/vt/width ranges, [vt_min >= vdd_max]) — codes
+    [config.physics], [config.range], [config.tech]. [[]] means
+    well-posed. {!config_of_json} and {!prepare} both run this pass, so
+    no optimizer ever sees ill-posed physics through those entry
+    points. *)
+
 val config_to_json : config -> Dcopt_util.Json.t
 (** Versioned JSON (schema version 1) with every field explicit — the
     embedded tech via {!Dcopt_device.Tech_io.to_json} — and exact float

@@ -97,7 +97,9 @@ let at_temperature t ~celsius =
     k_drive = t.k_drive *. (ratio ** -1.5);
   }
 
-let validate t =
+let validate_all t =
+  let problems = ref [] in
+  let problem msg = problems := msg :: !problems in
   let positive =
     [
       ("feature_size", t.feature_size); ("alpha", t.alpha);
@@ -110,21 +112,36 @@ let validate t =
       ("wire_velocity", t.wire_velocity);
     ]
   in
-  let rec check = function
-    | [] -> Ok ()
-    | (name, v) :: rest ->
-      if v <= 0.0 then Error (name ^ " must be positive") else check rest
+  let finite =
+    positive
+    @ [
+        ("i_junction", t.i_junction); ("vdd_min", t.vdd_min);
+        ("vdd_max", t.vdd_max); ("vt_min", t.vt_min); ("vt_max", t.vt_max);
+        ("w_min", t.w_min); ("w_max", t.w_max); ("body_gamma", t.body_gamma);
+        ("body_phi", t.body_phi); ("vt_natural", t.vt_natural);
+      ]
   in
-  match check positive with
-  | Error _ as e -> e
-  | Ok () ->
-    if t.i_junction < 0.0 then Error "i_junction must be non-negative"
-    else if not (0.0 < t.vdd_min && t.vdd_min < t.vdd_max) then
-      Error "vdd range is empty"
-    else if not (0.0 < t.vt_min && t.vt_min < t.vt_max) then
-      Error "vt range is empty"
-    else if not (0.0 < t.w_min && t.w_min < t.w_max) then
-      Error "width range is empty"
-    else if t.body_gamma < 0.0 || t.body_phi <= 0.0 then
-      Error "body-effect parameters out of range"
-    else Ok ()
+  List.iter
+    (fun (name, v) ->
+      if not (Float.is_finite v) then problem (name ^ " must be finite"))
+    finite;
+  List.iter
+    (fun (name, v) -> if v <= 0.0 then problem (name ^ " must be positive"))
+    positive;
+  if t.i_junction < 0.0 then problem "i_junction must be non-negative";
+  (* min = max is a legal pinned value, not an empty range *)
+  if not (0.0 < t.vdd_min && t.vdd_min <= t.vdd_max) then
+    problem "vdd range is empty";
+  if not (0.0 < t.vt_min && t.vt_min <= t.vt_max) then
+    problem "vt range is empty";
+  if not (0.0 < t.w_min && t.w_min <= t.w_max) then
+    problem "width range is empty";
+  if t.vt_min >= t.vdd_max then
+    problem "ill-posed physics: vt_min >= vdd_max (every vt is at or above \
+             every vdd, no device ever turns on)";
+  if t.body_gamma < 0.0 || t.body_phi <= 0.0 then
+    problem "body-effect parameters out of range";
+  List.rev !problems
+
+let validate t =
+  match validate_all t with [] -> Ok () | msg :: _ -> Error msg

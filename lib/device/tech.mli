@@ -57,4 +57,11 @@ val subthreshold_scale : t -> float
     [alpha] so that the model's I_off slope equals [s_swing] per decade. *)
 
 val validate : t -> (unit, string) result
-(** Sanity bounds: positive constants, non-empty search ranges. *)
+(** Sanity bounds: positive constants, non-empty search ranges. First
+    problem from {!validate_all}. *)
+
+val validate_all : t -> string list
+(** Every problem with the record, in a stable order: non-finite or
+    non-positive constants, empty [vdd]/[vt]/[w] search ranges, and the
+    ill-posed-physics cross-check [vt_min >= vdd_max] (a device that can
+    never turn on). [[]] means the record is well-formed. *)

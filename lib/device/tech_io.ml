@@ -1,8 +1,5 @@
 exception Parse_error of { line : int; message : string }
 
-let errorf line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
-
 (* Field table: name, getter (for serialization), setter (for parsing).
    Keeping both directions side by side makes it impossible to add a field
    to one and forget the other. *)
@@ -55,7 +52,18 @@ let strip s =
   while !j >= !i && is_space s.[!j] do decr j done;
   String.sub s !i (!j - !i + 1)
 
-let parse_string ?(base = Tech.default) text =
+module Diag = Dcopt_util.Diag
+
+(* Recovering scan: every bad line gets its own located diagnostic, and
+   the physics validation runs on whatever survived so an unknown key and
+   an empty vt range are reported together, not one per invocation. *)
+let parse ?file ?(base = Tech.default) text =
+  let diags = ref [] in
+  let diagf ~line ~code fmt =
+    Printf.ksprintf
+      (fun message -> diags := Diag.error ?file ~line ~code message :: !diags)
+      fmt
+  in
   let tech = ref base in
   let handle lineno raw =
     let line =
@@ -66,7 +74,9 @@ let parse_string ?(base = Tech.default) text =
     let line = strip line in
     if line <> "" then
       match String.index_opt line '=' with
-      | None -> errorf lineno "expected `key = value', got %S" line
+      | None ->
+        diagf ~line:lineno ~code:"tech.syntax" "expected `key = value', got %S"
+          line
       | Some eq ->
         let key = strip (String.sub line 0 eq) in
         let value = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
@@ -74,27 +84,49 @@ let parse_string ?(base = Tech.default) text =
         else (
           match List.find_opt (fun (k, _, _) -> k = key) float_fields with
           | None ->
-            errorf lineno "unknown parameter %S (known: %s)" key
+            diagf ~line:lineno ~code:"tech.key"
+              "unknown parameter %S (known: %s)" key
               (String.concat ", " known_keys)
           | Some (_, _, set) -> (
             match float_of_string_opt value with
             | Some v -> tech := set !tech v
-            | None -> errorf lineno "parameter %S: %S is not a number" key value))
+            | None ->
+              diagf ~line:lineno ~code:"tech.number"
+                "parameter %S: %S is not a number" key value))
   in
   String.split_on_char '\n' text |> List.iteri (fun i l -> handle (i + 1) l);
-  (match Tech.validate !tech with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Tech_io.parse_string: " ^ msg));
-  !tech
-
-let parse_file ?base path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+  let validation =
+    List.map
+      (fun msg -> Diag.error ?file ~code:"tech.validate" msg)
+      (Tech.validate_all !tech)
   in
-  parse_string ?base text
+  match List.rev !diags @ validation with
+  | [] -> Ok !tech
+  | ds -> Error ds
+
+let parse_string ?base text =
+  match parse ?base text with
+  | Ok tech -> tech
+  | Error ds -> (
+    match Diag.errors ds with
+    | { Diag.line = Some line; message; _ } :: _ ->
+      raise (Parse_error { line; message })
+    | { Diag.message; _ } :: _ -> invalid_arg ("Tech_io.parse_string: " ^ message)
+    | [] -> assert false)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_file ?base path = parse_string ?base (read_file path)
+
+let parse_file_checked ?base path =
+  match read_file path with
+  | exception Sys_error msg ->
+    Error [ Diag.error ~file:path ~code:"tech.io" msg ]
+  | text -> parse ~file:path ?base text
 
 let to_string t =
   let buf = Buffer.create 1024 in

@@ -19,11 +19,28 @@
 
 exception Parse_error of { line : int; message : string }
 
+val parse :
+  ?file:string ->
+  ?base:Tech.t ->
+  string ->
+  (Tech.t, Dcopt_util.Diag.t list) result
+(** Recovering parser: collects a located diagnostic per bad line (codes
+    [tech.syntax], [tech.key], [tech.number]) and then runs
+    {!Tech.validate_all} on whatever survived ([tech.validate], no line),
+    so every problem in a file is reported at once. [Error] is never
+    empty. *)
+
 val parse_string : ?base:Tech.t -> string -> Tech.t
-(** Raises {!Parse_error} on syntax errors/unknown keys and
-    [Invalid_argument] when the resulting record fails {!Tech.validate}. *)
+(** First-error wrapper over {!parse}: raises {!Parse_error} on syntax
+    errors/unknown keys and [Invalid_argument] when the resulting record
+    fails {!Tech.validate}. *)
 
 val parse_file : ?base:Tech.t -> string -> Tech.t
+
+val parse_file_checked :
+  ?base:Tech.t -> string -> (Tech.t, Dcopt_util.Diag.t list) result
+(** {!parse} on a file's contents (unreadable file = one [tech.io]
+    diagnostic), with the path stamped into every diagnostic. *)
 
 val to_string : Tech.t -> string
 (** Every field, one per line, parseable by {!parse_string}. *)

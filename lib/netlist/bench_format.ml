@@ -1,7 +1,6 @@
 exception Parse_error of { line : int; message : string }
 
-let errorf line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+module Diag = Dcopt_util.Diag
 
 let strip s =
   let is_space c = c = ' ' || c = '\t' || c = '\r' in
@@ -11,26 +10,41 @@ let strip s =
   while !j >= !i && is_space s.[!j] do decr j done;
   String.sub s !i (!j - !i + 1)
 
-(* Accepts "HEAD(arg1, arg2, ...)" and returns (HEAD, args). *)
-let parse_call line s =
+(* Accepts "HEAD(arg1, arg2, ...)" and returns (HEAD, args); [None] means
+   the shape is wrong and a diagnostic has already been recorded. *)
+let parse_call diag line s =
   match String.index_opt s '(' with
-  | None -> errorf line "expected '(' in %S" s
+  | None ->
+    diag ~line ~code:"bench.syntax" (Printf.sprintf "expected '(' in %S" s);
+    None
   | Some open_paren ->
-    if s.[String.length s - 1] <> ')' then errorf line "expected ')' in %S" s;
-    let head = strip (String.sub s 0 open_paren) in
-    let inner =
-      String.sub s (open_paren + 1) (String.length s - open_paren - 2)
-    in
-    let args =
-      if strip inner = "" then []
-      else String.split_on_char ',' inner |> List.map strip
-    in
-    (head, args)
+    if s.[String.length s - 1] <> ')' then (
+      diag ~line ~code:"bench.syntax" (Printf.sprintf "expected ')' in %S" s);
+      None)
+    else
+      let head = strip (String.sub s 0 open_paren) in
+      let inner =
+        String.sub s (open_paren + 1) (String.length s - open_paren - 2)
+      in
+      let args =
+        if strip inner = "" then []
+        else String.split_on_char ',' inner |> List.map strip
+      in
+      Some (head, args)
 
-let parse_string ~name text =
+(* The recovering front end: scan every line, record a diagnostic for each
+   problem, and keep going so one bad line never hides the rest. Semantic
+   checks (duplicates, undefined references, arity) are re-done here with
+   the declaration's line number attached; [Circuit.create_checked] then
+   catches whatever has no natural line (combinational cycles). *)
+let parse ?file ~name text =
+  let diags = ref [] in
+  let diag ~line ~code message =
+    diags := Diag.error ?file ~line ~code message :: !diags
+  in
+  let diagf ~line ~code fmt = Printf.ksprintf (diag ~line ~code) fmt in
   let nodes = ref [] and outputs = ref [] in
   let declared_inputs = ref [] in
-  let add_node entry = nodes := entry :: !nodes in
   let handle_line lineno raw =
     let line =
       match String.index_opt raw '#' with
@@ -43,40 +57,122 @@ let parse_string ~name text =
       | Some eq ->
         let net = strip (String.sub line 0 eq) in
         let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
-        if net = "" then errorf lineno "missing net name before '='";
-        let head, args = parse_call lineno rhs in
-        (match Gate.of_string head with
-        | None -> errorf lineno "unknown gate kind %S" head
-        | Some Gate.Input -> errorf lineno "INPUT is not a gate definition"
-        | Some kind ->
-          if args = [] then errorf lineno "gate %S has no fanins" net;
-          add_node (net, kind, args))
-      | None ->
-        let head, args = parse_call lineno line in
-        (match (String.uppercase_ascii head, args) with
-        | "INPUT", [ net ] -> declared_inputs := net :: !declared_inputs
-        | "OUTPUT", [ net ] -> outputs := net :: !outputs
-        | ("INPUT" | "OUTPUT"), _ ->
-          errorf lineno "%s takes exactly one net" head
-        | _ -> errorf lineno "unrecognized declaration %S" line)
+        if net = "" then
+          diagf ~line:lineno ~code:"bench.syntax" "missing net name before '='"
+        else (
+          match parse_call diag lineno rhs with
+          | None -> ()
+          | Some (head, args) -> (
+            match Gate.of_string head with
+            | None ->
+              diagf ~line:lineno ~code:"bench.gate" "unknown gate kind %S" head
+            | Some Gate.Input ->
+              diagf ~line:lineno ~code:"bench.gate"
+                "INPUT is not a gate definition"
+            | Some kind ->
+              if args = [] then
+                diagf ~line:lineno ~code:"bench.gate" "gate %S has no fanins"
+                  net
+              else nodes := (net, kind, args, lineno) :: !nodes))
+      | None -> (
+        match parse_call diag lineno line with
+        | None -> ()
+        | Some (head, args) -> (
+          match (String.uppercase_ascii head, args) with
+          | "INPUT", [ net ] ->
+            declared_inputs := (net, lineno) :: !declared_inputs
+          | "OUTPUT", [ net ] -> outputs := (net, lineno) :: !outputs
+          | ("INPUT" | "OUTPUT"), _ ->
+            diagf ~line:lineno ~code:"bench.syntax" "%s takes exactly one net"
+              head
+          | _ ->
+            diagf ~line:lineno ~code:"bench.syntax"
+              "unrecognized declaration %S" line))
   in
   String.split_on_char '\n' text |> List.iteri (fun i l -> handle_line (i + 1) l);
-  let input_nodes =
-    List.rev_map (fun net -> (net, Gate.Input, [])) !declared_inputs
+  let inputs = List.rev !declared_inputs in
+  let gates = List.rev !nodes in
+  let outputs = List.rev !outputs in
+  (* line-located semantic scan, mirroring Circuit.create_checked *)
+  let defined = Hashtbl.create 64 in
+  let declare net line =
+    if Hashtbl.mem defined net then
+      diagf ~line ~code:"bench.duplicate" "duplicate net name %S" net
+    else Hashtbl.add defined net ()
   in
-  Circuit.create ~name
-    ~nodes:(input_nodes @ List.rev !nodes)
-    ~outputs:(List.rev !outputs)
+  List.iter (fun (net, line) -> declare net line) inputs;
+  List.iter (fun (net, _, _, line) -> declare net line) gates;
+  List.iter
+    (fun (net, kind, args, line) ->
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem defined a) then
+            diagf ~line ~code:"bench.undefined"
+              "%s references undefined net %S" net a)
+        args;
+      if not (Gate.arity_ok kind (List.length args)) then
+        diagf ~line ~code:"bench.arity" "gate %S: %s cannot have %d fanin(s)"
+          net (Gate.to_string kind) (List.length args))
+    gates;
+  List.iter
+    (fun (net, line) ->
+      if not (Hashtbl.mem defined net) then
+        diagf ~line ~code:"bench.undefined"
+          "outputs references undefined net %S" net)
+    outputs;
+  if inputs = [] && gates = [] then
+    diags := Diag.error ?file ~code:"bench.empty" "empty circuit" :: !diags;
+  match List.rev !diags with
+  | _ :: _ as ds -> Error ds
+  | [] -> (
+    let node_list =
+      List.map (fun (net, _) -> (net, Gate.Input, [])) inputs
+      @ List.map (fun (net, kind, args, _) -> (net, kind, args)) gates
+    in
+    match
+      Circuit.create_checked ~name ~nodes:node_list
+        ~outputs:(List.map fst outputs)
+    with
+    | Ok c -> Ok c
+    | Error problems ->
+      Error
+        (List.map
+           (fun p ->
+             let code =
+               if p = "circuit contains a combinational cycle" then
+                 "bench.cycle"
+               else "bench.semantic"
+             in
+             Diag.error ?file ~code p)
+           problems))
+
+let parse_string ~name text =
+  match parse ~name text with
+  | Ok c -> c
+  | Error ds -> (
+    match Diag.errors ds with
+    | { Diag.line = Some line; message; _ } :: _ ->
+      raise (Parse_error { line; message })
+    | { Diag.message; _ } :: _ -> raise (Circuit.Invalid message)
+    | [] -> assert false)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let parse_file path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   let base = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name:base text
+  parse_string ~name:base (read_file path)
+
+let parse_file_checked path =
+  match read_file path with
+  | exception Sys_error msg ->
+    Error [ Diag.error ~file:path ~code:"bench.io" msg ]
+  | text ->
+    let base = Filename.remove_extension (Filename.basename path) in
+    parse ~file:path ~name:base text
 
 let to_string circuit =
   let buf = Buffer.create 4096 in

@@ -6,14 +6,32 @@
 
 exception Parse_error of { line : int; message : string }
 
+val parse :
+  ?file:string ->
+  name:string ->
+  string ->
+  (Circuit.t, Dcopt_util.Diag.t list) result
+(** Recovering parser: scans the whole text and reports {e every} problem
+    it finds — syntax errors, unknown gates, duplicate nets, undefined
+    references, bad arity — each located by line number (codes
+    [bench.syntax], [bench.gate], [bench.duplicate], [bench.undefined],
+    [bench.arity]; line-less residuals such as combinational cycles come
+    back as [bench.cycle]/[bench.semantic]/[bench.empty]). [?file] is
+    stamped into the diagnostics' locations. [Error] is never empty. *)
+
 val parse_string : name:string -> string -> Circuit.t
 (** [parse_string ~name text] parses `.bench` [text] into a validated
-    circuit called [name]. Raises {!Parse_error} on syntax errors and
-    {!Circuit.Invalid} on semantic ones. *)
+    circuit called [name]. First-error wrapper over {!parse}: raises
+    {!Parse_error} when the first error has a line and {!Circuit.Invalid}
+    otherwise. *)
 
 val parse_file : string -> Circuit.t
 (** Reads a file; the circuit takes the file's basename (without extension)
     as its name. *)
+
+val parse_file_checked : string -> (Circuit.t, Dcopt_util.Diag.t list) result
+(** {!parse} on a file's contents (unreadable file = one [bench.io]
+    diagnostic); the path is stamped into every diagnostic. *)
 
 val to_string : Circuit.t -> string
 (** Renders a circuit back to `.bench` text (header comment, INPUT/OUTPUT

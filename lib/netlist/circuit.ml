@@ -69,38 +69,21 @@ let compute_levels node_array order =
     order;
   levels
 
-let create ~name ~nodes ~outputs =
-  let by_name = Hashtbl.create (List.length nodes * 2) in
-  List.iteri
-    (fun i (net, _, _) ->
-      if Hashtbl.mem by_name net then invalidf "duplicate net name %S" net;
-      Hashtbl.add by_name net i)
-    nodes;
-  let resolve context net =
-    match Hashtbl.find_opt by_name net with
-    | Some id -> id
-    | None -> invalidf "%s references undefined net %S" context net
-  in
-  let node_array =
-    Array.of_list
-      (List.mapi
-         (fun i (net, kind, fanin_names) ->
-           let fanins = Array.of_list (List.map (resolve net) fanin_names) in
-           if not (Gate.arity_ok kind (Array.length fanins)) then
-             invalidf "gate %S: %s cannot have %d fanin(s)" net
-               (Gate.to_string kind) (Array.length fanins);
-           { id = i; name = net; kind; fanins })
-         nodes)
-  in
+(* Assemble the derived structure once the node list has passed the
+   semantic scan; [compute_topo_order] can still raise [Invalid] on a
+   combinational cycle, which the checked entry point turns into a
+   problem report. *)
+let build ~name ~by_name ~node_array ~outputs =
   let n = Array.length node_array in
-  if n = 0 then invalidf "empty circuit";
   let fanout_lists = Array.make n [] in
   Array.iter
     (fun nd ->
       Array.iter (fun f -> fanout_lists.(f) <- nd.id :: fanout_lists.(f)) nd.fanins)
     node_array;
   let fanout_ids = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
-  let output_ids = Array.of_list (List.map (resolve "outputs") outputs) in
+  let output_ids =
+    Array.of_list (List.map (fun net -> Hashtbl.find by_name net) outputs)
+  in
   let output_flags = Array.make n false in
   Array.iter (fun id -> output_flags.(id) <- true) output_ids;
   let collect kind_pred =
@@ -130,6 +113,59 @@ let create ~name ~nodes ~outputs =
     order_rev;
     node_levels;
   }
+
+(* Collect every semantic problem instead of stopping at the first: a
+   recovering front end (Bench_format.parse) wants the full list, while
+   [create] keeps the historical raise-on-first-error contract on top. *)
+let create_checked ~name ~nodes ~outputs =
+  let problems = ref [] in
+  let problemf fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let by_name = Hashtbl.create ((List.length nodes * 2) + 1) in
+  List.iteri
+    (fun i (net, _, _) ->
+      if Hashtbl.mem by_name net then problemf "duplicate net name %S" net
+      else Hashtbl.add by_name net i)
+    nodes;
+  (* undefined references resolve to a self-loop placeholder so the scan
+     can keep going; any placeholder use is already a recorded error *)
+  let resolve self context net =
+    match Hashtbl.find_opt by_name net with
+    | Some id -> id
+    | None ->
+      problemf "%s references undefined net %S" context net;
+      self
+  in
+  let node_array =
+    Array.of_list
+      (List.mapi
+         (fun i (net, kind, fanin_names) ->
+           let fanins = Array.of_list (List.map (resolve i net) fanin_names) in
+           if not (Gate.arity_ok kind (Array.length fanins)) then
+             problemf "gate %S: %s cannot have %d fanin(s)" net
+               (Gate.to_string kind) (Array.length fanins);
+           { id = i; name = net; kind; fanins })
+         nodes)
+  in
+  let n = Array.length node_array in
+  if n = 0 then problemf "empty circuit";
+  let output_problems =
+    List.filter (fun net -> not (Hashtbl.mem by_name net)) outputs
+  in
+  List.iter
+    (fun net -> problemf "outputs references undefined net %S" net)
+    output_problems;
+  match List.rev !problems with
+  | _ :: _ as ps -> Error ps
+  | [] -> (
+    match build ~name ~by_name ~node_array ~outputs with
+    | t -> Ok t
+    | exception Invalid msg -> Error [ msg ])
+
+let create ~name ~nodes ~outputs =
+  match create_checked ~name ~nodes ~outputs with
+  | Ok t -> t
+  | Error (p :: _) -> raise (Invalid p)
+  | Error [] -> assert false
 
 let name t = t.circuit_name
 let size t = Array.length t.node_array

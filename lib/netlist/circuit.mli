@@ -30,6 +30,17 @@ val create :
     [outputs] names the primary-output nets. Combinational cycles (cycles
     not passing through a DFF) raise {!Invalid}. *)
 
+val create_checked :
+  name:string ->
+  nodes:(string * Gate.kind * string list) list ->
+  outputs:string list ->
+  (t, string list) result
+(** Like {!create}, but collects {e every} validation problem (duplicate
+    nets, undefined fanin/output references, bad arity, empty circuit,
+    combinational cycles) instead of raising on the first — the entry
+    point recovering parsers build on. [Error] lists the problems in
+    source order and is never empty. *)
+
 val name : t -> string
 val size : t -> int
 (** Total node count, including inputs and DFFs. *)

@@ -1,0 +1,38 @@
+module Metrics = Dcopt_obs.Metrics
+
+exception Non_finite of { site : string; value : float }
+
+let m_non_finite =
+  Metrics.counter ~help:"non-finite values trapped at the power-model boundary"
+    "guard.non_finite"
+
+let m_clamped =
+  Metrics.counter ~help:"non-finite values clamped to +infinity"
+    "guard.clamped"
+
+let m_aborted =
+  Metrics.counter ~help:"optimizer trials abandoned on a non-finite value"
+    "guard.trials_aborted"
+
+let clamp ~site:_ v =
+  if Float.is_finite v then v
+  else begin
+    Metrics.incr m_non_finite;
+    Metrics.incr m_clamped;
+    infinity
+  end
+
+let check ~site v =
+  if Float.is_finite v then v
+  else begin
+    Metrics.incr m_non_finite;
+    raise (Non_finite { site; value = v })
+  end
+
+let abort_trial () = Metrics.incr m_aborted
+
+let protect ~site:_ f =
+  try f ()
+  with Non_finite _ ->
+    abort_trial ();
+    None

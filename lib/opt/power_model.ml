@@ -182,6 +182,19 @@ let evaluate env design =
   let static_e = ref 0.0 and dynamic_e = ref 0.0 in
   let short_e = ref 0.0 in
   let cache = drive_cache env ~vdd:design.vdd in
+  (* Poison safety: sums here start from zero, so a non-finite term can be
+     clamped to +infinity in place — the result is an infinite (never NaN)
+     objective that loses every comparison, and the evaluation is marked
+     infeasible. The guard is the identity on finite values, so
+     well-conditioned designs are evaluated bit-identically. *)
+  let tripped = ref false in
+  let guarded site v =
+    if Float.is_finite v then v
+    else begin
+      tripped := true;
+      Guard.clamp ~site v
+    end
+  in
   Array.iter
     (fun id ->
       let nd = Circuit.node env.env_circuit id in
@@ -198,7 +211,7 @@ let evaluate env design =
       let w = design.widths.(id) in
       (* one load per gate: the delay and the dynamic-energy term share it *)
       let load = gate_load env design ~max_fanin_delay id in
-      let d = Drive.gate_delay env.env_tech ctx ~w load in
+      let d = guarded "evaluate.delay" (Drive.gate_delay env.env_tech ctx ~w load) in
       delays.(id) <- d;
       let worst_arrival =
         Array.fold_left
@@ -206,13 +219,17 @@ let evaluate env design =
           0.0 nd.Circuit.fanins
       in
       arrival.(id) <- worst_arrival +. d;
-      static_e := !static_e +. Drive.static_energy ctx ~fc:env.fc ~w;
+      static_e :=
+        !static_e +. guarded "evaluate.static" (Drive.static_energy ctx ~fc:env.fc ~w);
       dynamic_e :=
         !dynamic_e
-        +. Drive.dynamic_energy env.env_tech ctx ~w
-             ~activity:info.node_activity ~load;
+        +. guarded "evaluate.dynamic"
+             (Drive.dynamic_energy env.env_tech ctx ~w
+                ~activity:info.node_activity ~load);
       if env.short_circuit then
-        short_e := !short_e +. sc_energy env design ~max_fanin_delay id)
+        short_e :=
+          !short_e
+          +. guarded "evaluate.short_circuit" (sc_energy env design ~max_fanin_delay id))
     env.gates_topo;
   let critical_delay =
     Array.fold_left
@@ -228,7 +245,7 @@ let evaluate env design =
     dynamic_power = (!dynamic_e +. !short_e) *. env.fc;
     delays;
     critical_delay;
-    feasible = critical_delay <= env.tc *. (1.0 +. 1e-6);
+    feasible = (not !tripped) && critical_delay <= env.tc *. (1.0 +. 1e-6);
   }
 
 (* The load depends only on the gate's *fanout* widths — fixed for the
@@ -330,22 +347,30 @@ module Incr = struct
     let ctx = drive_ctx t.icache ~vt:design.vt.(id) in
     let w = design.widths.(id) in
     let load = gate_load env design ~max_fanin_delay id in
-    let d = Drive.gate_delay env.env_tech ctx ~w load in
+    (* Running totals are updated by subtract-then-add, so clamping a
+       non-finite term here would poison them for every later move
+       (inf -. inf = nan). Instead every value is checked *before* any
+       total mutates: Guard.Non_finite aborts the move and the caller's
+       rollback restores the journaled state verbatim. *)
+    let d = Guard.check ~site:"incr.delay" (Drive.gate_delay env.env_tech ctx ~w load) in
+    let st = Guard.check ~site:"incr.static" (Drive.static_energy ctx ~fc:env.fc ~w) in
+    let dy =
+      Guard.check ~site:"incr.dynamic"
+        (Drive.dynamic_energy env.env_tech ctx ~w ~activity:info.node_activity
+           ~load)
+    in
+    let sc =
+      if env.short_circuit then
+        Guard.check ~site:"incr.short_circuit"
+          (sc_energy env design ~max_fanin_delay id)
+      else 0.0
+    in
     if not t.term_journaled.(id) then begin
       t.term_journaled.(id) <- true;
       t.term_journal <-
         (id, t.st_terms.(id), t.dy_terms.(id), t.sc_terms.(id))
         :: t.term_journal
     end;
-    let st = Drive.static_energy ctx ~fc:env.fc ~w in
-    let dy =
-      Drive.dynamic_energy env.env_tech ctx ~w ~activity:info.node_activity
-        ~load
-    in
-    let sc =
-      if env.short_circuit then sc_energy env design ~max_fanin_delay id
-      else 0.0
-    in
     t.st_total <- t.st_total -. t.st_terms.(id) +. st;
     t.dy_total <- t.dy_total -. t.dy_terms.(id) +. dy;
     t.sc_total <- t.sc_total -. t.sc_terms.(id) +. sc;

@@ -77,7 +77,13 @@ val budget_fanin_delay : env -> budgets:float array -> int -> float
 
 val evaluate : env -> design -> evaluation
 (** Full evaluation: achieved delays by topological propagation, energy
-    totals over all gates, feasibility against the cycle time. *)
+    totals over all gates, feasibility against the cycle time.
+
+    Poison-safe: a non-finite delay or energy term (vt at or above vdd,
+    overflow) is clamped to [+infinity] via {!Guard.clamp} — the result
+    is an infinite, comparison-safe objective, [feasible] is forced
+    false, and the trip is counted under [guard.*]. Never returns NaN in
+    the energy/power/critical-delay fields. *)
 
 val size_gate :
   env -> design -> budgets:float array -> int -> float option
@@ -128,7 +134,16 @@ module Incr : sig
   (** Full initial evaluation. The design record is owned by the engine
       from here on: mutate it only through [set_*] (callers may still
       probe-and-restore fields between engine calls, as TILOS's
-      sensitivity probe does). *)
+      sensitivity probe does).
+
+      Raises {!Guard.Non_finite} when the design evaluates to a
+      non-finite delay or energy term (e.g. vt at or above vdd): the
+      incremental engine cannot clamp — its running totals are updated by
+      subtract-then-add, where an infinity would turn into NaN on the
+      next move — so degenerate designs are rejected at the door.
+      [set_*] moves raise the same way, leaving the transaction open; the
+      caller must {!rollback}, after which the engine state is exactly as
+      before the move. *)
 
   val env : t -> env
   val design : t -> design

@@ -84,7 +84,11 @@ let size_for_cycle ?(step = 1.15) ?max_iterations env ~vdd ~vt =
      re-evaluates only its cone, and the critical path is walked from the
      maintained arrival times — no full evaluate/STA pass per iteration.
      The sensitivity probes in [try_upsize] stay as local probe-and-restore
-     reads against the engine's live design and delays. *)
+     reads against the engine's live design and delays. A (vdd, vt) corner
+     with non-finite physics (vt >= vdd) makes Incr raise Guard.Non_finite;
+     the protect turns that trial point into None — infeasible, skipped —
+     instead of a crash. *)
+  Guard.protect ~site:"tilos.size_for_cycle" @@ fun () ->
   let inc = Power_model.Incr.create env design in
   let rec loop iteration =
     if Power_model.Incr.feasible inc then Some design

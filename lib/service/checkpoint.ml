@@ -1,0 +1,41 @@
+module Metrics = Dcopt_obs.Metrics
+
+(* A checkpoint is a Store pointed at its own directory: same digest
+   keys, same atomic tmp+rename writes, same value documents
+   (Job.outcome_to_store_json). What differs is the write discipline —
+   entries are recorded from worker domains right as each job finishes,
+   not at the batch barrier, so a kill mid-batch loses at most the jobs
+   still in flight. *)
+type t = { store : Store.t }
+
+let hits_c =
+  Metrics.counter ~help:"Batch jobs resumed from a checkpoint directory"
+    "service.checkpoint.hits"
+
+let writes_c =
+  Metrics.counter ~help:"Per-job batch checkpoints written"
+    "service.checkpoint.writes"
+
+let open_ path = { store = Store.open_ path }
+let dir t = Store.dir t.store
+
+let find t key =
+  match Store.find t.store key with
+  | None -> None
+  | Some doc -> (
+    match Job.outcome_of_store_json doc with
+    | Some outcome ->
+      Metrics.incr hits_c;
+      Some outcome
+    | None ->
+      (* parsed as JSON but not as an outcome document: corrupt = miss,
+         same policy as an unreadable store entry *)
+      Store.note_corrupt ();
+      None)
+
+let record t key outcome =
+  match Job.outcome_to_store_json outcome with
+  | None -> () (* Failed outcomes are never checkpointed *)
+  | Some doc ->
+    Store.put t.store key doc;
+    Metrics.incr writes_c

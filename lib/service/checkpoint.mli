@@ -1,0 +1,31 @@
+(** Crash-safe per-job checkpoints for [minpower batch].
+
+    A checkpoint directory holds one atomically-written entry per
+    completed job, keyed by the same {!Store.digest} as the result cache
+    and in the same versioned value format
+    ({!Job.outcome_to_store_json}), but written from the worker domain
+    {e the moment} the job finishes — not at the batch barrier — so a
+    batch killed mid-run (SIGKILL included) loses at most the jobs still
+    in flight. Re-running the same batch with the same directory skips
+    every checkpointed job and produces byte-identical result rows.
+
+    Missing entries are quiet misses; entries that exist but cannot be
+    decoded count under [service.store.corrupt] and rerun. Hits and
+    writes count under [service.checkpoint.hits] /
+    [service.checkpoint.writes]. *)
+
+type t
+
+val open_ : string -> t
+(** Open (creating, parents included) a checkpoint directory. Raises
+    [Sys_error] when the path exists but is not a directory. *)
+
+val dir : t -> string
+
+val find : t -> string -> Job.outcome option
+(** Look up a job digest; [None] on absence or on a corrupt entry. *)
+
+val record : t -> string -> Job.outcome -> unit
+(** Atomically persist a completed job's outcome. [Failed] outcomes are
+    never written — a crash is worth retrying on resume. Safe to call
+    from worker domains (distinct keys; atomic rename; counters only). *)

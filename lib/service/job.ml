@@ -85,6 +85,36 @@ type outcome =
   | Infeasible
   | Failed of { error : string; attempts : int }
 
+(* The store/checkpoint value format (Failed outcomes are never written):
+   shared by the result cache and the batch checkpoint so a resumed batch
+   replays exactly what the interrupted one computed. *)
+let outcome_to_store_json = function
+  | Solved sol ->
+    Some
+      (Json.Obj
+         [
+           ("version", Json.Int 1);
+           ("status", Json.String "solved");
+           ("solution", Solution.to_json sol);
+         ])
+  | Infeasible ->
+    Some
+      (Json.Obj
+         [ ("version", Json.Int 1); ("status", Json.String "infeasible") ])
+  | Failed _ -> None
+
+let outcome_of_store_json doc =
+  match Option.bind (Json.field "status" doc) Json.get_string with
+  | Some "infeasible" -> Some Infeasible
+  | Some "solved" -> (
+    match Json.field "solution" doc with
+    | None -> None
+    | Some s -> (
+      match Solution.of_json s with
+      | Ok sol -> Some (Solved sol)
+      | Error _ -> None))
+  | _ -> None
+
 type row = {
   job_id : string;
   row_circuit : string;

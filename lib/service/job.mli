@@ -44,6 +44,14 @@ type outcome =
   | Infeasible  (** the optimizer ran but found no design closing timing *)
   | Failed of { error : string; attempts : int }
 
+val outcome_to_store_json : outcome -> Dcopt_util.Json.t option
+(** The versioned value document the {!Store} cache and the batch
+    {!Checkpoint} both persist; [None] for [Failed] (never cached). *)
+
+val outcome_of_store_json : Dcopt_util.Json.t -> outcome option
+(** Decode a persisted value document; [None] on any shape mismatch (the
+    callers treat that as a corrupt entry = miss). *)
+
 type row = {
   job_id : string;
   row_circuit : string;

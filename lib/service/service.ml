@@ -1,6 +1,5 @@
 module Flow = Dcopt_core.Flow
 module Optimizer = Dcopt_core.Optimizer
-module Solution = Dcopt_opt.Solution
 module Par = Dcopt_par.Par
 module Metrics = Dcopt_obs.Metrics
 module Span = Dcopt_obs.Span
@@ -91,33 +90,15 @@ let resolve_job (job : Job.t) =
       retries = job.Job.retries;
     }
 
-(* The result-store value format (Failed outcomes are never written). *)
-let store_doc = function
-  | Job.Solved sol ->
-    Some
-      (Json.Obj
-         [
-           ("version", Json.Int 1);
-           ("status", Json.String "solved");
-           ("solution", Solution.to_json sol);
-         ])
-  | Job.Infeasible ->
-    Some
-      (Json.Obj
-         [ ("version", Json.Int 1); ("status", Json.String "infeasible") ])
-  | Job.Failed _ -> None
-
+(* Store/checkpoint entries share one value format (Job); a document
+   that exists but decodes to no outcome is a corrupt entry: a counted
+   miss, never a crash. *)
 let outcome_of_store doc =
-  match Option.bind (Json.field "status" doc) Json.get_string with
-  | Some "infeasible" -> Some Job.Infeasible
-  | Some "solved" -> (
-    match Json.field "solution" doc with
-    | None -> None
-    | Some s -> (
-      match Solution.of_json s with
-      | Ok sol -> Some (Job.Solved sol)
-      | Error _ -> None))
-  | _ -> None
+  match Job.outcome_of_store_json doc with
+  | Some _ as r -> r
+  | None ->
+    Store.note_corrupt ();
+    None
 
 type computed = {
   comp_outcome : Job.outcome;
@@ -177,7 +158,7 @@ let cacheable = function
   | Job.Solved _ | Job.Infeasible -> true
   | Job.Failed _ -> false
 
-let run_batch ?store jobs =
+let run_batch ?store ?checkpoint jobs =
   Span.with_ "service.batch" @@ fun () ->
   let jobs = Array.of_list jobs in
   Metrics.incr ~by:(Array.length jobs) jobs_c;
@@ -207,25 +188,69 @@ let run_batch ?store jobs =
         | Some outcome -> Hashtbl.add from_store r.key outcome
         | None -> ())
       unique);
+  (* Checkpoint hits replace the computation but keep [cache_hit = false]
+     — the resumed batch must be byte-identical to the uninterrupted one,
+     which computed these rows cold. *)
+  let from_ckpt : (string, Job.outcome) Hashtbl.t = Hashtbl.create 16 in
+  (match checkpoint with
+  | None -> ()
+  | Some ck ->
+    List.iter
+      (fun r ->
+        if not (Hashtbl.mem from_store r.key) then
+          match Checkpoint.find ck r.key with
+          | Some outcome ->
+            Hashtbl.add from_ckpt r.key outcome;
+            (* a resumed outcome is as good as a computed one: persist it
+               to the warm store too *)
+            (match store with
+            | Some st -> (
+              match Job.outcome_to_store_json outcome with
+              | Some doc -> Store.put st r.key doc
+              | None -> ())
+            | None -> ())
+          | None -> ())
+      unique);
   let to_compute =
     Array.of_list
-      (List.filter (fun r -> not (Hashtbl.mem from_store r.key)) unique)
+      (List.filter
+         (fun r ->
+           not (Hashtbl.mem from_store r.key || Hashtbl.mem from_ckpt r.key))
+         unique)
   in
   Metrics.set queue_depth_g (float_of_int (Array.length to_compute));
   Metrics.set in_flight_g
     (float_of_int (min (Par.jobs ()) (Array.length to_compute)));
-  let computed = Par.map ~site:"service" compute to_compute in
+  let computed =
+    Par.map ~site:"service"
+      (fun r ->
+        let c = compute r in
+        (* worker-side, the moment the job completes: a kill between here
+           and the pool barrier loses nothing already paid for *)
+        (match checkpoint with
+        | Some ck -> Checkpoint.record ck r.key c.comp_outcome
+        | None -> ());
+        c)
+      to_compute
+  in
   Metrics.set queue_depth_g 0.0;
   Metrics.set in_flight_g 0.0;
   (* post-batch bookkeeping, main domain only: histograms, store writes *)
   let by_key : (string, computed) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key outcome ->
+      (* seeded as zero-cost computations: no latency/attempts samples
+         (nothing ran), and the row path below reports them cache-cold *)
+      Hashtbl.replace by_key key
+        { comp_outcome = outcome; comp_attempts = 0; comp_latency_s = 0.0 })
+    from_ckpt;
   Array.iteri
     (fun i c ->
       Metrics.observe latency_h c.comp_latency_s;
       Metrics.observe attempts_h (float_of_int c.comp_attempts);
       (match store with
       | Some st -> (
-        match store_doc c.comp_outcome with
+        match Job.outcome_to_store_json c.comp_outcome with
         | Some doc -> Store.put st to_compute.(i).key doc
         | None -> ())
       | None -> ());
@@ -263,6 +288,52 @@ let run_batch ?store jobs =
         outcome;
       })
     (Array.to_list jobs)
+
+(* The rows of a batch that are already answerable without computing
+   anything: resolution failures, store hits, checkpoint hits. This is
+   the signal-handler path — an interrupted [minpower batch --checkpoint]
+   emits these as its partial result, in job order, silently skipping
+   jobs whose outcome is not on disk yet. Flags match [run_batch]: a
+   store hit reads as a cache hit, a checkpoint hit as a cold compute.
+   Deliberately touches no batch counters/gauges — only the checkpoint
+   and store read-side counters fire. *)
+let partial_rows ?store ?checkpoint jobs =
+  List.filter_map Fun.id
+    (List.mapi
+       (fun i (job : Job.t) ->
+         let job_id =
+           match job.Job.id with
+           | Some id -> id
+           | None -> Printf.sprintf "job%d" i
+         in
+         let row ~digest ~cache_hit outcome =
+           Some
+             {
+               Job.job_id;
+               row_circuit = job.Job.circuit;
+               row_optimizer = job.Job.optimizer;
+               digest;
+               cache_hit;
+               outcome;
+             }
+         in
+         match resolve_job job with
+         | Error msg ->
+           row ~digest:"" ~cache_hit:false
+             (Job.Failed { error = msg; attempts = 0 })
+         | Ok r -> (
+           let from_store =
+             match store with
+             | Some st -> Option.bind (Store.find st r.key) outcome_of_store
+             | None -> None
+           in
+           match from_store with
+           | Some outcome -> row ~digest:r.key ~cache_hit:true outcome
+           | None -> (
+             match Option.bind checkpoint (fun ck -> Checkpoint.find ck r.key) with
+             | Some outcome -> row ~digest:r.key ~cache_hit:false outcome
+             | None -> None)))
+       jobs)
 
 let failed_line_row ~line_no error =
   {

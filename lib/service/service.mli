@@ -36,10 +36,27 @@ val resolve_circuit :
     (parse errors become [Error]), anything else is looked up in
     {!Dcopt_suite.Suite}. *)
 
-val run_batch : ?store:Store.t -> Job.t list -> Job.row list
+val run_batch :
+  ?store:Store.t -> ?checkpoint:Checkpoint.t -> Job.t list -> Job.row list
 (** Run every job (worker count from {!Dcopt_par.Par.jobs}); with a
     [store], solved/infeasible outcomes are served from and persisted to
-    it. Never raises on job-level problems. *)
+    it. Never raises on job-level problems.
+
+    With a [checkpoint], every completed job's outcome is additionally
+    recorded there {e from the worker, as it finishes} — and jobs whose
+    outcome is already in the checkpoint skip computation entirely. A
+    checkpoint hit is reported with [cache_hit = false] (and fed into
+    the store when one is given), so resuming an interrupted batch with
+    the same checkpoint directory yields byte-identical rows to an
+    uninterrupted run. Store hits are preferred over checkpoint hits. *)
+
+val partial_rows :
+  ?store:Store.t -> ?checkpoint:Checkpoint.t -> Job.t list -> Job.row list
+(** The subset of {!run_batch}'s rows already answerable without running
+    any optimizer: resolution failures, store hits and checkpoint hits,
+    in job order, other jobs silently omitted. This is the interrupt
+    path — [minpower batch]'s SIGINT/SIGTERM handler emits these as the
+    partial result of a killed run. Touches no batch counters. *)
 
 val serve :
   ?store:Store.t -> in_channel -> out_channel -> unit

@@ -1,4 +1,10 @@
 module Json = Dcopt_util.Json
+module Metrics = Dcopt_obs.Metrics
+
+let corrupt_c =
+  Metrics.counter
+    ~help:"store/checkpoint entries that existed but could not be read back"
+    "service.store.corrupt"
 
 type t = { dir : string }
 
@@ -36,17 +42,32 @@ let digest ~optimizer ~config circuit =
 
 let path_of t key = Filename.concat t.dir (key ^ ".json")
 
+let note_corrupt () = Metrics.incr corrupt_c
+
+(* A missing entry is a quiet miss; an entry that exists but cannot be
+   read back whole — truncated, bit-flipped, unparsable — is also a miss
+   (a warm batch must never crash on a damaged cache) but is counted, so
+   a rotting store shows up in the metrics instead of as silently slower
+   runs. *)
 let find t key =
   let path = path_of t key in
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error _ -> None
-  | text -> (
-    match Json.of_string text with Ok v -> Some v | Error _ -> None)
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ ->
+      note_corrupt ();
+      None
+    | text -> (
+      match Json.of_string text with
+      | Ok v -> Some v
+      | Error _ ->
+        note_corrupt ();
+        None)
 
 let put t key value =
   let path = path_of t key in

@@ -35,7 +35,16 @@ val digest :
     text of the circuit. *)
 
 val find : t -> string -> Dcopt_util.Json.t option
-(** Look a digest up; [None] on absence or on any read/parse failure. *)
+(** Look a digest up; [None] on absence or on any read/parse failure.
+    An entry that exists but cannot be read back (truncated, bit-flipped,
+    unparsable) is still a miss — never an exception — but bumps the
+    [service.store.corrupt] counter so store rot is observable. *)
 
 val put : t -> string -> Dcopt_util.Json.t -> unit
 (** Atomically (over)write an entry. *)
+
+val note_corrupt : unit -> unit
+(** Bump the [service.store.corrupt] counter. For callers ({!Checkpoint},
+    the service) that decode a stored document further and find it
+    shape-invalid — the same "existed but unusable" condition {!find}
+    counts for unreadable files. *)

@@ -68,6 +68,31 @@ let profile name =
 
 let cache : (string, Circuit.t) Hashtbl.t = Hashtbl.create 16
 
+(* Levenshtein distance, capped: we only ever ask "is it within 1?", so
+   the quadratic table on short benchmark names is nothing. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let d = !prev_diag + if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      prev_diag := row.(j);
+      row.(j) <- min d (1 + min row.(j) row.(j - 1))
+    done
+  done;
+  row.(lb)
+
+(* Near misses worth suggesting: a case difference ("S27"), or one typo
+   (edit distance 1: "s269" for "s298"-adjacent slips like "s29"). *)
+let suggestions name =
+  let lower = String.lowercase_ascii name in
+  List.filter
+    (fun known ->
+      String.lowercase_ascii known = lower || edit_distance name known <= 1)
+    names
+
 let find name =
   match Hashtbl.find_opt cache name with
   | Some c -> Ok c
@@ -81,8 +106,14 @@ let find name =
       Hashtbl.add cache name circuit;
       Ok circuit
     | None ->
+      let hint =
+        match suggestions name with
+        | [] -> ""
+        | near ->
+          Printf.sprintf " — did you mean %s?" (String.concat " or " near)
+      in
       Error
-        (Printf.sprintf "unknown circuit %S (known: %s)" name
+        (Printf.sprintf "unknown circuit %S%s (known: %s)" name hint
            (String.concat " " names)))
 
 let find_exn name =

@@ -27,11 +27,17 @@ val profile : string -> Dcopt_netlist.Generator.profile option
 (** The generation profile of a synthetic suite circuit ([None] for
     ["s27"], which is not generated, and for unknown names). *)
 
+val suggestions : string -> string list
+(** Known names a bad name was probably meant to be: case-insensitive
+    matches ("S27") and single-typo matches (edit distance 1), in
+    {!names} order. Empty when nothing is close. *)
+
 val find : string -> (Dcopt_netlist.Circuit.t, string) result
 (** Circuit by name (generating it on first use); unknown names are a
-    typed [Error] carrying the known-name list, so CLI/service callers
-    surface them as failure rows instead of an escaping [Not_found]. The
-    result is sequential; analyses should take its combinational core. *)
+    typed [Error] carrying near-miss {!suggestions} ("did you mean …?")
+    and the known-name list, so CLI/service callers surface them as
+    failure rows instead of an escaping [Not_found]. The result is
+    sequential; analyses should take its combinational core. *)
 
 val find_exn : string -> Dcopt_netlist.Circuit.t
 (** {!find}, raising [Not_found] on unknown names (the historical

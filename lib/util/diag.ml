@@ -1,0 +1,47 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  file : string option;
+  line : int option;
+}
+
+let make severity ?file ?line ~code message =
+  { severity; code; message; file; line }
+
+let error ?file ?line ~code message = make Error ?file ?line ~code message
+let warning ?file ?line ~code message = make Warning ?file ?line ~code message
+
+let errorf ?file ?line ~code fmt =
+  Printf.ksprintf (fun message -> error ?file ?line ~code message) fmt
+
+let is_error d = d.severity = Error
+let has_errors ds = List.exists is_error ds
+let errors ds = List.filter is_error ds
+
+let to_string d =
+  let loc =
+    match (d.file, d.line) with
+    | Some f, Some l -> Printf.sprintf "%s:%d: " f l
+    | Some f, None -> Printf.sprintf "%s: " f
+    | None, Some l -> Printf.sprintf "line %d: " l
+    | None, None -> ""
+  in
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  Printf.sprintf "%s%s[%s]: %s" loc sev d.code d.message
+
+let render ds =
+  String.concat "" (List.map (fun d -> to_string d ^ "\n") ds)
+
+let summary ds =
+  let e = List.length (errors ds) in
+  let w = List.length ds - e in
+  let plural n = if n = 1 then "" else "s" in
+  match (e, w) with
+  | 0, 0 -> "no diagnostics"
+  | e, 0 -> Printf.sprintf "%d error%s" e (plural e)
+  | 0, w -> Printf.sprintf "%d warning%s" w (plural w)
+  | e, w ->
+    Printf.sprintf "%d error%s, %d warning%s" e (plural e) w (plural w)

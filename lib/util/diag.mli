@@ -1,0 +1,52 @@
+(** Structured diagnostics for user-reachable input errors.
+
+    Everything the system accepts from outside — [.bench] netlists, tech
+    files, JSON configs, JSONL job batches — is validated through this
+    type instead of [failwith]/first-error exceptions: a parser or
+    validator collects {e every} problem it can find, each carrying a
+    severity, a stable machine-readable code (dotted, e.g.
+    ["bench.syntax"], ["tech.range"], ["config.physics"]), and a source
+    location when one exists. Callers decide whether to render them for
+    humans ({!to_string} is the classic [file:line: severity code:
+    message] shape), turn them into failure rows, or count them. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** stable dotted identifier, e.g. ["bench.arity"] *)
+  message : string;
+  file : string option;
+  line : int option;  (** 1-based; [None] when no line applies *)
+}
+
+val error : ?file:string -> ?line:int -> code:string -> string -> t
+val warning : ?file:string -> ?line:int -> code:string -> string -> t
+
+val errorf :
+  ?file:string ->
+  ?line:int ->
+  code:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [errorf ~code fmt ...] builds an error diagnostic with a formatted
+    message. *)
+
+val is_error : t -> bool
+
+val has_errors : t list -> bool
+(** True when at least one diagnostic is an [Error]. *)
+
+val errors : t list -> t list
+(** Only the [Error]-severity diagnostics, in order. *)
+
+val to_string : t -> string
+(** ["file:line: error[code]: message"]; location segments are omitted
+    when absent. *)
+
+val render : t list -> string
+(** One {!to_string} line per diagnostic, newline-terminated; [""] for
+    the empty list. *)
+
+val summary : t list -> string
+(** A one-line roll-up, e.g. ["3 errors, 1 warning"]. *)

@@ -333,3 +333,27 @@ let get_float = function
 let get_string = function String s -> Some s | _ -> None
 let get_list = function List l -> Some l | _ -> None
 let get_obj = function Obj m -> Some m | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+
+let write_file path json =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string json));
+  Sys.rename tmp path
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match of_string text with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))

@@ -29,6 +29,8 @@ let bits64 t =
 
 let split t = create (bits64 t)
 let copy t = { state = t.state }
+let state t = t.state
+let of_state s = { state = s }
 
 let int t n =
   assert (n > 0);

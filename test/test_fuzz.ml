@@ -1,0 +1,203 @@
+(* Deterministic fuzz over the two user-facing text front doors: .bench
+   netlists and Flow.config JSON. Every mutated input must come back as
+   [Ok] or a typed [Error] — never an escaping exception — and every
+   [Error] must carry at least one diagnostic. Seeded SplitMix64
+   ({!Dcopt_util.Prng}), so a failure reproduces exactly. *)
+
+module Bench_format = Dcopt_netlist.Bench_format
+module Flow = Dcopt_core.Flow
+module Diag = Dcopt_util.Diag
+module Json = Dcopt_util.Json
+module Prng = Dcopt_util.Prng
+module Suite = Dcopt_suite.Suite
+
+let seed = 0xF022DL
+let rounds = try int_of_string (Sys.getenv "FUZZ_ROUNDS") with Not_found -> 400
+
+(* --- mutation machinery ------------------------------------------------ *)
+
+let lines_of s = String.split_on_char '\n' s
+let unlines = String.concat "\n"
+
+let replace_all ~sub ~by s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length sub in
+  let i = ref 0 in
+  while !i <= String.length s - n do
+    if String.sub s !i n = sub then begin
+      Buffer.add_string b by;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string b (String.sub s !i (String.length s - !i));
+  Buffer.contents b
+
+(* structured line-level mutations: the shapes a damaged or hand-edited
+   file actually takes *)
+let mutate_lines rng lines =
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  if n = 0 then []
+  else
+    match Prng.int rng 6 with
+    | 0 ->
+      (* truncate: keep a prefix *)
+      Array.to_list (Array.sub lines 0 (Prng.int rng n))
+    | 1 ->
+      (* drop one line *)
+      let k = Prng.int rng n in
+      List.filteri (fun i _ -> i <> k) (Array.to_list lines)
+    | 2 ->
+      (* duplicate one line (duplicate net definitions, double OUTPUT) *)
+      let k = Prng.int rng n in
+      Array.to_list lines @ [ lines.(k) ]
+    | 3 ->
+      (* splice two files' halves together *)
+      let k = Prng.int rng n and j = Prng.int rng n in
+      Array.to_list (Array.sub lines 0 k)
+      @ Array.to_list (Array.sub lines j (n - j))
+    | 4 ->
+      (* rename a referenced net to an undefined one *)
+      let k = Prng.int rng n in
+      lines.(k) <- replace_all ~sub:"G1" ~by:"Gx_undefined" lines.(k);
+      Array.to_list lines
+    | _ ->
+      (* shuffle: breaks nothing semantically (.bench is order-free) or
+         everything (outputs before inputs is still order-free — a pure
+         robustness probe) *)
+      Prng.shuffle rng lines;
+      Array.to_list lines
+
+(* raw byte-level mutation: flip, insert or delete a byte *)
+let mutate_bytes rng s =
+  if String.length s = 0 then s
+  else
+    let b = Bytes.of_string s in
+    let k = Prng.int rng (Bytes.length b) in
+    match Prng.int rng 3 with
+    | 0 ->
+      Bytes.set b k (Char.chr (Prng.int rng 256));
+      Bytes.to_string b
+    | 1 -> String.sub s 0 k ^ String.sub s (k + 1) (String.length s - k - 1)
+    | _ ->
+      String.sub s 0 k
+      ^ String.make 1 (Char.chr (Prng.int rng 256))
+      ^ String.sub s k (String.length s - k)
+
+(* --- .bench fuzz ------------------------------------------------------- *)
+
+let bench_seed_corpus =
+  [ Bench_format.to_string (Suite.s27 ());
+    "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n" ]
+
+let test_bench_fuzz () =
+  let rng = Prng.create seed in
+  for round = 1 to rounds do
+    let base = Prng.choose rng (Array.of_list bench_seed_corpus) in
+    let text =
+      if Prng.bool rng then unlines (mutate_lines rng (lines_of base))
+      else mutate_bytes rng base
+    in
+    match Bench_format.parse ~name:"fuzz" text with
+    | Ok _ -> ()
+    | Error [] ->
+      Alcotest.failf "round %d (seed %Ld): empty diagnostic list" round seed
+    | Error diags ->
+      if not (Diag.has_errors diags) then
+        Alcotest.failf "round %d (seed %Ld): Error with no error diagnostic"
+          round seed
+    | exception e ->
+      Alcotest.failf "round %d (seed %Ld): escaped exception %s on:\n%s" round
+        seed (Printexc.to_string e) text
+  done
+
+(* --- Flow.config JSON fuzz --------------------------------------------- *)
+
+(* mutate the JSON *text*: the parser front door sees arbitrary bytes *)
+let config_base = Json.to_string (Flow.config_to_json Flow.default_config)
+
+let test_config_json_fuzz () =
+  let rng = Prng.create (Int64.add seed 1L) in
+  for round = 1 to rounds do
+    let text = ref config_base in
+    for _ = 0 to Prng.int rng 4 do
+      text := mutate_bytes rng !text
+    done;
+    match Json.of_string !text with
+    | Error _ -> () (* typed parse failure: fine *)
+    | exception e ->
+      Alcotest.failf "round %d: Json.of_string raised %s" round
+        (Printexc.to_string e)
+    | Ok json -> (
+      match Flow.config_of_json json with
+      | Ok config ->
+        (* anything accepted must be well-posed: prepare cannot blow up
+           with ill-posed physics *)
+        Alcotest.(check (list string))
+          (Printf.sprintf "round %d: accepted config validates" round)
+          []
+          (List.map Diag.to_string (Diag.errors (Flow.validate_config config)))
+      | Error msg ->
+        if String.length msg = 0 then
+          Alcotest.failf "round %d: empty error message" round
+      | exception e ->
+        Alcotest.failf "round %d: config_of_json raised %s" round
+          (Printexc.to_string e))
+  done
+
+(* numeric-field fuzz: well-formed JSON, hostile values (NaN and friends
+   arrive as strings — the Json layer's non-finite encoding) *)
+let test_config_value_fuzz () =
+  let rng = Prng.create (Int64.add seed 2L) in
+  let fields =
+    [| "clock_frequency"; "input_probability"; "input_density";
+       "skew_factor"; "m_steps" |]
+  in
+  let hostile_value () =
+    match Prng.int rng 6 with
+    | 0 -> Json.Float 0.0
+    | 1 -> Json.Float (-.Prng.float rng 1e12)
+    | 2 -> Json.String "nan"
+    | 3 -> Json.String "inf"
+    | 4 -> Json.Float (Prng.float rng 1e308 *. 1e10)
+    | _ -> Json.Float (Prng.float rng 10.0)
+  in
+  for round = 1 to rounds do
+    let json =
+      Json.Obj [ (Prng.choose rng fields, hostile_value ()) ]
+    in
+    match Flow.config_of_json json with
+    | Error _ -> ()
+    | Ok config -> (
+      Alcotest.(check (list string))
+        (Printf.sprintf "round %d: accepted config validates" round)
+        []
+        (List.map Diag.to_string (Diag.errors (Flow.validate_config config)));
+      (* and the full front end holds up on it *)
+      match Flow.prepare ~config (Suite.s27 ()) with
+      | _ -> ()
+      | exception Invalid_argument _ -> ()
+      | exception e ->
+        Alcotest.failf "round %d: prepare raised %s" round
+          (Printexc.to_string e))
+    | exception e ->
+      Alcotest.failf "round %d: config_of_json raised %s" round
+        (Printexc.to_string e)
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "front door",
+        [
+          Alcotest.test_case "bench mutations" `Quick test_bench_fuzz;
+          Alcotest.test_case "config JSON byte fuzz" `Quick
+            test_config_json_fuzz;
+          Alcotest.test_case "config hostile values" `Quick
+            test_config_value_fuzz;
+        ] );
+    ]
