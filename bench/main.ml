@@ -23,6 +23,10 @@ let quick = ref false
    machine-readable JSON, so CI keeps a perf trajectory across commits. *)
 let json_out : string option ref = ref None
 
+(* --check FILE: gate the timing experiment against a committed baseline
+   (test/BENCH_timing.json) and exit non-zero past the threshold. *)
+let check_baseline : string option ref = ref None
+
 let header title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
@@ -422,8 +426,10 @@ let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count =
     (fun () -> output_string oc (Buffer.contents b));
   Printf.printf "\nwrote kernel timings to %s\n" path
 
-let run_timing () =
-  header "Kernel timing (Bechamel, monotonic clock)";
+(* One bechamel pass over the kernel suite: [(name, ns_per_run option)],
+   sorted by name. Factored out of [run_timing] so the regression gate can
+   re-measure on a miss and take the per-kernel minimum. *)
+let measure_kernels () =
   let open Bechamel in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
@@ -439,30 +445,101 @@ let run_timing () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
-    |> List.sort compare
-  in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.map (fun (name, ols) ->
+         let ns =
+           match Analyze.OLS.estimates ols with
+           | Some (est :: _) -> Some est
+           | Some [] | None -> None
+         in
+         (name, ns))
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate (bench timing --check BASELINE.json)                *)
+
+module Bench_gate = Dcopt_obs.Bench_gate
+
+let gate_measurements ~kernels ~incremental =
+  List.filter_map
+    (fun (name, ns) ->
+      match ns with
+      | Some ns when ns > 0.0 ->
+        Some { Bench_gate.name = "kernel:" ^ name; ns }
+      | Some _ | None -> None)
+    kernels
+  @ List.map
+      (fun (name, _full_ns, incr_ns, _dirty) ->
+        { Bench_gate.name = "incr:" ^ name; ns = incr_ns })
+      incremental
+
+let merge_min a b =
+  List.map
+    (fun (m : Bench_gate.measurement) ->
+      match
+        List.find_opt
+          (fun (m' : Bench_gate.measurement) -> String.equal m'.name m.name)
+          b
+      with
+      | Some m' -> { m with Bench_gate.ns = Float.min m.ns m'.ns }
+      | None -> m)
+    a
+
+(* Quick-mode bechamel estimates scatter under parallel test load, so a
+   single slow reading is not a regression: on a miss, re-measure and
+   keep the per-kernel minimum — min-of-k is a far tighter estimator of
+   the true cost than any single run — and only fail once the minimum of
+   three passes still exceeds the threshold. *)
+let run_gate ~baseline_path ~kernels ~incremental =
+  match Bench_gate.load_baseline baseline_path with
+  | Error e ->
+    Printf.eprintf "bench gate: %s\n" e;
+    exit 1
+  | Ok baseline ->
+    let current = ref (gate_measurements ~kernels ~incremental) in
+    let max_attempts = 3 in
+    let rec attempt n =
+      let verdicts = Bench_gate.check ~baseline ~current:!current () in
+      if Bench_gate.all_ok verdicts then
+        Printf.printf
+          "\nbench gate vs %s: ok (%d measurements within %.2fx)\n"
+          baseline_path (List.length verdicts) Bench_gate.default_threshold
+      else if n < max_attempts then begin
+        Printf.printf
+          "\nbench gate: %d measurement(s) over threshold; re-measuring \
+           (attempt %d/%d)\n"
+          (List.length (Bench_gate.failures verdicts))
+          (n + 1) max_attempts;
+        let kernels' = measure_kernels () in
+        let incremental', _ = measure_incremental () in
+        current :=
+          merge_min !current
+            (gate_measurements ~kernels:kernels' ~incremental:incremental');
+        attempt (n + 1)
+      end
+      else begin
+        Printf.printf "\nbench gate vs %s: FAILED\n%s" baseline_path
+          (Bench_gate.render verdicts);
+        exit 1
+      end
+    in
+    attempt 1
+
+let run_timing () =
+  header "Kernel timing (Bechamel, monotonic clock)";
+  let kernels = measure_kernels () in
   let table =
     Dcopt_util.Text_table.create ~headers:[ "Kernel"; "Time per run" ]
   in
-  let kernels =
-    List.map
-      (fun (name, ols) ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Some est
-          | Some [] | None -> None
-        in
-        let cell =
-          match ns with
-          | Some est -> Dcopt_util.Si.format ~unit:"s" (est *. 1e-9)
-          | None -> "n/a"
-        in
-        Dcopt_util.Text_table.add_row table [ name; cell ];
-        (name, ns))
-      rows
-  in
+  List.iter
+    (fun (name, ns) ->
+      let cell =
+        match ns with
+        | Some est -> Dcopt_util.Si.format ~unit:"s" (est *. 1e-9)
+        | None -> "n/a"
+      in
+      Dcopt_util.Text_table.add_row table [ name; cell ])
+    kernels;
   Dcopt_util.Text_table.print table;
   (* the paper reports 5-20 s per circuit on 1997 hardware; report ours *)
   print_newline ();
@@ -508,10 +585,13 @@ let run_timing () =
         ])
     incremental;
   Dcopt_util.Text_table.print it;
-  match !json_out with
+  (match !json_out with
   | None -> ()
   | Some path ->
-    write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
+    write_timing_json path ~kernels ~full_joint ~incremental ~gate_count);
+  match !check_baseline with
+  | None -> ()
+  | Some baseline_path -> run_gate ~baseline_path ~kernels ~incremental
 
 (* ------------------------------------------------------------------ *)
 
@@ -547,6 +627,9 @@ let () =
     | "--json" :: path :: rest ->
       json_out := Some path;
       parse acc rest
+    | "--check" :: path :: rest ->
+      check_baseline := Some path;
+      parse acc rest
     | "--jobs" :: value :: rest ->
       (match int_of_string_opt value with
       | Some n when n >= 1 -> Dcopt_par.Par.set_jobs n
@@ -554,8 +637,8 @@ let () =
         Printf.eprintf "--jobs expects an integer >= 1, got %S\n" value;
         exit 2);
       parse acc rest
-    | ("--json" | "--jobs") :: [] ->
-      Printf.eprintf "--json/--jobs expect an argument\n";
+    | ("--json" | "--jobs" | "--check") :: [] ->
+      Printf.eprintf "--json/--jobs/--check expect an argument\n";
       exit 2
     | a :: rest -> parse (a :: acc) rest
   in

@@ -31,15 +31,23 @@ open Cmdliner
 (* Observability and runtime plumbing shared by every subcommand: the
    Logs reporter with -v/--verbosity, --trace FILE (enables span
    recording and writes a Chrome trace at exit), --metrics (prints the
-   metrics registry at exit) and --jobs (sizes the Par domain pool). *)
+   metrics registry at exit), --open-metrics FILE (writes the OpenMetrics
+   exposition at exit), --events FILE / --events-level (JSONL event log
+   with correlation IDs), --run-id (the chain's root) and --jobs (sizes
+   the Par domain pool). *)
 
-type obs = { trace : string option; metrics : bool }
+type obs = {
+  trace : string option;
+  metrics : bool;
+  open_metrics : string option;
+}
 
 let obs_term =
   let trace_arg =
     let doc =
       "Record hierarchical spans of the run and write them as Chrome \
-       trace-event JSON to $(docv) (open in chrome://tracing or Perfetto)."
+       trace-event JSON to $(docv) (open in chrome://tracing or Perfetto). \
+       Spans from parallel workers appear on their own tid rows."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
@@ -50,6 +58,56 @@ let obs_term =
     in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
+  let open_metrics_arg =
+    let doc =
+      "Write the global metrics registry in OpenMetrics text exposition \
+       format to $(docv) when the command finishes."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "open-metrics" ] ~docv:"FILE" ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Append a structured JSONL event log to $(docv): one object per \
+       event with monotonic timestamp, severity and the \
+       run_id/batch_id/job_id correlation chain."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let events_level_arg =
+    let doc =
+      "Minimum severity written to the event log: debug, info, warn or \
+       error. At debug, optimizer iteration events are included."
+    in
+    let level =
+      let parse s =
+        match Dcopt_obs.Events.level_of_string s with
+        | Some l -> Ok l
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown level %S (expected debug, info, warn or error)" s))
+      in
+      let print ppf l =
+        Format.pp_print_string ppf (Dcopt_obs.Events.level_to_string l)
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt level Dcopt_obs.Events.Info
+      & info [ "events-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let run_id_arg =
+    let doc =
+      "Run identifier stamped on every event (the root of the correlation \
+       chain). Defaults to a pid-and-start-time-derived id."
+    in
+    Arg.(value & opt (some string) None & info [ "run-id" ] ~docv:"ID" ~doc)
+  in
   let jobs_arg =
     let doc =
       "Worker domains for the parallel optimizer sites (grid scans, \
@@ -59,7 +117,7 @@ let obs_term =
     in
     Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let setup level trace metrics jobs =
+  let setup level trace metrics open_metrics events events_level run_id jobs =
     Fmt_tty.setup_std_outputs ();
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level level;
@@ -68,12 +126,38 @@ let obs_term =
     | Some n when n >= 1 -> Dcopt_par.Par.set_jobs n
     | Some n -> Logs.warn (fun m -> m "--jobs %d ignored (must be >= 1)" n)
     | None -> ());
-    { trace; metrics }
+    Dcopt_obs.Events.set_run_id
+      (match run_id with
+      | Some id -> id
+      | None ->
+        Printf.sprintf "run-%d-%Ld" (Unix.getpid ()) (Clock.now_ns ()));
+    (match events with
+    | Some path -> Dcopt_obs.Events.open_file ~min_level:events_level path
+    | None -> ());
+    { trace; metrics; open_metrics }
   in
-  Term.(const setup $ Logs_cli.level () $ trace_arg $ metrics_arg $ jobs_arg)
+  Term.(
+    const setup $ Logs_cli.level () $ trace_arg $ metrics_arg
+    $ open_metrics_arg $ events_arg $ events_level_arg $ run_id_arg $ jobs_arg)
 
 let finish obs code =
   if obs.metrics then print_string (Metrics.render ());
+  let code =
+    match obs.open_metrics with
+    | None -> code
+    | Some path -> (
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Metrics.render_openmetrics ()));
+        Logs.app (fun m -> m "wrote OpenMetrics exposition to %s" path);
+        code
+      with Sys_error msg ->
+        Logs.err (fun m -> m "cannot write OpenMetrics file: %s" msg);
+        if code = 0 then 1 else code)
+  in
+  Dcopt_obs.Events.close ();
   match obs.trace with
   | None -> code
   | Some path -> (
@@ -381,7 +465,9 @@ let profile_cmd =
       (with_prepared spec config (fun p ->
            let recorder = Telemetry.recorder () in
            let observer =
-             Telemetry.tee (Telemetry.record recorder) (Telemetry.to_metrics ())
+             Telemetry.tee
+               (Telemetry.record recorder)
+               (Telemetry.tee (Telemetry.to_metrics ()) (Telemetry.to_events ()))
            in
            let sol = optimizer.Optimizer.run ~observer p in
            let wall_ns = Int64.sub (Clock.now_ns ()) t0 in

@@ -1,0 +1,102 @@
+module Json = Dcopt_util.Json
+
+type measurement = { name : string; ns : float }
+
+type verdict = {
+  v_name : string;
+  baseline_ns : float;
+  current_ns : float option; (* None: in the baseline, not measured now *)
+  ratio : float; (* current / baseline; nan when current is None *)
+  v_ok : bool;
+}
+
+let default_threshold = 1.5
+
+(* The timing JSON (schema dcopt-bench-timing/1) carries three result
+   groups; the gate reads the two that are stable enough to compare —
+   bechamel kernel estimates and the per-move incremental costs — and
+   flattens them into one namespaced list. full_joint is wall-clock of a
+   3 ms-scale run and too noisy to gate on. *)
+let measurements_of_json json =
+  let list_field name =
+    match Json.field name json with
+    | Some l -> Option.value ~default:[] (Json.get_list l)
+    | None -> []
+  in
+  let entry ~prefix ~ns_field item =
+    match (Json.field "name" item, Json.field ns_field item) with
+    | Some n, Some v -> (
+      match (Json.get_string n, Json.get_float v) with
+      | Some name, Some ns when Float.is_finite ns && ns > 0.0 ->
+        Some { name = prefix ^ name; ns }
+      | _ -> None)
+    | _ -> None
+  in
+  List.filter_map
+    (entry ~prefix:"kernel:" ~ns_field:"ns_per_run")
+    (list_field "kernels")
+  @ List.filter_map
+      (entry ~prefix:"incr:" ~ns_field:"incr_ns_per_move")
+      (list_field "incremental")
+
+let load_baseline path =
+  match Json.read_file path with
+  | Error e -> Error e
+  | Ok json -> (
+    match Json.field "schema" json with
+    | Some (Json.String "dcopt-bench-timing/1") -> (
+      match measurements_of_json json with
+      | [] -> Error (path ^ ": baseline contains no gateable measurements")
+      | ms -> Ok ms)
+    | Some _ | None ->
+      Error (path ^ ": not a dcopt-bench-timing/1 document"))
+
+let check ?(threshold = default_threshold) ~baseline ~current () =
+  List.map
+    (fun b ->
+      match List.find_opt (fun c -> String.equal c.name b.name) current with
+      | None ->
+        (* a kernel that vanished from the bench is silent coverage rot,
+           which is exactly what the gate exists to catch *)
+        {
+          v_name = b.name;
+          baseline_ns = b.ns;
+          current_ns = None;
+          ratio = nan;
+          v_ok = false;
+        }
+      | Some c ->
+        let ratio = c.ns /. b.ns in
+        {
+          v_name = b.name;
+          baseline_ns = b.ns;
+          current_ns = Some c.ns;
+          ratio;
+          v_ok = ratio <= threshold;
+        })
+    baseline
+
+let all_ok verdicts = List.for_all (fun v -> v.v_ok) verdicts
+let failures verdicts = List.filter (fun v -> not v.v_ok) verdicts
+
+let render ?(threshold = default_threshold) verdicts =
+  let table =
+    Dcopt_util.Text_table.create
+      ~headers:[ "Measurement"; "Baseline"; "Current"; "Ratio"; "Gate" ]
+  in
+  List.iter
+    (fun v ->
+      let fmt_ns ns = Dcopt_util.Si.format ~unit:"s" (ns *. 1e-9) in
+      Dcopt_util.Text_table.add_row table
+        [
+          v.v_name;
+          fmt_ns v.baseline_ns;
+          (match v.current_ns with Some ns -> fmt_ns ns | None -> "missing");
+          (match v.current_ns with
+          | Some _ -> Printf.sprintf "%.2fx" v.ratio
+          | None -> "-");
+          (if v.v_ok then "ok"
+           else Printf.sprintf "FAIL (> %.2fx)" threshold);
+        ])
+    verdicts;
+  Dcopt_util.Text_table.render table

@@ -1,0 +1,55 @@
+(** Bench regression gate: compare current timing numbers against a
+    committed baseline and fail on a per-kernel slowdown.
+
+    The baseline is a [dcopt-bench-timing/1] JSON document as written by
+    [bench/main.exe timing --json] (committed as [test/BENCH_timing.json]).
+    The gate reads the bechamel kernel estimates ([kernels\[\].ns_per_run],
+    namespaced ["kernel:NAME"]) and the incremental per-move costs
+    ([incremental\[\].incr_ns_per_move], namespaced ["incr:NAME"]); the
+    [full_joint] wall-clock group is deliberately excluded — millisecond
+    runs under parallel test load are too noisy to gate on.
+
+    The threshold is noise-tolerant by design (default 1.5x): quick-mode
+    bechamel quotas scatter, and the caller is expected to re-measure and
+    take the per-kernel minimum before declaring a regression (see
+    [bench timing --check]). *)
+
+type measurement = { name : string; ns : float }
+
+type verdict = {
+  v_name : string;
+  baseline_ns : float;
+  current_ns : float option;
+      (** [None]: present in the baseline but not measured now —
+          a gate failure (coverage rot). *)
+  ratio : float;  (** current / baseline; [nan] when current is missing *)
+  v_ok : bool;
+}
+
+val default_threshold : float
+(** 1.5 — fail when current > 1.5x baseline. *)
+
+val load_baseline : string -> (measurement list, string) result
+(** Parse a baseline file; [Error] on unreadable file, wrong schema, or a
+    document with nothing gateable in it. *)
+
+val measurements_of_json : Dcopt_util.Json.t -> measurement list
+(** The namespaced measurement list of a timing document (exposed for
+    building the "current" side from freshly computed numbers). Entries
+    with null/non-positive timings are skipped. *)
+
+val check :
+  ?threshold:float ->
+  baseline:measurement list ->
+  current:measurement list ->
+  unit ->
+  verdict list
+(** One verdict per baseline entry, in baseline order. Measurements only
+    on the current side (new kernels) are ignored — they gate once they
+    land in the committed baseline. *)
+
+val all_ok : verdict list -> bool
+val failures : verdict list -> verdict list
+
+val render : ?threshold:float -> verdict list -> string
+(** Fixed-width report table; [threshold] only labels the FAIL rows. *)

@@ -1,10 +1,14 @@
-let last = ref 0L
+(* One process-global strictly-increasing clock. The last-issued reading
+   is an atomic so any domain — pool workers record spans and events too —
+   can take a timestamp; the CAS loop preserves the strict-monotonicity
+   guarantee across domains, not just within one. *)
+let last = Atomic.make 0L
 
-let now_ns () =
+let rec now_ns () =
   let raw = Int64.of_float (Unix.gettimeofday () *. 1e9) in
-  let t = if Int64.compare raw !last <= 0 then Int64.add !last 1L else raw in
-  last := t;
-  t
+  let prev = Atomic.get last in
+  let t = if Int64.compare raw prev <= 0 then Int64.add prev 1L else raw in
+  if Atomic.compare_and_set last prev t then t else now_ns ()
 
 let ns_to_s ns = Int64.to_float ns *. 1e-9
 let ns_to_us ns = Int64.to_float ns *. 1e-3

@@ -1,13 +1,16 @@
 (** Strictly increasing wall-clock time in nanoseconds.
 
-    Every call returns a value strictly larger than the previous one, so a
-    span closed immediately after it was opened still has a positive
-    duration and trace events never share a timestamp. The underlying
-    source is [Unix.gettimeofday]; backwards wall-clock jumps are clamped,
-    which makes the reading monotonic by construction. *)
+    Every call returns a value strictly larger than any previous one —
+    across all domains, not just the calling one — so a span closed
+    immediately after it was opened still has a positive duration, trace
+    events never share a timestamp, and event-log lines from different
+    pool workers interleave in a globally consistent order. The
+    underlying source is [Unix.gettimeofday]; backwards wall-clock jumps
+    are clamped (the reading advances by 1 ns instead), which makes the
+    reading monotonic by construction. *)
 
 val now_ns : unit -> int64
-(** Current time in ns, strictly increasing across calls. *)
+(** Current time in ns, strictly increasing across calls and domains. *)
 
 val ns_to_s : int64 -> float
 (** Nanoseconds to seconds. *)

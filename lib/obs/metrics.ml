@@ -1,4 +1,5 @@
 module Stats = Dcopt_util.Stats
+module Prng = Dcopt_util.Prng
 
 (* Counters are atomic: library code bumps module-level counters from
    inside Par pool tasks (activity, budgeting, simulation), so increments
@@ -7,10 +8,22 @@ module Stats = Dcopt_util.Stats
 type counter = { count : int Atomic.t }
 type gauge = { mutable value : float }
 
+(* Histograms keep raw samples exactly up to [reservoir_cap], then switch
+   to Algorithm-R reservoir sampling driven by a per-histogram PRNG
+   seeded from the metric name — deterministic, so two runs observing the
+   same stream retain the same samples. [total]/[sum] keep exact count
+   and mean either way; only quantiles and min/max become estimates past
+   the cap. *)
 type histogram = {
+  h_name : string;
   mutable data : float array; (* growable buffer; first [len] slots live *)
   mutable len : int;
+  mutable total : int; (* observations ever, >= len *)
+  mutable sum : float; (* exact running sum of all observations *)
+  mutable rng : Prng.t; (* reservoir replacement stream *)
 }
+
+let reservoir_cap = 8192
 
 type metric =
   | Counter of counter
@@ -53,26 +66,50 @@ let gauge_value g = g.value
 let histogram ?help name =
   match
     register name help (fun () ->
-        Histogram { data = Array.make 16 0.0; len = 0 })
+        Histogram
+          {
+            h_name = name;
+            data = Array.make 16 0.0;
+            len = 0;
+            total = 0;
+            sum = 0.0;
+            rng = Prng.of_string name;
+          })
   with
   | Histogram h -> h
   | Counter _ | Gauge _ ->
     invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
 
 let observe h x =
-  if h.len = Array.length h.data then begin
-    let bigger = Array.make (2 * Array.length h.data) 0.0 in
-    Array.blit h.data 0 bigger 0 h.len;
-    h.data <- bigger
-  end;
-  h.data.(h.len) <- x;
-  h.len <- h.len + 1
+  h.total <- h.total + 1;
+  h.sum <- h.sum +. x;
+  if h.len < reservoir_cap then begin
+    if h.len = Array.length h.data then begin
+      let bigger =
+        Array.make (min reservoir_cap (2 * Array.length h.data)) 0.0
+      in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1
+  end
+  else begin
+    (* Algorithm R: the new sample replaces a uniformly chosen slot with
+       probability cap/total, keeping every observation equally likely to
+       be retained. *)
+    let j = Prng.int h.rng h.total in
+    if j < reservoir_cap then h.data.(j) <- x
+  end
 
-let count h = h.len
+let count h = h.total
+let observed_sum h = h.sum
 let samples h = Array.sub h.data 0 h.len
 
 let quantile h q =
   if h.len = 0 then nan else Stats.quantile (samples h) q
+
+let mean h = if h.total = 0 then nan else h.sum /. float_of_int h.total
 
 let buckets ?(base = 10.0) h =
   if h.len = 0 then [||]
@@ -136,7 +173,11 @@ let reset () =
       match m with
       | Counter c -> Atomic.set c.count 0
       | Gauge g -> g.value <- 0.0
-      | Histogram h -> h.len <- 0)
+      | Histogram h ->
+        h.len <- 0;
+        h.total <- 0;
+        h.sum <- 0.0;
+        h.rng <- Prng.of_string h.h_name)
     registry
 
 let sorted_metrics () =
@@ -169,8 +210,8 @@ let render () =
             let xs = samples h in
             let _, hi = Stats.min_max xs in
             [
-              name; "histogram"; string_of_int h.len;
-              format_value (Stats.mean xs);
+              name; "histogram"; string_of_int h.total;
+              format_value (mean h);
               format_value (Stats.quantile xs 0.5);
               format_value (Stats.quantile xs 0.9);
               format_value (Stats.quantile xs 0.99);
@@ -228,8 +269,8 @@ let to_json_lines () =
           else
             Printf.sprintf
               "\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"min\":%s,\"max\":%s"
-              h.len
-              (json_float (Stats.mean xs))
+              h.total
+              (json_float (mean h))
               (json_float (Stats.quantile xs 0.5))
               (json_float (Stats.quantile xs 0.9))
               (json_float (Stats.quantile xs 0.99))
@@ -249,4 +290,80 @@ let to_json_lines () =
              (json_escape name) stats bucket_json help));
       Buffer.add_char b '\n')
     (sorted_metrics ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+
+(* OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+   names map '.' (and anything else illegal) to '_'. Distinct registry
+   names that collide after sanitization share an exposition family —
+   harmless for the dot-separated names this code base uses. *)
+let openmetrics_name name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char b '_';
+        Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* HELP text and label values share one escape set: backslash, newline
+   and double quote (the spec requires the first two for HELP, all three
+   for label values; escaping the quote in HELP text is also legal). *)
+let openmetrics_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let om_float v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Dcopt_util.Json.float_lit v
+
+let render_openmetrics () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) ->
+      let om = openmetrics_name name in
+      (match Hashtbl.find_opt help_texts name with
+      | Some h ->
+        Printf.bprintf b "# HELP %s %s\n" om (openmetrics_escape h)
+      | None -> ());
+      match m with
+      | Counter c ->
+        Printf.bprintf b "# TYPE %s counter\n" om;
+        Printf.bprintf b "%s_total %d\n" om (Atomic.get c.count)
+      | Gauge g ->
+        Printf.bprintf b "# TYPE %s gauge\n" om;
+        Printf.bprintf b "%s %s\n" om (om_float g.value)
+      | Histogram h ->
+        Printf.bprintf b "# TYPE %s histogram\n" om;
+        (* cumulative _bucket series over the log-scale boundaries; the
+           +Inf bucket carries the exact total, so past the reservoir cap
+           the un-retained remainder is attributed to +Inf (cumulative
+           counts stay non-decreasing and _count-consistent) *)
+        let cum = ref 0 in
+        Array.iter
+          (fun (_, hi, c) ->
+            cum := !cum + c;
+            Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" om (om_float hi) !cum)
+          (buckets h);
+        Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" om h.total;
+        Printf.bprintf b "%s_sum %s\n" om (om_float h.sum);
+        Printf.bprintf b "%s_count %d\n" om h.total)
+    (sorted_metrics ());
+  Buffer.add_string b "# EOF\n";
   Buffer.contents b

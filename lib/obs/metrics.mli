@@ -7,11 +7,16 @@
     hand — so library code can keep module-level instruments and update
     them unconditionally.
 
-    Histograms keep their raw samples, so summaries are exact: quantiles
-    come from {!Dcopt_util.Stats.quantile} and the rendered distribution
-    uses log-scale buckets (successive powers of a fixed base), which suits
-    the heavy-tailed quantities this code base measures (energies, delays,
-    iteration counts). *)
+    Histograms keep their raw samples exactly up to a fixed cap (8192
+    observations), so summaries below the cap are exact: quantiles come
+    from {!Dcopt_util.Stats.quantile} and the rendered distribution uses
+    log-scale buckets (successive powers of a fixed base), which suits
+    the heavy-tailed quantities this code base measures (energies,
+    delays, iteration counts). Past the cap the histogram switches to
+    deterministic reservoir sampling (Algorithm R, PRNG seeded from the
+    metric name): [count], [observed_sum] and the mean stay exact while
+    quantiles and min/max become unbiased estimates, and memory stays
+    bounded for arbitrarily long [serve] processes. *)
 
 type counter
 type gauge
@@ -38,28 +43,46 @@ val histogram : ?help:string -> string -> histogram
 (** Find-or-create the histogram registered under this name. *)
 
 val observe : histogram -> float -> unit
+
 val count : histogram -> int
+(** Total number of observations ever made — exact even past the
+    reservoir cap (where it exceeds [Array.length (samples h)]). *)
+
+val observed_sum : histogram -> float
+(** Exact running sum of every observation (reservoir-independent). *)
+
+val reservoir_cap : int
+(** Maximum number of raw samples a histogram retains (8192). *)
 
 val samples : histogram -> float array
-(** Copy of all observed samples, in observation order. *)
+(** Copy of the retained samples. Below {!reservoir_cap} this is every
+    observation in observation order; past it, a deterministic uniform
+    subsample of size [reservoir_cap]. *)
 
 val quantile : histogram -> float -> float
 (** [quantile h q] with [q] in \[0, 1\]; linear interpolation between order
-    statistics; [nan] when the histogram is empty. *)
+    statistics over the retained samples; [nan] when the histogram is
+    empty. Exact below the reservoir cap, an estimate past it. *)
+
+val mean : histogram -> float
+(** Exact mean over all observations ([observed_sum / count]); [nan]
+    when empty. *)
 
 val buckets : ?base:float -> histogram -> (float * float * int) array
 (** Log-scale bucket counts [(lo, hi, count)] with boundaries at integer
     powers of [base] (default 10), covering the positive samples;
     non-positive samples are collected in a leading [(0, smallest bound)]
-    bucket. Empty when no samples were observed. *)
+    bucket. Empty when no samples were observed. Computed over the
+    retained samples (see {!samples}). *)
 
 val names : unit -> string list
 (** All registered metric names, sorted. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (counters to 0, gauges to 0, histograms
-    emptied). Registration survives, so module-level instruments stay
-    valid — intended for tests and for the CLI between runs. *)
+    emptied and their reservoir PRNGs reseeded). Registration survives,
+    so module-level instruments stay valid — intended for tests and for
+    the CLI between runs. *)
 
 val render : unit -> string
 (** All metrics as a fixed-width table ({!Dcopt_util.Text_table}):
@@ -74,3 +97,15 @@ val to_json_lines : unit -> string
 (** One JSON object per line per metric, machine-readable:
     [{"name":..., "type":"counter"|"gauge"|"histogram", ...}]. Histogram
     lines carry count, mean, quantiles and log-scale buckets. *)
+
+val render_openmetrics : unit -> string
+(** The full registry in OpenMetrics text exposition format, terminated
+    by [# EOF]. Dotted metric names are sanitized to
+    [\[a-zA-Z_:\]\[a-zA-Z0-9_:\]*] ('.' becomes '_'); [?help] strings
+    become [# HELP] lines with backslash/newline/quote escaping; each
+    series gets a [# TYPE] line. Counters expose a single [_total]
+    sample; gauges a bare sample; histograms a cumulative
+    [_bucket{le="..."}] series over the log-scale boundaries plus
+    [_bucket{le="+Inf"}], [_sum] and [_count] — the +Inf bucket and
+    [_count] carry the exact observation total even past the reservoir
+    cap. Non-finite values render as [NaN], [+Inf], [-Inf]. *)

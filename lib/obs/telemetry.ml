@@ -37,3 +37,20 @@ let to_metrics () : observer =
       (Metrics.histogram (prefix ^ ".iteration.total_energy"))
       it.total_energy
   else Metrics.incr (Metrics.counter (prefix ^ ".infeasible"))
+
+let to_events () : observer =
+ fun it ->
+  (* Debug-level: one event per evaluated design point is only worth
+     paying for when someone asked for the full trajectory. The
+     correlation scope (run/batch/job) is attached by Events itself. *)
+  if Events.active Events.Debug then
+    Events.debug "opt.iteration"
+      ~fields:
+        [
+          ("optimizer", Dcopt_util.Json.String it.optimizer);
+          ("index", Dcopt_util.Json.Int it.index);
+          ("vdd", Dcopt_util.Json.Float it.vdd);
+          ("vt", Dcopt_util.Json.Float it.vt);
+          ("total_energy", Dcopt_util.Json.Float it.total_energy);
+          ("feasible", Dcopt_util.Json.Bool it.feasible);
+        ]

@@ -57,3 +57,9 @@ val to_metrics : unit -> observer
     histograms [opt.x.iteration.total_energy] (feasible points only) and
     [opt.x.iteration.vdd], and counts infeasible points in
     [opt.x.infeasible]. *)
+
+val to_events : unit -> observer
+(** Observer that emits one Debug-level ["opt.iteration"] {!Events} line
+    per record (optimizer, index, vdd, vt, total_energy, feasible), so
+    the convergence trajectory joins the correlated event log. Cheap
+    no-op unless an event sink is active at Debug level. *)

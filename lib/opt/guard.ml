@@ -1,4 +1,5 @@
 module Metrics = Dcopt_obs.Metrics
+module Events = Dcopt_obs.Events
 
 exception Non_finite of { site : string; value : float }
 
@@ -14,11 +15,24 @@ let m_aborted =
   Metrics.counter ~help:"optimizer trials abandoned on a non-finite value"
     "guard.trials_aborted"
 
-let clamp ~site:_ v =
+(* Guard trips are rare and always suspicious: besides the counters,
+   each one leaves a Warn event carrying the site, so a bad design point
+   is joinable to its batch row via the correlation scope. *)
+let trip_event ~site ~action v =
+  Events.warn "guard.non_finite"
+    ~fields:
+      [
+        ("site", Dcopt_util.Json.String site);
+        ("value", Dcopt_util.Json.Float v);
+        ("action", Dcopt_util.Json.String action);
+      ]
+
+let clamp ~site v =
   if Float.is_finite v then v
   else begin
     Metrics.incr m_non_finite;
     Metrics.incr m_clamped;
+    trip_event ~site ~action:"clamped" v;
     infinity
   end
 
@@ -26,6 +40,7 @@ let check ~site v =
   if Float.is_finite v then v
   else begin
     Metrics.incr m_non_finite;
+    trip_event ~site ~action:"raised" v;
     raise (Non_finite { site; value = v })
   end
 

@@ -4,6 +4,7 @@ module Par = Dcopt_par.Par
 module Metrics = Dcopt_obs.Metrics
 module Span = Dcopt_obs.Span
 module Clock = Dcopt_obs.Clock
+module Events = Dcopt_obs.Events
 module Json = Dcopt_util.Json
 
 let jobs_c = Metrics.counter ~help:"Jobs submitted to the service" "service.jobs"
@@ -39,6 +40,20 @@ let latency_h =
 
 let attempts_h =
   Metrics.histogram ~help:"Attempts per computed job" "service.attempts"
+
+let wall_ns_h =
+  Metrics.histogram ~help:"Per-job compute wall-clock nanoseconds"
+    "service.job.wall_ns"
+
+let alloc_bytes_h =
+  Metrics.histogram
+    ~help:"Per-job bytes allocated on the computing domain's minor+major heap"
+    "service.job.alloc_bytes"
+
+(* Monotonic batch sequence for the correlation chain: every run_batch —
+   including each single-job batch a serve loop runs — gets a fresh id
+   that all its events carry. *)
+let batch_seq = Atomic.make 0
 
 exception Timed_out
 
@@ -104,15 +119,34 @@ type computed = {
   comp_outcome : Job.outcome;
   comp_attempts : int;
   comp_latency_s : float;
+  comp_wall_ns : int64;
+  comp_alloc_bytes : float;
 }
+
+let outcome_status = function
+  | Job.Solved _ -> "solved"
+  | Job.Infeasible -> "infeasible"
+  | Job.Failed _ -> "failed"
 
 (* One computation, fully isolated: any exception out of prepare or the
    optimizer — including the cooperative [Timed_out] the injected
    observer raises past the deadline — is retried up to [retries] times
    and then recorded as [Failed]. Runs on a pool worker, so it touches
-   only counters (atomic), never gauges/histograms/spans. *)
+   only counters (atomic), spans (per-domain) and events (mutexed sink) —
+   never gauges/histograms; wall time and allocation are measured here
+   and folded into histograms after the pool barrier, on the main domain.
+   [Gc.allocated_bytes] is per-domain and a task never migrates, so the
+   delta is this job's allocation (plus any event/span bookkeeping, which
+   is noise at job scale). *)
 let compute r =
   let t0 = Clock.now_ns () in
+  let alloc0 = Gc.allocated_bytes () in
+  Events.info "job.start"
+    ~fields:
+      [
+        ("optimizer", Json.String r.optimizer.Optimizer.name);
+        ("digest", Json.String r.key);
+      ];
   let attempts_allowed = r.retries + 1 in
   let rec go attempt =
     let deadline =
@@ -139,6 +173,9 @@ let compute r =
       in
       if attempt < attempts_allowed then begin
         Metrics.incr retries_c;
+        Events.warn "job.retry"
+          ~fields:
+            [ ("attempt", Json.Int attempt); ("error", Json.String error) ];
         go (attempt + 1)
       end
       else (Job.Failed { error; attempts = attempt }, attempt)
@@ -148,10 +185,28 @@ let compute r =
       ~args:[ ("optimizer", r.optimizer.Optimizer.name); ("digest", r.key) ]
       (fun () -> go 1)
   in
+  let wall_ns = Int64.sub (Clock.now_ns ()) t0 in
+  let alloc_bytes = Gc.allocated_bytes () -. alloc0 in
+  (match outcome with
+  | Job.Failed { error; _ } ->
+    Events.error "job.failed"
+      ~fields:
+        [ ("attempts", Json.Int attempts); ("error", Json.String error) ]
+  | Job.Solved _ | Job.Infeasible ->
+    Events.info "job.done"
+      ~fields:
+        [
+          ("status", Json.String (outcome_status outcome));
+          ("attempts", Json.Int attempts);
+          ("wall_ns", Json.Int (Int64.to_int wall_ns));
+          ("alloc_bytes", Json.Float alloc_bytes);
+        ]);
   {
     comp_outcome = outcome;
     comp_attempts = attempts;
-    comp_latency_s = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0);
+    comp_latency_s = Clock.ns_to_s wall_ns;
+    comp_wall_ns = wall_ns;
+    comp_alloc_bytes = alloc_bytes;
   }
 
 let cacheable = function
@@ -160,12 +215,22 @@ let cacheable = function
 
 let run_batch ?store ?checkpoint jobs =
   Span.with_ "service.batch" @@ fun () ->
+  let batch_id = 1 + Atomic.fetch_and_add batch_seq 1 in
+  Events.with_scope ~batch_id @@ fun () ->
   let jobs = Array.of_list jobs in
   Metrics.incr ~by:(Array.length jobs) jobs_c;
+  Events.info "batch.start"
+    ~fields:[ ("jobs", Json.Int (Array.length jobs)) ];
   let resolved = Array.map resolve_job jobs in
+  let job_id_at i =
+    match jobs.(i).Job.id with
+    | Some id -> id
+    | None -> Printf.sprintf "job%d" i
+  in
   (* first-occurrence order of each distinct digest; later identical
      jobs reuse the first one's outcome, so cache_hit flags and results
-     never depend on scheduling *)
+     never depend on scheduling. Each unique computation carries the
+     job_id of its first occurrence as its event-log identity. *)
   let first_index : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let unique = ref [] in
   Array.iteri
@@ -173,7 +238,7 @@ let run_batch ?store ?checkpoint jobs =
       match r with
       | Ok r when not (Hashtbl.mem first_index r.key) ->
         Hashtbl.add first_index r.key i;
-        unique := r :: !unique
+        unique := (r, job_id_at i) :: !unique
       | _ -> ())
     resolved;
   let unique = List.rev !unique in
@@ -183,9 +248,13 @@ let run_batch ?store ?checkpoint jobs =
   | None -> ()
   | Some st ->
     List.iter
-      (fun r ->
+      (fun (r, jid) ->
         match Option.bind (Store.find st r.key) outcome_of_store with
-        | Some outcome -> Hashtbl.add from_store r.key outcome
+        | Some outcome ->
+          Hashtbl.add from_store r.key outcome;
+          Events.with_scope ~job_id:jid (fun () ->
+              Events.info "job.store_hit"
+                ~fields:[ ("digest", Json.String r.key) ])
         | None -> ())
       unique);
   (* Checkpoint hits replace the computation but keep [cache_hit = false]
@@ -196,11 +265,14 @@ let run_batch ?store ?checkpoint jobs =
   | None -> ()
   | Some ck ->
     List.iter
-      (fun r ->
+      (fun (r, jid) ->
         if not (Hashtbl.mem from_store r.key) then
           match Checkpoint.find ck r.key with
           | Some outcome ->
             Hashtbl.add from_ckpt r.key outcome;
+            Events.with_scope ~job_id:jid (fun () ->
+                Events.info "job.checkpoint_hit"
+                  ~fields:[ ("digest", Json.String r.key) ]);
             (* a resumed outcome is as good as a computed one: persist it
                to the warm store too *)
             (match store with
@@ -214,7 +286,7 @@ let run_batch ?store ?checkpoint jobs =
   let to_compute =
     Array.of_list
       (List.filter
-         (fun r ->
+         (fun (r, _) ->
            not (Hashtbl.mem from_store r.key || Hashtbl.mem from_ckpt r.key))
          unique)
   in
@@ -223,10 +295,13 @@ let run_batch ?store ?checkpoint jobs =
     (float_of_int (min (Par.jobs ()) (Array.length to_compute)));
   let computed =
     Par.map ~site:"service"
-      (fun r ->
+      (fun (r, jid) ->
+        (* worker-side: the enclosing batch scope is domain-local, so the
+           chain is re-established inside the task closure *)
+        Events.with_scope ~batch_id ~job_id:jid @@ fun () ->
         let c = compute r in
-        (* worker-side, the moment the job completes: a kill between here
-           and the pool barrier loses nothing already paid for *)
+        (* the moment the job completes: a kill between here and the pool
+           barrier loses nothing already paid for *)
         (match checkpoint with
         | Some ck -> Checkpoint.record ck r.key c.comp_outcome
         | None -> ());
@@ -242,26 +317,33 @@ let run_batch ?store ?checkpoint jobs =
       (* seeded as zero-cost computations: no latency/attempts samples
          (nothing ran), and the row path below reports them cache-cold *)
       Hashtbl.replace by_key key
-        { comp_outcome = outcome; comp_attempts = 0; comp_latency_s = 0.0 })
+        {
+          comp_outcome = outcome;
+          comp_attempts = 0;
+          comp_latency_s = 0.0;
+          comp_wall_ns = 0L;
+          comp_alloc_bytes = 0.0;
+        })
     from_ckpt;
   Array.iteri
     (fun i c ->
       Metrics.observe latency_h c.comp_latency_s;
       Metrics.observe attempts_h (float_of_int c.comp_attempts);
+      Metrics.observe wall_ns_h (Int64.to_float c.comp_wall_ns);
+      Metrics.observe alloc_bytes_h c.comp_alloc_bytes;
       (match store with
       | Some st -> (
         match Job.outcome_to_store_json c.comp_outcome with
-        | Some doc -> Store.put st to_compute.(i).key doc
+        | Some doc -> Store.put st (fst to_compute.(i)).key doc
         | None -> ())
       | None -> ());
-      Hashtbl.replace by_key to_compute.(i).key c)
+      Hashtbl.replace by_key (fst to_compute.(i)).key c)
     computed;
   (* emit rows in job order *)
+  let rows =
   List.mapi
     (fun i (job : Job.t) ->
-      let job_id =
-        match job.Job.id with Some id -> id | None -> Printf.sprintf "job%d" i
-      in
+      let job_id = job_id_at i in
       let digest, cache_hit, outcome =
         match resolved.(i) with
         | Error msg -> ("", false, Job.Failed { error = msg; attempts = 0 })
@@ -288,6 +370,16 @@ let run_batch ?store ?checkpoint jobs =
         outcome;
       })
     (Array.to_list jobs)
+  in
+  Events.info "batch.done"
+    ~fields:
+      [
+        ("rows", Json.Int (List.length rows));
+        ("computed", Json.Int (Array.length computed));
+        ("store_hits", Json.Int (Hashtbl.length from_store));
+        ("checkpoint_hits", Json.Int (Hashtbl.length from_ckpt));
+      ];
+  rows
 
 (* The rows of a batch that are already answerable without computing
    anything: resolution failures, store hits, checkpoint hits. This is
@@ -345,28 +437,72 @@ let failed_line_row ~line_no error =
     outcome = Job.Failed { error; attempts = 0 };
   }
 
+(* Control requests ride the job protocol as bare words (a job line is
+   always a JSON object, so the streams cannot collide):
+
+     metrics  → OpenMetrics text; its own "# EOF" line is the framing,
+                so a client reads until that marker
+     status   → one JSON line with the service counters and gauges
+
+   Both answer from the live registry mid-session, so a client watching
+   a long serve process can poll between (or while queueing) jobs. *)
+let serve_status_json () =
+  Json.Obj
+    [
+      ("status", Json.String "ok");
+      ("jobs", Json.Int (Metrics.value jobs_c));
+      ("solved", Json.Int (Metrics.value solved_c));
+      ("infeasible", Json.Int (Metrics.value infeasible_c));
+      ("failed", Json.Int (Metrics.value failed_c));
+      ("retries", Json.Int (Metrics.value retries_c));
+      ("cache_hits", Json.Int (Metrics.value cache_hits_c));
+      ("cache_misses", Json.Int (Metrics.value cache_misses_c));
+      ("queue_depth", Json.Float (Metrics.gauge_value queue_depth_g));
+      ("in_flight", Json.Float (Metrics.gauge_value in_flight_g));
+    ]
+
 let serve ?store ic oc =
   let line_no = ref 0 in
   (try
      while true do
        let line = input_line ic in
        incr line_no;
-       if String.trim line <> "" then begin
-         let rows =
-           match Json.of_string line with
-           | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
-           | Ok json -> (
-             match Job.of_json json with
-             | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
-             | Ok job -> run_batch ?store [ job ])
-         in
-         List.iter
-           (fun row ->
+       let trimmed = String.trim line in
+       if trimmed <> "" then
+         if trimmed.[0] <> '{' then begin
+           (* bare word: a control request *)
+           (match trimmed with
+           | "metrics" -> output_string oc (Metrics.render_openmetrics ())
+           | "status" ->
+             output_string oc (Json.to_string (serve_status_json ()));
+             output_char oc '\n'
+           | other ->
+             let row =
+               failed_line_row ~line_no:!line_no
+                 (Printf.sprintf
+                    "unknown control request %S (known: metrics, status)"
+                    other)
+             in
              output_string oc (Json.to_string (Job.row_to_json row));
-             output_char oc '\n')
-           rows;
-         flush oc
-       end
+             output_char oc '\n');
+           flush oc
+         end
+         else begin
+           let rows =
+             match Json.of_string line with
+             | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
+             | Ok json -> (
+               match Job.of_json json with
+               | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
+               | Ok job -> run_batch ?store [ job ])
+           in
+           List.iter
+             (fun row ->
+               output_string oc (Json.to_string (Job.row_to_json row));
+               output_char oc '\n')
+             rows;
+           flush oc
+         end
      done
    with End_of_file -> ());
   flush oc

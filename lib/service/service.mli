@@ -26,9 +26,19 @@
     Observability (all under the [service.] prefix): [jobs],
     [solved]/[infeasible]/[failed], [cache.hits]/[cache.misses] and
     [retries] counters; [queue_depth] and [in_flight] gauges set around
-    the batch; [latency] (seconds per job) and [attempts] histograms
-    observed after the batch on the main domain; a [service.batch] span
-    with per-job [service.job] children (recorded when sequential). *)
+    the batch; [latency] (seconds per job), [attempts], [job.wall_ns]
+    and [job.alloc_bytes] histograms observed after the pool barrier on
+    the main domain (per-job wall time and domain-local allocation are
+    measured on the worker and carried back — never into result rows,
+    which stay wall-clock-free); a [service.batch] span with per-job
+    [service.job] children recorded in each worker's own trace buffer.
+
+    Every batch also narrates itself to {!Dcopt_obs.Events} under a
+    fresh [batch_id]: [batch.start], per-job [job.store_hit] /
+    [job.checkpoint_hit] / [job.start] / [job.retry] / [job.done] /
+    [job.failed] (each carrying the correlation chain
+    [run_id]/[batch_id]/[job_id]; the [job_id] of a deduplicated
+    computation is its first occurrence's id), then [batch.done]. *)
 
 val resolve_circuit :
   string -> (Dcopt_netlist.Circuit.t, string) result
@@ -63,7 +73,14 @@ val serve :
 (** Long-running loop: one job spec as JSON per input line, one result
     row as JSON per output line (flushed), until EOF. Blank lines are
     skipped; unparsable lines produce a [Failed] row with id
-    ["line<n>"]. *)
+    ["line<n>"].
+
+    Lines that are not JSON objects are control requests answered from
+    the live registry mid-session: ["metrics"] returns the OpenMetrics
+    exposition ({!Dcopt_obs.Metrics.render_openmetrics}; the client
+    reads until its ["# EOF"] terminator line), ["status"] returns one
+    JSON line with the service counters and gauges. An unknown bare
+    word produces a [Failed] row. *)
 
 val serve_unix_socket : ?store:Store.t -> string -> unit
 (** Bind a unix domain socket at this path (unlinking a stale one) and

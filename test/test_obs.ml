@@ -6,6 +6,9 @@ module Metrics = Dcopt_obs.Metrics
 module Span = Dcopt_obs.Span
 module Clock = Dcopt_obs.Clock
 module Telemetry = Dcopt_obs.Telemetry
+module Bench_gate = Dcopt_obs.Bench_gate
+module Par = Dcopt_par.Par
+module Json = Dcopt_util.Json
 module Circuit = Dcopt_netlist.Circuit
 module Activity = Dcopt_activity.Activity
 module Delay_assign = Dcopt_timing.Delay_assign
@@ -122,6 +125,168 @@ let test_metrics_render_and_json () =
   Alcotest.(check bool) "one json line per metric" true
     (List.length (List.filter (fun l -> l <> "") lines)
     = List.length (Metrics.names ()))
+
+(* The OpenMetrics exposition is checked family by family: the registry
+   carries every module-level instrument in the binary, so the test
+   filters the rendered lines down to its own metric names instead of
+   golden-matching the whole document. *)
+let test_openmetrics_render () =
+  Metrics.reset ();
+  let c = Metrics.counter ~help:"count \"things\"\nover \\ lines" "test.om.counter" in
+  Metrics.incr ~by:7 c;
+  let g = Metrics.gauge "test.om.gauge" in
+  Metrics.set g nan;
+  ignore (Metrics.histogram ~help:"nothing yet" "test.om.empty");
+  let h = Metrics.histogram "test.om.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0; -1.0 ];
+  let out = Metrics.render_openmetrics () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  let block family = List.filter (contains ~needle:family) lines in
+  Alcotest.(check (list string))
+    "counter family: HELP escaping, TYPE, _total suffix"
+    [
+      "# HELP test_om_counter count \\\"things\\\"\\nover \\\\ lines";
+      "# TYPE test_om_counter counter";
+      "test_om_counter_total 7";
+    ]
+    (block "test_om_counter");
+  Alcotest.(check (list string)) "gauge family: NaN sample"
+    [ "# TYPE test_om_gauge gauge"; "test_om_gauge NaN" ]
+    (block "test_om_gauge");
+  Alcotest.(check (list string)) "empty histogram: +Inf bucket only"
+    [
+      "# HELP test_om_empty nothing yet";
+      "# TYPE test_om_empty histogram";
+      "test_om_empty_bucket{le=\"+Inf\"} 0";
+      "test_om_empty_sum 0.0";
+      "test_om_empty_count 0";
+    ]
+    (block "test_om_empty");
+  Alcotest.(check (list string))
+    "histogram family: cumulative buckets, exact sum and count"
+    [
+      "# TYPE test_om_hist histogram";
+      "test_om_hist_bucket{le=\"0.1\"} 1";
+      "test_om_hist_bucket{le=\"1.0\"} 2";
+      "test_om_hist_bucket{le=\"10.0\"} 3";
+      "test_om_hist_bucket{le=\"100.0\"} 4";
+      "test_om_hist_bucket{le=\"+Inf\"} 4";
+      "test_om_hist_sum 54.5";
+      "test_om_hist_count 4";
+    ]
+    (block "test_om_hist");
+  (match List.rev lines with
+  | last :: _ -> Alcotest.(check string) "terminated by # EOF" "# EOF" last
+  | [] -> Alcotest.fail "empty exposition");
+  Metrics.reset ()
+
+let test_histogram_reservoir () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.reservoir" in
+  let n = Metrics.reservoir_cap + 5000 in
+  for i = 1 to n do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count stays exact past the cap" n (Metrics.count h);
+  Alcotest.(check int) "retained samples capped" Metrics.reservoir_cap
+    (Array.length (Metrics.samples h));
+  check_float "sum stays exact"
+    (float_of_int (n * (n + 1) / 2))
+    (Metrics.observed_sum h);
+  check_float "mean stays exact"
+    (float_of_int (n + 1) /. 2.0)
+    (Metrics.mean h);
+  let q = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "median estimate lands mid-stream" true
+    (q > 0.3 *. float_of_int n && q < 0.7 *. float_of_int n);
+  let first = Metrics.samples h in
+  Metrics.reset ();
+  for i = 1 to n do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check bool) "reset reseeds: identical stream, identical reservoir"
+    true
+    (first = Metrics.samples h);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Bench regression gate                                               *)
+
+let meas name ns = { Bench_gate.name; ns }
+
+let test_bench_gate_verdicts () =
+  let baseline = [ meas "kernel:a" 100.0; meas "incr:b" 50.0 ] in
+  let ok = Bench_gate.check ~baseline ~current:baseline () in
+  Alcotest.(check int) "one verdict per baseline entry" 2 (List.length ok);
+  Alcotest.(check bool) "identical numbers pass" true (Bench_gate.all_ok ok);
+  (* within the noise threshold *)
+  let near = [ meas "kernel:a" 140.0; meas "incr:b" 50.0 ] in
+  Alcotest.(check bool) "1.4x passes the 1.5x default" true
+    (Bench_gate.all_ok (Bench_gate.check ~baseline ~current:near ()));
+  (* the acceptance case: an injected 2x slowdown must gate *)
+  let slowed = [ meas "kernel:a" 200.0; meas "incr:b" 50.0 ] in
+  let verdicts = Bench_gate.check ~baseline ~current:slowed () in
+  Alcotest.(check bool) "2x slowdown fails" false (Bench_gate.all_ok verdicts);
+  (match Bench_gate.failures verdicts with
+  | [ f ] ->
+    Alcotest.(check string) "the slowed kernel is the failure" "kernel:a"
+      f.Bench_gate.v_name;
+    check_float "ratio reported" 2.0 f.Bench_gate.ratio
+  | fs -> Alcotest.fail (Printf.sprintf "%d failures, want 1" (List.length fs)));
+  Alcotest.(check bool) "report labels the regression" true
+    (contains ~needle:"FAIL" (Bench_gate.render verdicts));
+  (* a custom threshold moves the bar *)
+  Alcotest.(check bool) "2x passes a 3x threshold" true
+    (Bench_gate.all_ok
+       (Bench_gate.check ~threshold:3.0 ~baseline ~current:slowed ()));
+  (* coverage rot: a baseline kernel with no current measurement fails *)
+  let partial = [ meas "kernel:a" 100.0 ] in
+  let verdicts = Bench_gate.check ~baseline ~current:partial () in
+  Alcotest.(check bool) "missing measurement fails" false
+    (Bench_gate.all_ok verdicts);
+  (match Bench_gate.failures verdicts with
+  | [ f ] ->
+    Alcotest.(check bool) "missing side is None" true
+      (f.Bench_gate.current_ns = None)
+  | _ -> Alcotest.fail "want exactly the missing kernel as failure");
+  (* new kernels only on the current side don't gate yet *)
+  let extra = baseline @ [ meas "kernel:new" 1.0 ] in
+  Alcotest.(check int) "current-only kernels ignored" 2
+    (List.length (Bench_gate.check ~baseline ~current:extra ()))
+
+let test_bench_gate_json () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "dcopt-bench-timing/1");
+        ( "kernels",
+          Json.List
+            [
+              Json.Obj
+                [ ("name", Json.String "a"); ("ns_per_run", Json.Float 12.5) ];
+              Json.Obj [ ("name", Json.String "b"); ("ns_per_run", Json.Null) ];
+            ] );
+        ( "incremental",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("name", Json.String "c");
+                  ("incr_ns_per_move", Json.Float 3.0);
+                ];
+            ] );
+      ]
+  in
+  let ms = Bench_gate.measurements_of_json doc in
+  Alcotest.(check (list string)) "namespaced, null timings skipped"
+    [ "kernel:a"; "incr:c" ]
+    (List.map (fun m -> m.Bench_gate.name) ms);
+  check_float "kernel ns carried" 12.5 (List.hd ms).Bench_gate.ns;
+  match Bench_gate.load_baseline "no_such_baseline.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nonexistent baseline loaded"
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON checker (recursive descent), enough to validate the
@@ -389,6 +554,107 @@ let test_chrome_export_well_formed () =
       (List.assoc_opt "k" kvs = Some (J_str "v"))
   | _ -> Alcotest.fail "args missing"
 
+(* A broken clock source must degrade to a 1 ns span and a counter bump,
+   never an exception: tracing can't be allowed to kill a serve loop. *)
+let test_span_clamp_defensive () =
+  Metrics.reset ();
+  Span.set_enabled true;
+  Span.reset ();
+  Span.record_span ~name:"backwards" ~start_ns:1000L ~end_ns:900L ();
+  Span.record_span ~name:"zero-width" ~start_ns:1000L ~end_ns:1000L ();
+  Span.record_span ~name:"forwards" ~start_ns:1000L ~end_ns:1500L ();
+  Span.set_enabled false;
+  let spans = Span.spans () in
+  let dur name =
+    (List.find (fun s -> s.Span.name = name) spans).Span.dur_ns
+  in
+  Alcotest.(check int64) "backwards interval clamped to 1" 1L (dur "backwards");
+  Alcotest.(check int64) "zero interval clamped to 1" 1L (dur "zero-width");
+  Alcotest.(check int64) "sane interval kept" 500L (dur "forwards");
+  Alcotest.(check int) "clamps counted" 2
+    (Metrics.value (Metrics.counter "span.clock_clamped"));
+  Span.reset ();
+  Metrics.reset ()
+
+let test_multi_domain_merge () =
+  Span.reset ();
+  Span.set_enabled true;
+  let seen = Atomic.make [] in
+  let note_domain () =
+    let id = (Domain.self () :> int) in
+    let rec add () =
+      let cur = Atomic.get seen in
+      if not (List.mem id cur) then
+        if not (Atomic.compare_and_set seen cur (id :: cur)) then add ()
+    in
+    add ()
+  in
+  let deadline = Int64.add (Clock.now_ns ()) 2_000_000_000L in
+  let rendezvous i =
+    Span.with_ "pool.task" ~args:[ ("i", string_of_int i) ] (fun () ->
+        note_domain ();
+        (* hold the span open until a second domain joins (bounded by the
+           deadline), so the merged trace provably crosses domains *)
+        while
+          List.length (Atomic.get seen) < 2
+          && Int64.compare (Clock.now_ns ()) deadline < 0
+        do
+          Domain.cpu_relax ()
+        done;
+        i * i)
+  in
+  let out = Par.map ~jobs:4 rendezvous (Array.init 8 (fun i -> i)) in
+  Span.set_enabled false;
+  Alcotest.(check bool) "results positioned by index" true
+    (out = Array.init 8 (fun i -> i * i));
+  Alcotest.(check bool) "two domains participated" true
+    (List.length (Atomic.get seen) >= 2);
+  let merged = Span.merged () in
+  Alcotest.(check int) "every task span merged" 8 (List.length merged);
+  let tids = List.sort_uniq compare (List.map fst merged) in
+  Alcotest.(check bool) "merge spans >= 2 tids" true (List.length tids >= 2);
+  let rec sorted = function
+    | (t1, s1) :: ((t2, s2) :: _ as rest) ->
+      (t1 < t2
+      || (t1 = t2 && Int64.compare s1.Span.start_ns s2.Span.start_ns < 0))
+      && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merge strictly ordered by (tid, start)" true
+    (sorted merged);
+  (* the Chrome export puts each domain on its own trace row *)
+  let doc = parse_json (Span.export_chrome ()) in
+  let events =
+    match field "traceEvents" doc with
+    | Some (J_list evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  let ev_tids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun ev ->
+           match field "tid" ev with Some (J_num t) -> Some t | _ -> None)
+         events)
+  in
+  Alcotest.(check bool) "chrome trace has >= 2 tids" true
+    (List.length ev_tids >= 2);
+  (* logical content is scheduling-independent: a jobs=1 replay records
+     the same span multiset *)
+  let key (_, s) = s.Span.name ^ "#" ^ List.assoc "i" s.Span.args in
+  let keys4 = List.sort compare (List.map key merged) in
+  Span.reset ();
+  Span.set_enabled true;
+  let plain i =
+    Span.with_ "pool.task" ~args:[ ("i", string_of_int i) ] (fun () -> i * i)
+  in
+  let out1 = Par.map ~jobs:1 plain (Array.init 8 (fun i -> i)) in
+  Span.set_enabled false;
+  Alcotest.(check bool) "jobs=1 results identical" true (out = out1);
+  let keys1 = List.sort compare (List.map key (Span.merged ())) in
+  Alcotest.(check (list string)) "jobs=4 and jobs=1 record the same spans"
+    keys4 keys1;
+  Span.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
 
@@ -525,6 +791,15 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram_semantics;
           Alcotest.test_case "render and json" `Quick
             test_metrics_render_and_json;
+          Alcotest.test_case "openmetrics render" `Quick
+            test_openmetrics_render;
+          Alcotest.test_case "reservoir sampling" `Quick
+            test_histogram_reservoir;
+        ] );
+      ( "bench-gate",
+        [
+          Alcotest.test_case "verdicts" `Quick test_bench_gate_verdicts;
+          Alcotest.test_case "timing json" `Quick test_bench_gate_json;
         ] );
       ( "span",
         [
@@ -536,6 +811,9 @@ let () =
             test_span_closes_on_exception;
           Alcotest.test_case "chrome export" `Quick
             test_chrome_export_well_formed;
+          Alcotest.test_case "clock clamp" `Quick test_span_clamp_defensive;
+          Alcotest.test_case "multi-domain merge" `Quick
+            test_multi_domain_merge;
         ] );
       ( "telemetry",
         [
