@@ -27,6 +27,11 @@ let json_out : string option ref = ref None
    (test/BENCH_timing.json) and exit non-zero past the threshold. *)
 let check_baseline : string option ref = ref None
 
+(* --scale: force the large-circuit STA kernels (sta_100k) even in quick
+   mode — used to refresh the committed baseline. Full (non-quick) runs
+   always measure them, plus the million-gate kernel. *)
+let scale = ref false
+
 let header title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n\n" bar title bar
@@ -386,7 +391,72 @@ let measure_incremental () =
     ],
     gate_count )
 
-let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count =
+(* Large-circuit STA scale kernels: full timing analysis (forward +
+   backward sweep) on generated 100k/1M-gate random DAGs, flat levelized
+   kernel vs the pointer-chasing Sta it replaces. Measured as interleaved
+   min-of-k — the variants alternate inside one loop so machine-wide
+   noise hits both equally, and the minimum is a far tighter estimator of
+   the true cost than any single reading. The jobs-identity column
+   re-checks the determinism contract (arrival/required/slack arrays
+   byte-identical between --jobs 1 and --jobs 4) on every run. *)
+
+type scale_result = {
+  sc_name : string;
+  sc_gates : int;
+  sc_nodes : int;
+  sc_ns_per_gate : float; (* flat levelized kernel, sequential *)
+  sc_ptr_ns_per_gate : float; (* pointer-based Sta.analyze *)
+  sc_speedup : float;
+  sc_jobs_identical : bool;
+}
+
+let measure_scale () =
+  let module G = Dcopt_netlist.Generator in
+  let module Flat = Dcopt_netlist.Flat in
+  let module Sta = Dcopt_timing.Sta in
+  let module Flat_sta = Dcopt_timing.Flat_sta in
+  let module Prng = Dcopt_util.Prng in
+  let one (name, gates, reps) =
+    let d = G.default_dag ~name ~seed:42L ~gates () in
+    let c = G.random_dag d in
+    let f = Flat.of_circuit c in
+    let n = Circuit.size c in
+    let rng = Prng.create 9L in
+    let delays = Array.init n (fun _ -> Prng.float rng 1e-9) in
+    let best_ptr = ref infinity and best_flat = ref infinity in
+    for _ = 1 to reps do
+      let _, dt = wall (fun () -> Sta.analyze c ~delays) in
+      if dt < !best_ptr then best_ptr := dt;
+      let _, dt = wall (fun () -> Flat_sta.analyze f ~jobs:1 ~delays) in
+      if dt < !best_flat then best_flat := dt
+    done;
+    let r1 = Flat_sta.analyze f ~jobs:1 ~delays in
+    let r4 = Flat_sta.analyze f ~jobs:4 ~delays in
+    let jobs_identical =
+      r1.Flat_sta.arrival = r4.Flat_sta.arrival
+      && r1.Flat_sta.required = r4.Flat_sta.required
+      && r1.Flat_sta.slack = r4.Flat_sta.slack
+      && Float.equal r1.Flat_sta.critical_delay r4.Flat_sta.critical_delay
+    in
+    let g = float_of_int gates in
+    {
+      sc_name = name;
+      sc_gates = gates;
+      sc_nodes = n;
+      sc_ns_per_gate = !best_flat *. 1e9 /. g;
+      sc_ptr_ns_per_gate = !best_ptr *. 1e9 /. g;
+      sc_speedup = !best_ptr /. !best_flat;
+      sc_jobs_identical = jobs_identical;
+    }
+  in
+  let sizes =
+    if !quick then [ ("sta_100k", 100_000, 5) ]
+    else [ ("sta_100k", 100_000, 8); ("sta_1m", 1_000_000, 3) ]
+  in
+  List.map one sizes
+
+let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
+    ~scale_results =
   let esc = Dcopt_obs.Metrics.json_escape in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"dcopt-bench-timing/1\",\n";
@@ -419,6 +489,17 @@ let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count =
         dirty_per_move gate_count
         (if i < List.length incremental - 1 then "," else ""))
     incremental;
+  Buffer.add_string b "  ],\n  \"scale\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"gates\": %d, \"nodes\": %d, \
+         \"ns_per_gate\": %.3f, \"pointer_ns_per_gate\": %.3f, \
+         \"speedup_vs_pointer\": %.2f, \"jobs_identical\": %b}%s\n"
+        (esc r.sc_name) r.sc_gates r.sc_nodes r.sc_ns_per_gate
+        r.sc_ptr_ns_per_gate r.sc_speedup r.sc_jobs_identical
+        (if i < List.length scale_results - 1 then "," else ""))
+    scale_results;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out path in
   Fun.protect
@@ -460,7 +541,7 @@ let measure_kernels () =
 
 module Bench_gate = Dcopt_obs.Bench_gate
 
-let gate_measurements ~kernels ~incremental =
+let gate_measurements ~kernels ~incremental ~scale_results =
   List.filter_map
     (fun (name, ns) ->
       match ns with
@@ -472,6 +553,9 @@ let gate_measurements ~kernels ~incremental =
       (fun (name, _full_ns, incr_ns, _dirty) ->
         { Bench_gate.name = "incr:" ^ name; ns = incr_ns })
       incremental
+  @ List.map
+      (fun r -> { Bench_gate.name = "scale:" ^ r.sc_name; ns = r.sc_ns_per_gate })
+      scale_results
 
 let merge_min a b =
   List.map
@@ -490,16 +574,19 @@ let merge_min a b =
    keep the per-kernel minimum — min-of-k is a far tighter estimator of
    the true cost than any single run — and only fail once the minimum of
    three passes still exceeds the threshold. *)
-let run_gate ~baseline_path ~kernels ~incremental =
+let run_gate ~baseline_path ~kernels ~incremental ~scale_results =
+  (* scale kernels are optional on the baseline side: a quick run without
+     --scale legitimately skips them (they gate whenever measured) *)
+  let optional name = String.length name >= 6 && String.sub name 0 6 = "scale:" in
   match Bench_gate.load_baseline baseline_path with
   | Error e ->
     Printf.eprintf "bench gate: %s\n" e;
     exit 1
   | Ok baseline ->
-    let current = ref (gate_measurements ~kernels ~incremental) in
+    let current = ref (gate_measurements ~kernels ~incremental ~scale_results) in
     let max_attempts = 3 in
     let rec attempt n =
-      let verdicts = Bench_gate.check ~baseline ~current:!current () in
+      let verdicts = Bench_gate.check ~baseline ~current:!current ~optional () in
       if Bench_gate.all_ok verdicts then
         Printf.printf
           "\nbench gate vs %s: ok (%d measurements within %.2fx)\n"
@@ -512,9 +599,13 @@ let run_gate ~baseline_path ~kernels ~incremental =
           (n + 1) max_attempts;
         let kernels' = measure_kernels () in
         let incremental', _ = measure_incremental () in
+        let scale_results' =
+          if scale_results = [] then [] else measure_scale ()
+        in
         current :=
           merge_min !current
-            (gate_measurements ~kernels:kernels' ~incremental:incremental');
+            (gate_measurements ~kernels:kernels' ~incremental:incremental'
+               ~scale_results:scale_results');
         attempt (n + 1)
       end
       else begin
@@ -585,13 +676,59 @@ let run_timing () =
         ])
     incremental;
   Dcopt_util.Text_table.print it;
+  let scale_results =
+    if (not !quick) || !scale then begin
+      print_newline ();
+      let st =
+        Dcopt_util.Text_table.create
+          ~headers:
+            [
+              "Scale kernel (full STA)";
+              "gates";
+              "flat ns/gate";
+              "pointer ns/gate";
+              "speedup";
+              "jobs 4 == jobs 1";
+            ]
+      in
+      let results = measure_scale () in
+      List.iter
+        (fun r ->
+          Dcopt_util.Text_table.add_row st
+            [
+              r.sc_name;
+              string_of_int r.sc_gates;
+              Printf.sprintf "%.2f" r.sc_ns_per_gate;
+              Printf.sprintf "%.2f" r.sc_ptr_ns_per_gate;
+              Printf.sprintf "%.2fx" r.sc_speedup;
+              (if r.sc_jobs_identical then "yes" else "NO");
+            ])
+        results;
+      Dcopt_util.Text_table.print st;
+      (* the determinism contract is part of the bench, not just the test
+         suite: a non-identical parallel result is a hard failure *)
+      List.iter
+        (fun r ->
+          if not r.sc_jobs_identical then begin
+            Printf.eprintf
+              "scale kernel %s: --jobs 4 result differs from --jobs 1\n"
+              r.sc_name;
+            exit 1
+          end)
+        results;
+      results
+    end
+    else []
+  in
   (match !json_out with
   | None -> ()
   | Some path ->
-    write_timing_json path ~kernels ~full_joint ~incremental ~gate_count);
+    write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
+      ~scale_results);
   match !check_baseline with
   | None -> ()
-  | Some baseline_path -> run_gate ~baseline_path ~kernels ~incremental
+  | Some baseline_path ->
+    run_gate ~baseline_path ~kernels ~incremental ~scale_results
 
 (* ------------------------------------------------------------------ *)
 
@@ -623,6 +760,9 @@ let () =
     | [] -> List.rev acc
     | "--quick" :: rest ->
       quick := true;
+      parse acc rest
+    | "--scale" :: rest ->
+      scale := true;
       parse acc rest
     | "--json" :: path :: rest ->
       json_out := Some path;

@@ -585,6 +585,102 @@ let dump_cmd =
     (Cmd.info "dump" ~doc)
     Term.(const run $ circuit_arg $ max_fanin $ obs_term)
 
+let generate_cmd =
+  let module G = Dcopt_netlist.Generator in
+  let run gates inputs outputs depth seed max_fanin max_fanout name out obs =
+    finish obs
+      (let d = G.default_dag ~name ~seed ~gates () in
+       let d =
+         {
+           d with
+           G.dag_inputs = Option.value inputs ~default:d.G.dag_inputs;
+           G.dag_outputs = Option.value outputs ~default:d.G.dag_outputs;
+           G.dag_depth = Option.value depth ~default:d.G.dag_depth;
+           G.dag_max_fanin = Option.value max_fanin ~default:d.G.dag_max_fanin;
+           G.dag_max_fanout =
+             Option.value max_fanout ~default:d.G.dag_max_fanout;
+         }
+       in
+       match G.validate_dag d with
+       | Error msg ->
+         Printf.eprintf "generate: %s\n" msg;
+         1
+       | Ok () ->
+         let circuit = G.random_dag d in
+         (match out with
+         | None -> print_string (Dcopt_netlist.Bench_format.to_string circuit)
+         | Some path ->
+           Dcopt_netlist.Bench_format.write_file path circuit;
+           Logs.app (fun m ->
+               m "wrote %d-gate DAG (depth %d, seed %Ld) to %s" d.G.dag_gates
+                 d.G.dag_depth d.G.dag_seed path));
+         0)
+  in
+  let doc =
+    "Generate a deterministic random logic DAG as ISCAS-89 .bench text. \
+     Equal flag sets produce byte-identical netlists; unset interface \
+     flags default to an ISCAS-like shape scaled to the gate count \
+     (inputs ~ 2*sqrt(gates), depth ~ 2*log2(gates))."
+  in
+  let gates =
+    Arg.(
+      value & opt int 10_000
+      & info [ "gates"; "n" ] ~docv:"N" ~doc:"Combinational gate count.")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inputs" ] ~docv:"N" ~doc:"Primary input count.")
+  in
+  let outputs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "outputs" ] ~docv:"N" ~doc:"Primary output count.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"D" ~doc:"Exact logic depth.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed (64-bit).")
+  in
+  let max_fanin =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-fanin" ] ~docv:"K" ~doc:"Hard per-gate fanin bound.")
+  in
+  let max_fanout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-fanout" ] ~docv:"K"
+          ~doc:"Soft per-node fanout bound (re-draws, never fails).")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "rdag"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Circuit name in the .bench header.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ gates $ inputs $ outputs $ depth $ seed $ max_fanin
+      $ max_fanout $ name_arg $ out $ obs_term)
+
 let pareto_cmd =
   let run spec activity probability m_steps points fc_lo fc_hi obs =
     let frequencies =
@@ -952,4 +1048,5 @@ let () =
        (Cmd.group info
           [ optimize_cmd; baseline_cmd; compare_cmd; batch_cmd; serve_cmd;
             profile_cmd; stats_cmd; list_cmd; body_bias_cmd; dump_cmd;
-            pareto_cmd; characterize_cmd; spice_cmd; tech_cmd; equiv_cmd ]))
+            generate_cmd; pareto_cmd; characterize_cmd; spice_cmd; tech_cmd;
+            equiv_cmd ]))

@@ -12,7 +12,15 @@ type t = {
   input_ids : int array;
   output_ids : int array;
   dff_ids : int array;
+  (* Fanout adjacency in compressed-sparse-row form: the consumers of node
+     [i] are [fanout_edges.(fanout_off.(i)) .. fanout_edges.(fanout_off.(i+1) - 1)],
+     in ascending consumer-id order with one entry per pin. [fanout_ids]
+     holds per-node sub-array views of the same data so the historical
+     [fanouts] accessor stays allocation-free per call. *)
+  fanout_off : int array;
+  fanout_edges : int array;
   fanout_ids : int array array;
+  fanout_counts : int array;
   output_flags : bool array;
   order : int array;       (* combinational topological order *)
   order_rev : int array;   (* [order] reversed, precomputed once *)
@@ -23,10 +31,36 @@ exception Invalid of string
 
 let invalidf fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
 
+(* Two-pass counting construction of the fanout CSR: count pins per driver,
+   prefix-sum into offsets, then fill edges with a per-driver cursor. No
+   intermediate lists, two O(n + e) sweeps. Consumers land in ascending id
+   order (the fill visits nodes by id), matching the order the historical
+   list-accumulate-then-reverse build produced. *)
+let build_fanout_csr node_array =
+  let n = Array.length node_array in
+  let off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun nd -> Array.iter (fun f -> off.(f + 1) <- off.(f + 1) + 1) nd.fanins)
+    node_array;
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + off.(i + 1)
+  done;
+  let edges = Array.make off.(n) 0 in
+  let cursor = Array.make n 0 in
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun f ->
+          edges.(off.(f) + cursor.(f)) <- nd.id;
+          cursor.(f) <- cursor.(f) + 1)
+        nd.fanins)
+    node_array;
+  (off, edges)
+
 (* Kahn's algorithm on the combinational edge set: edges into DFF data pins
    are cut, so registered feedback loops are legal while combinational loops
    are rejected. The FIFO makes the order deterministic. *)
-let compute_topo_order node_array fanout_ids =
+let compute_topo_order node_array fanout_off fanout_edges =
   let n = Array.length node_array in
   let indegree = Array.make n 0 in
   Array.iter
@@ -44,14 +78,14 @@ let compute_topo_order node_array fanout_ids =
     let u = Queue.pop queue in
     order.(!filled) <- u;
     incr filled;
-    Array.iter
-      (fun v ->
-        match node_array.(v).kind with
-        | Gate.Dff -> ()
-        | _ ->
-          indegree.(v) <- indegree.(v) - 1;
-          if indegree.(v) = 0 then Queue.add v queue)
-      fanout_ids.(u)
+    for p = fanout_off.(u) to fanout_off.(u + 1) - 1 do
+      let v = fanout_edges.(p) in
+      match node_array.(v).kind with
+      | Gate.Dff -> ()
+      | _ ->
+        indegree.(v) <- indegree.(v) - 1;
+        if indegree.(v) = 0 then Queue.add v queue
+    done
   done;
   if !filled <> n then invalidf "circuit contains a combinational cycle";
   order
@@ -73,28 +107,39 @@ let compute_levels node_array order =
    semantic scan; [compute_topo_order] can still raise [Invalid] on a
    combinational cycle, which the checked entry point turns into a
    problem report. *)
-let build ~name ~by_name ~node_array ~outputs =
+let build ~name ~by_name ~node_array ~output_ids =
   let n = Array.length node_array in
-  let fanout_lists = Array.make n [] in
-  Array.iter
-    (fun nd ->
-      Array.iter (fun f -> fanout_lists.(f) <- nd.id :: fanout_lists.(f)) nd.fanins)
-    node_array;
-  let fanout_ids = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
-  let output_ids =
-    Array.of_list (List.map (fun net -> Hashtbl.find by_name net) outputs)
+  let fanout_off, fanout_edges = build_fanout_csr node_array in
+  let fanout_ids =
+    Array.init n (fun i ->
+        Array.sub fanout_edges fanout_off.(i) (fanout_off.(i + 1) - fanout_off.(i)))
   in
   let output_flags = Array.make n false in
   Array.iter (fun id -> output_flags.(id) <- true) output_ids;
+  let fanout_counts =
+    Array.init n (fun i ->
+        fanout_off.(i + 1) - fanout_off.(i) + if output_flags.(i) then 1 else 0)
+  in
+  let count_kind kind_pred =
+    Array.fold_left
+      (fun acc nd -> if kind_pred nd.kind then acc + 1 else acc)
+      0 node_array
+  in
   let collect kind_pred =
-    Array.of_list
-      (Array.to_list node_array
-      |> List.filter (fun nd -> kind_pred nd.kind)
-      |> List.map (fun nd -> nd.id))
+    let ids = Array.make (count_kind kind_pred) 0 in
+    let k = ref 0 in
+    Array.iter
+      (fun nd ->
+        if kind_pred nd.kind then begin
+          ids.(!k) <- nd.id;
+          incr k
+        end)
+      node_array;
+    ids
   in
   let input_ids = collect (fun k -> k = Gate.Input) in
   let dff_ids = collect (fun k -> k = Gate.Dff) in
-  let order = compute_topo_order node_array fanout_ids in
+  let order = compute_topo_order node_array fanout_off fanout_edges in
   let order_rev =
     let len = Array.length order in
     Array.init len (fun i -> order.(len - 1 - i))
@@ -107,7 +152,10 @@ let build ~name ~by_name ~node_array ~outputs =
     input_ids;
     output_ids;
     dff_ids;
+    fanout_off;
+    fanout_edges;
     fanout_ids;
+    fanout_counts;
     output_flags;
     order;
     order_rev;
@@ -157,7 +205,10 @@ let create_checked ~name ~nodes ~outputs =
   match List.rev !problems with
   | _ :: _ as ps -> Error ps
   | [] -> (
-    match build ~name ~by_name ~node_array ~outputs with
+    let output_ids =
+      Array.of_list (List.map (fun net -> Hashtbl.find by_name net) outputs)
+    in
+    match build ~name ~by_name ~node_array ~output_ids with
     | t -> Ok t
     | exception Invalid msg -> Error [ msg ])
 
@@ -166,6 +217,40 @@ let create ~name ~nodes ~outputs =
   | Ok t -> t
   | Error (p :: _) -> raise (Invalid p)
   | Error [] -> assert false
+
+(* Array-native constructor for generated netlists: no per-node lists or
+   tuples on the million-gate path. The caller supplies already-resolved
+   fanin ids; arity and id-range problems still raise [Invalid] so a buggy
+   generator cannot produce a silently malformed circuit. *)
+let create_direct ~name ~names ~kinds ~fanins ~output_ids =
+  let n = Array.length names in
+  if Array.length kinds <> n || Array.length fanins <> n then
+    invalidf "create_direct: column length mismatch";
+  if n = 0 then invalidf "empty circuit";
+  let by_name = Hashtbl.create ((n * 2) + 1) in
+  for i = 0 to n - 1 do
+    if Hashtbl.mem by_name names.(i) then
+      invalidf "duplicate net name %S" names.(i)
+    else Hashtbl.add by_name names.(i) i
+  done;
+  let node_array =
+    Array.init n (fun i ->
+        let fi = fanins.(i) in
+        Array.iter
+          (fun f ->
+            if f < 0 || f >= n then
+              invalidf "gate %S references out-of-range id %d" names.(i) f)
+          fi;
+        if not (Gate.arity_ok kinds.(i) (Array.length fi)) then
+          invalidf "gate %S: %s cannot have %d fanin(s)" names.(i)
+            (Gate.to_string kinds.(i)) (Array.length fi);
+        { id = i; name = names.(i); kind = kinds.(i); fanins = fi })
+  in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= n then invalidf "output id %d out of range" id)
+    output_ids;
+  build ~name ~by_name ~node_array ~output_ids
 
 let name t = t.circuit_name
 let size t = Array.length t.node_array
@@ -182,9 +267,7 @@ let outputs t = t.output_ids
 let dffs t = t.dff_ids
 let fanouts t i = t.fanout_ids.(i)
 let is_output t i = t.output_flags.(i)
-
-let fanout_count t i =
-  Array.length t.fanout_ids.(i) + if t.output_flags.(i) then 1 else 0
+let fanout_count t i = t.fanout_counts.(i)
 
 let gate_count t =
   Array.fold_left
@@ -201,6 +284,10 @@ let iter_topo t f = Array.iter f t.order
 let iter_topo_rev t f = Array.iter f t.order_rev
 let level t i = t.node_levels.(i)
 let depth t = Array.fold_left max 0 t.node_levels
+
+let unsafe_fanout_csr t = (t.fanout_off, t.fanout_edges)
+let unsafe_levels t = t.node_levels
+let unsafe_order t = t.order
 
 let combinational_core t =
   if is_combinational t then t

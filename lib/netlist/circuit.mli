@@ -41,6 +41,19 @@ val create_checked :
     point recovering parsers build on. [Error] lists the problems in
     source order and is never empty. *)
 
+val create_direct :
+  name:string ->
+  names:string array ->
+  kinds:Gate.kind array ->
+  fanins:int array array ->
+  output_ids:int array ->
+  t
+(** Array-native constructor for generated netlists: fanins are given as
+    already-resolved node ids, so no per-node lists or name resolution is
+    paid on the million-gate path. The fanin arrays are adopted, not
+    copied. Raises {!Invalid} on duplicate names, out-of-range ids, bad
+    arity, or combinational cycles. *)
+
 val name : t -> string
 val size : t -> int
 (** Total node count, including inputs and DFFs. *)
@@ -67,7 +80,7 @@ val fanouts : t -> int -> int array
 
 val fanout_count : t -> int -> int
 (** [Array.length (fanouts t i)] plus 1 if node [i] is a primary output:
-    a PO pin is a real load. *)
+    a PO pin is a real load. Cached at build time, O(1). *)
 
 val is_output : t -> int -> bool
 
@@ -95,6 +108,20 @@ val level : t -> int -> int
 
 val depth : t -> int
 (** Maximum node level = logic depth of the circuit. *)
+
+val unsafe_fanout_csr : t -> int array * int array
+(** [(off, edges)]: the fanout adjacency in compressed-sparse-row form.
+    The consumers of node [i] are [edges.(off.(i)) .. edges.(off.(i+1)-1)],
+    in ascending consumer-id order with one entry per pin (the same order
+    {!fanouts} reports). Returns the backing arrays without copying —
+    treat as read-only. The PO pseudo-load counted by {!fanout_count} is
+    {e not} an edge. *)
+
+val unsafe_levels : t -> int array
+(** The per-node {!level} array, by id, without copying. Read-only. *)
+
+val unsafe_order : t -> int array
+(** The {!topo_order} array without the defensive copy. Read-only. *)
 
 val combinational_core : t -> t
 (** Rewrites every DFF into a pseudo primary input and appends its data pin

@@ -231,3 +231,169 @@ let generate p =
         gates
   in
   Circuit.create ~name:p.profile_name ~nodes:node_list ~outputs:po_drivers
+
+(* ------------------------------------------------------------------ *)
+(* Scale generator: array-native combinational DAGs in O(n)            *)
+
+type dag = {
+  dag_name : string;
+  dag_seed : int64;
+  dag_gates : int;
+  dag_inputs : int;
+  dag_outputs : int;
+  dag_depth : int;
+  dag_max_fanin : int;
+  dag_max_fanout : int;
+}
+
+let default_dag ?(name = "rdag") ?(seed = 1L) ~gates () =
+  (* Structural statistics loosely matched to the ISCAS suite, scaled by
+     gate count: sqrt-ish interface width, log-ish depth. *)
+  let inputs = max 4 (int_of_float (Float.sqrt (float_of_int gates)) * 2) in
+  let depth =
+    max 4 (int_of_float (4.0 *. (Float.log (float_of_int (max 2 gates)) /. Float.log 2.0)) / 2)
+  in
+  {
+    dag_name = name;
+    dag_seed = seed;
+    dag_gates = gates;
+    dag_inputs = inputs;
+    dag_outputs = max 2 (inputs / 2);
+    dag_depth = depth;
+    dag_max_fanin = 4;
+    dag_max_fanout = 16;
+  }
+
+let validate_dag d =
+  if d.dag_gates < 1 then Error "gates must be >= 1"
+  else if d.dag_inputs < 1 then Error "inputs must be >= 1"
+  else if d.dag_outputs < 1 then Error "outputs must be >= 1"
+  else if d.dag_depth < 1 then Error "depth must be >= 1"
+  else if d.dag_gates < d.dag_depth then Error "gates must be >= depth"
+  else if d.dag_max_fanin < 2 then Error "max_fanin must be >= 2"
+  else if d.dag_max_fanout < 2 then Error "max_fanout must be >= 2"
+  else if d.dag_outputs > d.dag_gates then Error "outputs must be <= gates"
+  else Ok ()
+
+(* Every array is preallocated and every pick is an O(1) index draw, so
+   the whole construction is O(n * max_fanin): node ids are assigned in
+   level blocks (PIs first, then the level-1 gates, then level 2, ...),
+   which makes "a uniform node of level l" one PRNG draw against the
+   block bounds — no name lists, hash folds or per-level pools. *)
+let random_dag d =
+  (match validate_dag d with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Generator.random_dag: " ^ msg));
+  let rng = Dcopt_util.Prng.create d.dag_seed in
+  let depth = d.dag_depth in
+  (* one gate per level pins the depth; the rest spread evenly over the
+     non-final levels so the deepest level stays close to the PO count *)
+  let counts = Array.make (depth + 1) 0 in
+  for l = 1 to depth do
+    counts.(l) <- 1
+  done;
+  let rem = d.dag_gates - depth in
+  let spread = if depth >= 2 then depth - 1 else 1 in
+  let base = rem / spread and extra = rem mod spread in
+  for i = 0 to spread - 1 do
+    counts.(1 + i) <- counts.(1 + i) + base + if i < extra then 1 else 0
+  done;
+  let n = d.dag_inputs + d.dag_gates in
+  (* level block bounds: level l occupies [starts.(l), starts.(l+1)) *)
+  let starts = Array.make (depth + 2) 0 in
+  starts.(1) <- d.dag_inputs;
+  for l = 1 to depth do
+    starts.(l + 1) <- starts.(l) + counts.(l)
+  done;
+  let names = Array.make n "" in
+  let kinds = Array.make n Gate.Input in
+  let fanins = Array.make n [||] in
+  for i = 0 to d.dag_inputs - 1 do
+    names.(i) <- Printf.sprintf "pi%d" i
+  done;
+  let fanout_cnt = Array.make n 0 in
+  (* uniform draw from level l, softly capped at max_fanout: a handful of
+     re-draws before accepting an over-subscribed node keeps the fanout
+     distribution bounded without ever failing *)
+  let pick_in_level l =
+    let lo = starts.(l) and width = starts.(l + 1) - starts.(l) in
+    let rec go tries =
+      let id = lo + Dcopt_util.Prng.int rng width in
+      if fanout_cnt.(id) >= d.dag_max_fanout && tries < 8 then go (tries + 1)
+      else id
+    in
+    go 0
+  in
+  (* geometric hop toward shallower levels for the non-anchor fanins *)
+  let pick_fanin_level l =
+    let rec hop current =
+      if current = 0 then 0
+      else if Dcopt_util.Prng.float rng 1.0 < 0.6 then current
+      else hop (current - 1)
+    in
+    hop (l - 1)
+  in
+  let arity_weights =
+    Array.to_list fanin_weights
+    |> List.filter (fun (a, _) -> a <= d.dag_max_fanin)
+    |> Array.of_list
+  in
+  for l = 1 to depth do
+    for id = starts.(l) to starts.(l + 1) - 1 do
+      let kind = Dcopt_util.Prng.choose_weighted rng kind_weights in
+      let arity =
+        match kind with
+        | Gate.Not | Gate.Buf -> 1
+        | _ -> Dcopt_util.Prng.choose_weighted rng arity_weights
+      in
+      let fi = Array.make arity 0 in
+      (* anchor fanin from level - 1 pins the gate's level exactly *)
+      let anchor = pick_in_level (l - 1) in
+      fi.(0) <- anchor;
+      fanout_cnt.(anchor) <- fanout_cnt.(anchor) + 1;
+      for p = 1 to arity - 1 do
+        let rec distinct tries =
+          let cand = pick_in_level (pick_fanin_level l) in
+          let dup = ref false in
+          for q = 0 to p - 1 do
+            if fi.(q) = cand then dup := true
+          done;
+          if !dup && tries < 8 then distinct (tries + 1) else cand
+        in
+        let f = distinct 0 in
+        fi.(p) <- f;
+        fanout_cnt.(f) <- fanout_cnt.(f) + 1
+      done;
+      names.(id) <- Printf.sprintf "g%d" (id - d.dag_inputs);
+      kinds.(id) <- kind;
+      fanins.(id) <- fi
+    done
+  done;
+  (* Outputs: the deepest-level gates first (they have no gate consumer),
+     then uniform distinct picks over the remaining gates. *)
+  let is_po = Array.make n false in
+  let output_ids = Array.make d.dag_outputs 0 in
+  let next_po = ref 0 in
+  let add_po id =
+    is_po.(id) <- true;
+    output_ids.(!next_po) <- id;
+    incr next_po
+  in
+  let last_lo = starts.(depth) in
+  for id = last_lo to min (starts.(depth + 1) - 1) (last_lo + d.dag_outputs - 1) do
+    add_po id
+  done;
+  while !next_po < d.dag_outputs do
+    let cand = d.dag_inputs + Dcopt_util.Prng.int rng d.dag_gates in
+    if not is_po.(cand) then add_po cand
+    else begin
+      (* deterministic fallback: walk forward to the next non-output gate *)
+      let id = ref cand in
+      while is_po.(!id) do
+        id := d.dag_inputs + ((!id - d.dag_inputs + 1) mod d.dag_gates)
+      done;
+      add_po !id
+    end
+  done;
+  Circuit.create_direct ~name:d.dag_name ~names ~kinds ~fanins ~output_ids
+

@@ -24,3 +24,36 @@ val generate : profile -> Circuit.t
     combinational gate count, with logic depth equal to [logic_depth].
     Deterministic: equal profiles give structurally equal circuits.
     Raises [Invalid_argument] if [validate] fails. *)
+
+(** {1 Scale generator}
+
+    {!generate} builds name lists and per-level pools — fine up to a few
+    thousand gates, quadratic-ish beyond. {!random_dag} is the
+    array-native O(n) path for 100k–1M gate networks: node ids are
+    assigned in level blocks so every fanin pick is a single bounded
+    PRNG draw, and the circuit is assembled through
+    {!Circuit.create_direct} without intermediate lists. *)
+
+type dag = {
+  dag_name : string;
+  dag_seed : int64;     (** equal specs generate equal circuits *)
+  dag_gates : int;      (** combinational gates, >= depth *)
+  dag_inputs : int;     (** primary inputs, >= 1 *)
+  dag_outputs : int;    (** primary outputs, in \[1, gates\] *)
+  dag_depth : int;      (** exact logic depth, >= 1 *)
+  dag_max_fanin : int;  (** >= 2; arities are drawn in \[1, max_fanin\] *)
+  dag_max_fanout : int; (** >= 2; soft cap — re-draws, never fails *)
+}
+
+val default_dag : ?name:string -> ?seed:int64 -> gates:int -> unit -> dag
+(** A spec with interface width ~2*sqrt(gates), depth ~2*log2(gates),
+    fanin <= 4 and fanout softly capped at 16 — ISCAS-like shape scaled
+    to the requested size. *)
+
+val validate_dag : dag -> (unit, string) result
+
+val random_dag : dag -> Circuit.t
+(** Generate the combinational DAG described by the spec: exact gate,
+    input, output counts and logic depth; bounded fanin; softly bounded
+    fanout; deterministic from [dag_seed]. O(gates * max_fanin). Raises
+    [Invalid_argument] if {!validate_dag} fails. *)

@@ -38,6 +38,9 @@ let measurements_of_json json =
   @ List.filter_map
       (entry ~prefix:"incr:" ~ns_field:"incr_ns_per_move")
       (list_field "incremental")
+  @ List.filter_map
+      (entry ~prefix:"scale:" ~ns_field:"ns_per_gate")
+      (list_field "scale")
 
 let load_baseline path =
   match Json.read_file path with
@@ -51,19 +54,23 @@ let load_baseline path =
     | Some _ | None ->
       Error (path ^ ": not a dcopt-bench-timing/1 document"))
 
-let check ?(threshold = default_threshold) ~baseline ~current () =
+let check ?(threshold = default_threshold) ?(optional = fun _ -> false)
+    ~baseline ~current () =
   List.map
     (fun b ->
       match List.find_opt (fun c -> String.equal c.name b.name) current with
       | None ->
         (* a kernel that vanished from the bench is silent coverage rot,
-           which is exactly what the gate exists to catch *)
+           which is exactly what the gate exists to catch — unless the
+           caller declares the name optional (e.g. scale kernels that a
+           quick run legitimately skips), in which case absence is a
+           skip, not a failure *)
         {
           v_name = b.name;
           baseline_ns = b.ns;
           current_ns = None;
           ratio = nan;
-          v_ok = false;
+          v_ok = optional b.name;
         }
       | Some c ->
         let ratio = c.ns /. b.ns in
@@ -95,8 +102,10 @@ let render ?(threshold = default_threshold) verdicts =
           (match v.current_ns with
           | Some _ -> Printf.sprintf "%.2fx" v.ratio
           | None -> "-");
-          (if v.v_ok then "ok"
-           else Printf.sprintf "FAIL (> %.2fx)" threshold);
+          (match (v.v_ok, v.current_ns) with
+          | true, None -> "skipped (optional)"
+          | true, Some _ -> "ok"
+          | false, _ -> Printf.sprintf "FAIL (> %.2fx)" threshold);
         ])
     verdicts;
   Dcopt_util.Text_table.render table

@@ -4,10 +4,12 @@
     The baseline is a [dcopt-bench-timing/1] JSON document as written by
     [bench/main.exe timing --json] (committed as [test/BENCH_timing.json]).
     The gate reads the bechamel kernel estimates ([kernels\[\].ns_per_run],
-    namespaced ["kernel:NAME"]) and the incremental per-move costs
-    ([incremental\[\].incr_ns_per_move], namespaced ["incr:NAME"]); the
-    [full_joint] wall-clock group is deliberately excluded — millisecond
-    runs under parallel test load are too noisy to gate on.
+    namespaced ["kernel:NAME"]), the incremental per-move costs
+    ([incremental\[\].incr_ns_per_move], namespaced ["incr:NAME"]) and the
+    large-circuit STA scale kernels ([scale\[\].ns_per_gate], namespaced
+    ["scale:NAME"]); the [full_joint] wall-clock group is deliberately
+    excluded — millisecond runs under parallel test load are too noisy to
+    gate on.
 
     The threshold is noise-tolerant by design (default 1.5x): quick-mode
     bechamel quotas scatter, and the caller is expected to re-measure and
@@ -40,13 +42,21 @@ val measurements_of_json : Dcopt_util.Json.t -> measurement list
 
 val check :
   ?threshold:float ->
+  ?optional:(string -> bool) ->
   baseline:measurement list ->
   current:measurement list ->
   unit ->
   verdict list
 (** One verdict per baseline entry, in baseline order. Measurements only
     on the current side (new kernels) are ignored — they gate once they
-    land in the committed baseline. *)
+    land in the committed baseline.
+
+    A baseline entry absent from [current] normally fails the gate
+    (coverage rot); when [optional] holds for its name the absence is a
+    skip instead — the verdict carries [current_ns = None] with
+    [v_ok = true]. Used for the ["scale:"] kernels, which quick runs
+    legitimately omit (they gate only when the run measures them, e.g.
+    [bench timing --scale] or a full run). *)
 
 val all_ok : verdict list -> bool
 val failures : verdict list -> verdict list

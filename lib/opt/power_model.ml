@@ -1,4 +1,5 @@
 module Circuit = Dcopt_netlist.Circuit
+module Flat = Dcopt_netlist.Flat
 module Gate = Dcopt_netlist.Gate
 module Tech = Dcopt_device.Tech
 module Delay = Dcopt_device.Delay
@@ -6,27 +7,30 @@ module Energy = Dcopt_device.Energy
 module Drive = Dcopt_device.Drive
 module Wire = Dcopt_wiring.Wire_model
 module Activity = Dcopt_activity.Activity
+module Par = Dcopt_par.Par
 
 type design = { mutable vdd : float; vt : float array; widths : float array }
 
-type gate_info = {
-  fanin_count : int;
-  stack : int;
-  fanout_gate_ids : int array;
-  pin_cap : float;    (* fixed load of output pins driven by this net, F *)
-  wire_cap : float;
-  wire_res : float;
-  flight : float;
-  node_activity : float;
-}
-
+(* Per-node structural attributes live in flat columns indexed by node id
+   (struct-of-arrays): the evaluation sweeps read contiguous float arrays
+   instead of chasing a per-gate record, which is what keeps the
+   million-gate path cache-friendly. Non-gate entries are zero and never
+   read (guarded by [is_gate]). *)
 type env = {
   env_tech : Tech.t;
   env_circuit : Circuit.t;
+  env_flat : Flat.t;
   fc : float;
   tc : float;
-  info : gate_info option array; (* None for Input nodes *)
-  gates_topo : int array;        (* gate ids in topological order *)
+  is_gate : bool array;
+  fanin_counts : int array;
+  stacks : int array;
+  pin_caps : float array;  (* fixed load of output pins driven by this net, F *)
+  wire_caps : float array;
+  wire_ress : float array;
+  flights : float array;
+  acts : float array;
+  gates_topo : int array;  (* gate ids in topological order *)
   short_circuit : bool;
 }
 
@@ -53,8 +57,33 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
     | None ->
       Wire.create ~tech ~gate_count:(max 1 (Circuit.gate_count circuit)) ()
   in
+  let flat = Flat.of_circuit circuit in
   let n = Circuit.size circuit in
-  let info = Array.make n None in
+  let is_gate = Array.make n false in
+  let fanin_counts = Array.make n 0 in
+  let stacks = Array.make n 0 in
+  let pin_caps = Array.make n 0.0 in
+  let wire_caps = Array.make n 0.0 in
+  let wire_ress = Array.make n 0.0 in
+  let flights = Array.make n 0.0 in
+  let acts = Array.make n 0.0 in
+  (* The wire model depends only on the net's fanout count, and a large
+     random network has a handful of distinct counts, so the three wire
+     terms are memoized per count — O(distinct fanouts) model calls
+     instead of O(n). *)
+  let wire_terms = Hashtbl.create 64 in
+  let wire_term fanout =
+    match Hashtbl.find_opt wire_terms fanout with
+    | Some t -> t
+    | None ->
+      let t =
+        ( Wire.net_capacitance wiring ~fanout,
+          Wire.net_resistance wiring ~fanout,
+          Wire.flight_time wiring ~fanout )
+      in
+      Hashtbl.add wire_terms fanout t;
+      t
+  in
   Array.iter
     (fun nd ->
       match nd.Circuit.kind with
@@ -63,71 +92,96 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
       | kind ->
         let id = nd.Circuit.id in
         let fanin_count = Array.length nd.Circuit.fanins in
-        let fanout_gate_ids = Circuit.fanouts circuit id in
         let pin_count = if Circuit.is_output circuit id then 1 else 0 in
-        let net_fanout = max 1 (Array.length fanout_gate_ids + pin_count) in
-        info.(id) <-
-          Some
-            {
-              fanin_count;
-              stack = Gate.series_stack_depth kind fanin_count;
-              fanout_gate_ids;
-              pin_cap =
-                float_of_int pin_count *. po_pin_width *. tech.Tech.c_gate;
-              wire_cap = Wire.net_capacitance wiring ~fanout:net_fanout;
-              wire_res = Wire.net_resistance wiring ~fanout:net_fanout;
-              flight = Wire.flight_time wiring ~fanout:net_fanout;
-              node_activity = profile.Activity.densities.(id);
-            })
+        let net_fanout =
+          max 1 (Array.length (Circuit.fanouts circuit id) + pin_count)
+        in
+        let wc, wr, fl = wire_term net_fanout in
+        is_gate.(id) <- true;
+        fanin_counts.(id) <- fanin_count;
+        stacks.(id) <- Gate.series_stack_depth kind fanin_count;
+        pin_caps.(id) <- float_of_int pin_count *. po_pin_width *. tech.Tech.c_gate;
+        wire_caps.(id) <- wc;
+        wire_ress.(id) <- wr;
+        flights.(id) <- fl;
+        acts.(id) <- profile.Activity.densities.(id))
     (Circuit.nodes circuit);
   let gates_topo =
+    let order = Circuit.unsafe_order circuit in
     let count = ref 0 in
-    Circuit.iter_topo circuit (fun id -> if info.(id) <> None then incr count);
+    Array.iter (fun id -> if is_gate.(id) then incr count) order;
     let out = Array.make !count 0 in
     let next = ref 0 in
-    Circuit.iter_topo circuit (fun id ->
-        if info.(id) <> None then begin
+    Array.iter
+      (fun id ->
+        if is_gate.(id) then begin
           out.(!next) <- id;
           incr next
-        end);
+        end)
+      order;
     out
   in
-  { env_tech = tech; env_circuit = circuit; fc; tc = 1.0 /. fc; info;
-    gates_topo; short_circuit = include_short_circuit }
+  {
+    env_tech = tech;
+    env_circuit = circuit;
+    env_flat = flat;
+    fc;
+    tc = 1.0 /. fc;
+    is_gate;
+    fanin_counts;
+    stacks;
+    pin_caps;
+    wire_caps;
+    wire_ress;
+    flights;
+    acts;
+    gates_topo;
+    short_circuit = include_short_circuit;
+  }
 
 let tech env = env.env_tech
 let circuit env = env.env_circuit
+let flat env = env.env_flat
 let cycle_time env = env.tc
 let clock_frequency env = env.fc
 let gate_ids env = Array.copy env.gates_topo
 let unsafe_gate_ids env = env.gates_topo
 
-let get_info env id =
-  match env.info.(id) with
-  | Some i -> i
-  | None -> invalid_arg "Power_model: node is not a gate"
+let require_gate_id env id =
+  if not env.is_gate.(id) then invalid_arg "Power_model: node is not a gate"
 
-let activity env id = (get_info env id).node_activity
+let activity env id =
+  require_gate_id env id;
+  env.acts.(id)
 
 let uniform_design env ~vdd ~vt ~w =
   let n = Circuit.size env.env_circuit in
   { vdd; vt = Array.make n vt; widths = Array.make n w }
 
-let fanout_gate_cap env design info =
-  Array.fold_left
-    (fun acc g -> acc +. (design.widths.(g) *. env.env_tech.Tech.c_gate))
-    info.pin_cap info.fanout_gate_ids
+(* Fanout gate capacitance straight off the fanout CSR, folded in the
+   same (ascending consumer id) order as Circuit.fanouts reports. *)
+let fanout_gate_cap env design id =
+  let f = env.env_flat in
+  let off = f.Flat.fanout_off in
+  let edges = f.Flat.fanout_edges in
+  let widths = design.widths in
+  let c_gate = env.env_tech.Tech.c_gate in
+  let acc = ref env.pin_caps.(id) in
+  for p = off.(id) to off.(id + 1) - 1 do
+    acc := !acc +. (widths.(edges.(p)) *. c_gate)
+  done;
+  !acc
 
 let gate_load env design ~max_fanin_delay id =
-  let info = get_info env id in
-  let cap_fanout_gates = fanout_gate_cap env design info in
+  let cap_fanout_gates = fanout_gate_cap env design id in
+  let wire_cap = env.wire_caps.(id) in
   {
-    Delay.fanin_count = info.fanin_count;
-    stack_depth = info.stack;
+    Delay.fanin_count = env.fanin_counts.(id);
+    stack_depth = env.stacks.(id);
     cap_fanout_gates;
-    cap_wire = info.wire_cap;
-    res_wire_terms = info.wire_res *. (cap_fanout_gates +. (info.wire_cap /. 2.0));
-    flight_time = info.flight;
+    cap_wire = wire_cap;
+    res_wire_terms = env.wire_ress.(id) *. (cap_fanout_gates +. (wire_cap /. 2.0));
+    flight_time = env.flights.(id);
     max_fanin_delay;
   }
 
@@ -137,13 +191,16 @@ let gate_delay env design ~max_fanin_delay id =
     ~w:design.widths.(id) load
 
 let budget_fanin_delay env ~budgets id =
-  let nd = Circuit.node env.env_circuit id in
-  Array.fold_left
-    (fun acc f ->
-      match env.info.(f) with
-      | None -> acc (* primary input: arrives at cycle start *)
-      | Some _ -> Float.max acc budgets.(f))
-    0.0 nd.Circuit.fanins
+  let f = env.env_flat in
+  let off = f.Flat.fanin_off in
+  let edges = f.Flat.fanin_edges in
+  let acc = ref 0.0 in
+  for p = off.(id) to off.(id + 1) - 1 do
+    let fi = edges.(p) in
+    (* primary inputs arrive at cycle start and carry no budget *)
+    if env.is_gate.(fi) then acc := Float.max !acc budgets.(fi)
+  done;
+  !acc
 
 (* Trial-scoped cache of drive contexts. A trial fixes vdd, and almost
    all designs carry one (multi-vt: a few) distinct thresholds, so a tiny
@@ -169,73 +226,125 @@ let drive_ctx cache ~vt =
   find cache.cache_entries
 
 let sc_energy env design ~max_fanin_delay id =
-  let info = get_info env id in
   Dcopt_device.Short_circuit.energy env.env_tech ~vdd:design.vdd
-    ~vt:design.vt.(id) ~w:design.widths.(id) ~activity:info.node_activity
+    ~vt:design.vt.(id) ~w:design.widths.(id) ~activity:env.acts.(id)
     ~input_transition_time:
       (Dcopt_device.Short_circuit.transition_time_of_delay max_fanin_delay)
 
-let evaluate env design =
-  let n = Circuit.size env.env_circuit in
-  let delays = Array.make n 0.0 in
-  let arrival = Array.make n 0.0 in
-  let static_e = ref 0.0 and dynamic_e = ref 0.0 in
-  let short_e = ref 0.0 in
-  let cache = drive_cache env ~vdd:design.vdd in
-  (* Poison safety: sums here start from zero, so a non-finite term can be
-     clamped to +infinity in place — the result is an infinite (never NaN)
-     objective that loses every comparison, and the evaluation is marked
-     infeasible. The guard is the identity on finite values, so
-     well-conditioned designs are evaluated bit-identically. *)
-  let tripped = ref false in
+(* One slice of the level-sorted gate permutation: per-gate delay, arrival
+   and the three energy terms, written into per-node columns. The per-gate
+   arithmetic is the historical topological sweep's verbatim — the same
+   folds over the fanins in pin order, one shared load per gate — and each
+   index writes only its own cells, so slices of one level can run on the
+   pool and still produce the sequential bits.
+
+   Poison safety: sums are taken from the term columns afterwards, so a
+   non-finite term is clamped to +infinity in place — the result is an
+   infinite (never NaN) objective that loses every comparison, and the
+   evaluation is marked infeasible. The guard is the identity on finite
+   values, so well-conditioned designs are evaluated bit-identically. *)
+let eval_range env design cache delays arrival st_terms dy_terms sc_terms
+    tripped lo hi =
+  let f = env.env_flat in
+  let order = f.Flat.gate_level_order in
+  let fanin_off = f.Flat.fanin_off in
+  let fanin_edges = f.Flat.fanin_edges in
+  let is_gate = env.is_gate in
+  let tech = env.env_tech in
   let guarded site v =
     if Float.is_finite v then v
     else begin
-      tripped := true;
+      Atomic.set tripped true;
       Guard.clamp ~site v
     end
   in
+  for k = lo to hi - 1 do
+    let id = Array.unsafe_get order k in
+    let s = Array.unsafe_get fanin_off id in
+    let e = Array.unsafe_get fanin_off (id + 1) in
+    let max_fanin_delay = ref 0.0 in
+    let worst_arrival = ref 0.0 in
+    for p = s to e - 1 do
+      let fi = Array.unsafe_get fanin_edges p in
+      if Array.unsafe_get is_gate fi then
+        max_fanin_delay :=
+          Float.max !max_fanin_delay (Array.unsafe_get delays fi);
+      worst_arrival := Float.max !worst_arrival (Array.unsafe_get arrival fi)
+    done;
+    let max_fanin_delay = !max_fanin_delay in
+    let ctx = drive_ctx cache ~vt:design.vt.(id) in
+    let w = design.widths.(id) in
+    (* one load per gate: the delay and the dynamic-energy term share it *)
+    let load = gate_load env design ~max_fanin_delay id in
+    let d = guarded "evaluate.delay" (Drive.gate_delay tech ctx ~w load) in
+    Array.unsafe_set delays id d;
+    Array.unsafe_set arrival id (!worst_arrival +. d);
+    Array.unsafe_set st_terms id
+      (guarded "evaluate.static" (Drive.static_energy ctx ~fc:env.fc ~w));
+    Array.unsafe_set dy_terms id
+      (guarded "evaluate.dynamic"
+         (Drive.dynamic_energy tech ctx ~w ~activity:env.acts.(id) ~load));
+    if env.short_circuit then
+      Array.unsafe_set sc_terms id
+        (guarded "evaluate.short_circuit"
+           (sc_energy env design ~max_fanin_delay id))
+  done
+
+let default_min_par_width = 512
+
+(* Gate count from which the default [evaluate] dispatches level slices to
+   the domain pool (when the global job count allows). *)
+let par_gate_threshold = 20_000
+
+let evaluate_with ~jobs ~min_par_width env design =
+  let n = Circuit.size env.env_circuit in
+  let delays = Array.make n 0.0 in
+  let arrival = Array.make n 0.0 in
+  let st_terms = Array.make n 0.0 in
+  let dy_terms = Array.make n 0.0 in
+  let sc_terms = Array.make n 0.0 in
+  let tripped = Atomic.make false in
+  let cache = drive_cache env ~vdd:design.vdd in
+  let f = env.env_flat in
+  let off = f.Flat.gate_level_off in
+  for l = 0 to f.Flat.depth do
+    let lo = off.(l) and hi = off.(l + 1) in
+    let width = hi - lo in
+    if width > 0 then
+      if jobs > 1 && width >= min_par_width then begin
+        let chunk = (width + jobs - 1) / jobs in
+        (* Per-chunk drive caches: Drive.make is a pure function of
+           (tech, vdd, vt), so every worker derives exactly the contexts
+           the shared cache holds — chunking cannot change any value. *)
+        Par.parallel_for ~site:"power.level" ~jobs ~n:jobs (fun c ->
+            let clo = lo + (c * chunk) in
+            let chi = min hi (clo + chunk) in
+            if clo < chi then
+              let ccache = drive_cache env ~vdd:design.vdd in
+              eval_range env design ccache delays arrival st_terms dy_terms
+                sc_terms tripped clo chi)
+      end
+      else
+        eval_range env design cache delays arrival st_terms dy_terms sc_terms
+          tripped lo hi
+  done;
+  (* Deterministic sequential folds in topological gate order: each
+     accumulator sees exactly the same additions, in the same order, as
+     the historical single-sweep evaluation, independent of how (or
+     whether) the level slices were chunked above. *)
+  let static_e = ref 0.0 and dynamic_e = ref 0.0 and short_e = ref 0.0 in
   Array.iter
     (fun id ->
-      let nd = Circuit.node env.env_circuit id in
-      let info = get_info env id in
-      let max_fanin_delay =
-        Array.fold_left
-          (fun acc f ->
-            match env.info.(f) with
-            | None -> acc
-            | Some _ -> Float.max acc delays.(f))
-          0.0 nd.Circuit.fanins
-      in
-      let ctx = drive_ctx cache ~vt:design.vt.(id) in
-      let w = design.widths.(id) in
-      (* one load per gate: the delay and the dynamic-energy term share it *)
-      let load = gate_load env design ~max_fanin_delay id in
-      let d = guarded "evaluate.delay" (Drive.gate_delay env.env_tech ctx ~w load) in
-      delays.(id) <- d;
-      let worst_arrival =
-        Array.fold_left
-          (fun acc f -> Float.max acc arrival.(f))
-          0.0 nd.Circuit.fanins
-      in
-      arrival.(id) <- worst_arrival +. d;
-      static_e :=
-        !static_e +. guarded "evaluate.static" (Drive.static_energy ctx ~fc:env.fc ~w);
-      dynamic_e :=
-        !dynamic_e
-        +. guarded "evaluate.dynamic"
-             (Drive.dynamic_energy env.env_tech ctx ~w
-                ~activity:info.node_activity ~load);
-      if env.short_circuit then
-        short_e :=
-          !short_e
-          +. guarded "evaluate.short_circuit" (sc_energy env design ~max_fanin_delay id))
+      static_e := !static_e +. st_terms.(id);
+      dynamic_e := !dynamic_e +. dy_terms.(id);
+      if env.short_circuit then short_e := !short_e +. sc_terms.(id))
     env.gates_topo;
   let critical_delay =
     Array.fold_left
       (fun acc id -> Float.max acc arrival.(id))
       0.0 (Circuit.outputs env.env_circuit)
   in
+  let tripped = Atomic.get tripped in
   {
     static_energy = !static_e;
     dynamic_energy = !dynamic_e;
@@ -245,8 +354,20 @@ let evaluate env design =
     dynamic_power = (!dynamic_e +. !short_e) *. env.fc;
     delays;
     critical_delay;
-    feasible = (not !tripped) && critical_delay <= env.tc *. (1.0 +. 1e-6);
+    feasible = (not tripped) && critical_delay <= env.tc *. (1.0 +. 1e-6);
   }
+
+let evaluate_seq env design =
+  evaluate_with ~jobs:1 ~min_par_width:max_int env design
+
+let evaluate_par ?jobs ?(min_par_width = default_min_par_width) env design =
+  let jobs = match jobs with Some j -> j | None -> Par.jobs () in
+  evaluate_with ~jobs ~min_par_width env design
+
+let evaluate env design =
+  if Array.length env.gates_topo >= par_gate_threshold && Par.jobs () > 1 then
+    evaluate_par env design
+  else evaluate_seq env design
 
 (* The load depends only on the gate's *fanout* widths — fixed for the
    whole search (combinational circuits have no self-loops, and size_all
@@ -343,7 +464,6 @@ module Incr = struct
   let recompute t ~id ~max_fanin_delay =
     let env = t.ienv in
     let design = t.idesign in
-    let info = get_info env id in
     let ctx = drive_ctx t.icache ~vt:design.vt.(id) in
     let w = design.widths.(id) in
     let load = gate_load env design ~max_fanin_delay id in
@@ -356,7 +476,7 @@ module Incr = struct
     let st = Guard.check ~site:"incr.static" (Drive.static_energy ctx ~fc:env.fc ~w) in
     let dy =
       Guard.check ~site:"incr.dynamic"
-        (Drive.dynamic_energy env.env_tech ctx ~w ~activity:info.node_activity
+        (Drive.dynamic_energy env.env_tech ctx ~w ~activity:env.acts.(id)
            ~load)
     in
     let sc =

@@ -48,6 +48,11 @@ val make_env :
 
 val tech : env -> Dcopt_device.Tech.t
 val circuit : env -> Dcopt_netlist.Circuit.t
+
+val flat : env -> Dcopt_netlist.Flat.t
+(** The struct-of-arrays view the evaluation sweeps run on (built once by
+    {!make_env}; shares adjacency and level arrays with the circuit). *)
+
 val cycle_time : env -> float
 val clock_frequency : env -> float
 val activity : env -> int -> float
@@ -83,7 +88,24 @@ val evaluate : env -> design -> evaluation
     overflow) is clamped to [+infinity] via {!Guard.clamp} — the result
     is an infinite, comparison-safe objective, [feasible] is forced
     false, and the trip is counted under [guard.*]. Never returns NaN in
-    the energy/power/critical-delay fields. *)
+    the energy/power/critical-delay fields.
+
+    Large circuits (>= 20k gates) dispatch each level slice of the sweep
+    to the {!Dcopt_par.Par} pool when the global job count exceeds 1; the
+    energy totals are still folded sequentially in topological gate
+    order, so the result is byte-identical to {!evaluate_seq} at any job
+    count. *)
+
+val evaluate_seq : env -> design -> evaluation
+(** {!evaluate} forced onto the single-threaded path — the reference the
+    differential tests compare against. *)
+
+val evaluate_par : ?jobs:int -> ?min_par_width:int -> env -> design -> evaluation
+(** {!evaluate} with explicit level-parallel dispatch: level slices of at
+    least [min_par_width] gates (default 512) are chunked over [jobs]
+    domains (default {!Dcopt_par.Par.jobs}). Per-gate values and the
+    sequentially folded totals are bit-identical to {!evaluate_seq}
+    regardless of [jobs]. *)
 
 val size_gate :
   env -> design -> budgets:float array -> int -> float option

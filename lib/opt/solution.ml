@@ -157,17 +157,33 @@ let of_json json =
           };
       }
 
+let slack_profile env t =
+  let cycle = Power_model.cycle_time env in
+  let sta =
+    Dcopt_timing.Flat_sta.analyze (Power_model.flat env) ~required_time:cycle
+      ~delays:t.evaluation.Power_model.delays
+  in
+  let worst = ref infinity and near = ref 0 in
+  Array.iter
+    (fun s ->
+      if s < !worst then worst := s;
+      if s <= 0.05 *. cycle then incr near)
+    sta.Dcopt_timing.Flat_sta.slack;
+  (!worst, !near)
+
 let describe env t =
   let vts =
     vt_values t
     |> List.map (fun v -> Printf.sprintf "%.0f mV" (v *. 1000.0))
     |> String.concat ", "
   in
+  let worst_slack, near_critical = slack_profile env t in
   let module Si = Dcopt_util.Si in
   Printf.sprintf
     "%s: Vdd = %.3f V, Vt = {%s}, widths mean %.1f max %.0f, area %s\n\
     \  static %s  dynamic %s  total %s per cycle\n\
-    \  critical delay %s (cycle %s)  feasible = %b, budgets met = %b"
+    \  critical delay %s (cycle %s)  feasible = %b, budgets met = %b\n\
+    \  worst slack %s, %d nodes within 5%% of the cycle time"
     t.label (vdd t) vts (mean_width t env) (max_width t env)
     (Printf.sprintf "%.1f um^2" (active_area t env *. 1e12))
     (Si.format ~unit:"J" (static_energy t))
@@ -176,3 +192,5 @@ let describe env t =
     (Si.format ~unit:"s" (critical_delay t))
     (Si.format ~unit:"s" (Power_model.cycle_time env))
     (feasible t) t.meets_budgets
+    (Si.format ~unit:"s" worst_slack)
+    near_critical

@@ -44,8 +44,17 @@ val better : t option -> t -> t option
 (** Keep the lower-total-energy feasible solution; infeasible candidates
     never replace feasible ones. *)
 
+val slack_profile : Power_model.env -> t -> float * int
+(** [(worst_slack, near_critical)] of the solution's achieved delays
+    against the cycle-time deadline: the minimum slack over all nodes and
+    the number of nodes with slack within 5% of the cycle time. Runs the
+    levelized {!Dcopt_timing.Flat_sta} analyzer over the env's flat view
+    (so reporting a solution also exercises — and instruments, via the
+    [sta.level.*] metrics — the data-oriented timing core). *)
+
 val describe : Power_model.env -> t -> string
-(** Multi-line human-readable summary. *)
+(** Multi-line human-readable summary, including the {!slack_profile}
+    line. *)
 
 val to_json : t -> Dcopt_util.Json.t
 (** Versioned JSON (schema version 1) carrying the full design and

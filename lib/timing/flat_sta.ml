@@ -1,0 +1,175 @@
+module Circuit = Dcopt_netlist.Circuit
+module Flat = Dcopt_netlist.Flat
+module Metrics = Dcopt_obs.Metrics
+module Par = Dcopt_par.Par
+
+(* Same record as the pointer-based analyzer, re-exported with equality so
+   results interchange freely. *)
+type result = Sta.result = {
+  arrival : float array;
+  critical_delay : float;
+  required : float array;
+  slack : float array;
+}
+
+let m_passes = Metrics.counter "sta.level.passes"
+    ~help:"Levelized STA sweeps (one forward or backward pass each)"
+let m_par_levels = Metrics.counter "sta.level.par_levels"
+    ~help:"Level slices wide enough to run on the domain pool"
+let m_seq_levels = Metrics.counter "sta.level.seq_levels"
+    ~help:"Level slices below the parallel width threshold"
+let g_depth = Metrics.gauge "sta.level.depth"
+    ~help:"Logic depth of the last circuit analyzed by the flat STA"
+let g_max_width = Metrics.gauge "sta.level.max_width"
+    ~help:"Widest gate level of the last circuit analyzed by the flat STA"
+let g_alloc = Metrics.gauge "flat.alloc_bytes"
+    ~help:"Working-set bytes of the last flat circuit view analyzed"
+
+(* Gauges are main-domain-only instruments; the counters are atomic and
+   safe from pool workers (an optimizer running under Par.map may reach
+   this module off the main domain). *)
+let set_gauges f =
+  if Domain.is_main_domain () then begin
+    Metrics.set g_depth (float_of_int (Flat.depth f));
+    Metrics.set g_max_width (float_of_int (Flat.max_level_width f));
+    Metrics.set g_alloc (float_of_int (Flat.alloc_bytes f))
+  end
+
+let default_min_par_width = 2048
+
+let validate name f ~delays =
+  if not (Circuit.is_combinational (Flat.circuit f)) then
+    invalid_arg (name ^ ": circuit is sequential");
+  if Array.length delays <> Flat.size f then
+    invalid_arg (name ^ ": delay array size mismatch")
+
+(* The per-slice sweep kernels live in flat_sta_stubs.c: the per-edge
+   work is three loads, a compare and a branch, and the C loops run ~2x
+   faster than their best OCaml renditions (see the stub file for the
+   bit-identity argument — they reproduce Sta.analyze's IEEE operations
+   exactly, for every NaN-free delay array). Both are [@@noalloc] and
+   runtime-free, so pool domains may run disjoint slices concurrently. *)
+
+external forward_range :
+  float array (* arrival *) ->
+  float array (* delays *) ->
+  int array (* gate level order *) ->
+  int array (* fanin_off *) ->
+  int array (* fanin_edges *) ->
+  (int[@untagged]) (* lo *) ->
+  (int[@untagged]) (* hi *) ->
+  unit
+  = "dcopt_flat_sta_forward_range_bytecode" "dcopt_flat_sta_forward_range_native"
+[@@noalloc]
+
+external backward_range :
+  float array (* required *) ->
+  float array (* slack *) ->
+  float array (* arrival *) ->
+  float array (* delays *) ->
+  int array (* level order *) ->
+  int array (* fanout_off *) ->
+  int array (* fanout_edges *) ->
+  bool array (* is_output *) ->
+  (float[@unboxed]) (* target *) ->
+  (int[@untagged]) (* lo *) ->
+  (int[@untagged]) (* hi *) ->
+  unit
+  = "dcopt_flat_sta_backward_range_bytecode" "dcopt_flat_sta_backward_range_native"
+[@@noalloc]
+
+(* Run [kernel lo hi] over one level slice, chunked over the pool when the
+   slice is wide enough. Chunk boundaries only partition the index space;
+   each index writes its own cell, so the chunking (and hence the job
+   count) cannot change any produced value. *)
+let run_level ~jobs ~min_par_width kernel lo hi =
+  let width = hi - lo in
+  if width <= 0 then ()
+  else if jobs > 1 && width >= min_par_width then begin
+    Metrics.incr m_par_levels;
+    let chunks = jobs in
+    let chunk = (width + chunks - 1) / chunks in
+    Par.parallel_for ~site:"sta.level" ~jobs ~n:chunks (fun c ->
+        let clo = lo + (c * chunk) in
+        let chi = min hi (clo + chunk) in
+        if clo < chi then kernel clo chi)
+  end
+  else begin
+    Metrics.incr m_seq_levels;
+    kernel lo hi
+  end
+
+let forward_sweep ~jobs ~min_par_width f ~delays ~arrival =
+  Metrics.incr m_passes;
+  let off = f.Flat.gate_level_off in
+  let order = f.Flat.gate_level_order in
+  let fanin_off = f.Flat.fanin_off in
+  let fanin_edges = f.Flat.fanin_edges in
+  for l = 0 to f.Flat.depth do
+    run_level ~jobs ~min_par_width
+      (forward_range arrival delays order fanin_off fanin_edges)
+      off.(l) off.(l + 1)
+  done;
+  Array.fold_left
+    (fun acc id -> Float.max acc arrival.(id))
+    0.0 f.Flat.output_ids
+
+let forward_into ?jobs ?(min_par_width = default_min_par_width) f ~delays
+    ~arrival =
+  let jobs = match jobs with Some j -> j | None -> Par.jobs () in
+  Array.fill arrival 0 (Array.length arrival) 0.0;
+  forward_sweep ~jobs ~min_par_width f ~delays ~arrival
+
+(* Fresh arrival columns skip the full zero fill: the forward sweep
+   writes every gate entry, so only the non-gate (primary input) slots of
+   level 0 need an explicit 0. *)
+let fresh_arrival f =
+  let arrival = Array.create_float (Flat.size f) in
+  let order = f.Flat.level_order in
+  let is_gate = f.Flat.is_gate in
+  for k = f.Flat.level_off.(0) to f.Flat.level_off.(1) - 1 do
+    let id = Array.unsafe_get order k in
+    if not (Array.unsafe_get is_gate id) then Array.unsafe_set arrival id 0.0
+  done;
+  arrival
+
+let forward ?jobs ?min_par_width f ~delays =
+  validate "Flat_sta.forward" f ~delays;
+  set_gauges f;
+  let jobs =
+    match jobs with Some j -> j | None -> Par.jobs ()
+  in
+  let min_par_width =
+    Option.value min_par_width ~default:default_min_par_width
+  in
+  let arrival = fresh_arrival f in
+  let critical = forward_sweep ~jobs ~min_par_width f ~delays ~arrival in
+  (arrival, critical)
+
+let analyze ?required_time ?jobs ?(min_par_width = default_min_par_width) f
+    ~delays =
+  validate "Flat_sta.analyze" f ~delays;
+  set_gauges f;
+  let jobs = match jobs with Some j -> j | None -> Par.jobs () in
+  let n = Flat.size f in
+  let arrival = fresh_arrival f in
+  let critical_delay = forward_sweep ~jobs ~min_par_width f ~delays ~arrival in
+  let target = Option.value required_time ~default:critical_delay in
+  (* The backward sweep writes every node's required and slack exactly
+     once (every node appears in the level order), so the columns start
+     uninitialized. *)
+  let required = Array.create_float n in
+  let slack = Array.create_float n in
+  Metrics.incr m_passes;
+  let off = f.Flat.level_off in
+  let order = f.Flat.level_order in
+  let fanout_off = f.Flat.fanout_off in
+  let fanout_edges = f.Flat.fanout_edges in
+  let is_output = f.Flat.is_output in
+  for l = f.Flat.depth downto 0 do
+    run_level ~jobs ~min_par_width
+      (backward_range required slack arrival delays order fanout_off
+         fanout_edges is_output target)
+      off.(l) off.(l + 1)
+  done;
+  { arrival; critical_delay; required; slack }

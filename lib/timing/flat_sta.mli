@@ -1,0 +1,59 @@
+(** Levelized static timing analysis over the {!Dcopt_netlist.Flat} view.
+
+    Functionally identical to {!Sta.analyze} — same arrival/required/slack
+    definitions, same per-node arithmetic in the same order, so results
+    match the pointer-based analyzer bit for bit — but the sweeps walk the
+    level-sorted permutation with CSR adjacency instead of chasing node
+    records, and each level slice wider than [min_par_width] is chunked
+    over the {!Dcopt_par.Par} domain pool.
+
+    Determinism: all nodes inside one level are mutually independent
+    (every fanin is at a strictly lower level, every consumer at a higher
+    one), and each parallel index writes exactly its own cell of the
+    arrival/required column, so the produced floats are independent of
+    the chunking — [--jobs N] output is byte-identical to [--jobs 1].
+
+    Metrics: bumps [sta.level.passes] / [sta.level.par_levels] /
+    [sta.level.seq_levels] counters (any domain) and, from the main
+    domain only, sets the [sta.level.depth] / [sta.level.max_width] /
+    [flat.alloc_bytes] gauges. *)
+
+type result = Sta.result = {
+  arrival : float array;
+  critical_delay : float;
+  required : float array;
+  slack : float array;
+}
+
+val default_min_par_width : int
+(** Narrowest level slice worth dispatching to the pool (2048). *)
+
+val analyze :
+  ?required_time:float ->
+  ?jobs:int ->
+  ?min_par_width:int ->
+  Dcopt_netlist.Flat.t ->
+  delays:float array ->
+  result
+(** Levelized forward + backward pass; see {!Sta.analyze} for the
+    semantics. [jobs] defaults to the global {!Dcopt_par.Par.jobs}.
+    Requires a combinational circuit. *)
+
+val forward :
+  ?jobs:int ->
+  ?min_par_width:int ->
+  Dcopt_netlist.Flat.t ->
+  delays:float array ->
+  float array * float
+(** Forward pass only: (arrival by node id, critical delay). *)
+
+val forward_into :
+  ?jobs:int ->
+  ?min_par_width:int ->
+  Dcopt_netlist.Flat.t ->
+  delays:float array ->
+  arrival:float array ->
+  float
+(** Fill a caller-owned arrival buffer (length {!Dcopt_netlist.Flat.size})
+    and return the critical delay — the allocation-free core loop for
+    engines that re-sweep repeatedly. No validation is performed. *)

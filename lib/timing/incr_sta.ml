@@ -1,14 +1,25 @@
 module Circuit = Dcopt_netlist.Circuit
 module Gate = Dcopt_netlist.Gate
-module Heap = Dcopt_util.Heap
 
+(* The worklist is a set of per-level buckets instead of a priority heap:
+   a dirty gate is appended to the bucket of its level, and propagation
+   sweeps the buckets in ascending level order. Level order is a valid
+   topological order, and because every fanout of a level-l node sits at a
+   strictly higher level, the bucket being processed never grows under the
+   sweep — a single ascending pass drains everything. Each bucket is
+   preallocated to the number of gates at its level, so marking is a plain
+   append with no growth or heap sift. *)
 type t = {
   circuit : Circuit.t;
-  heap_priority : float array; (* negated topo position: Heap is a max-heap *)
+  levels : int array;          (* per-node combinational level, shared *)
+  depth : int;
   is_gate : bool array;
   delays : float array;
   arrival : float array;
-  heap : int Heap.t;
+  buckets : int array array;   (* one per level, capacity = gates there *)
+  bucket_len : int array;
+  mutable min_dirty : int;     (* lowest level with queued gates; depth+1 = none *)
+  mutable dirty : int;         (* total queued gates *)
   queued : bool array;
   journaled : bool array;
   mutable journal : (int * float * float) list;
@@ -18,11 +29,8 @@ let create circuit =
   if not (Circuit.is_combinational circuit) then
     invalid_arg "Incr_sta.create: circuit is sequential";
   let n = Circuit.size circuit in
-  let heap_priority = Array.make n 0.0 in
-  let next = ref 0 in
-  Circuit.iter_topo circuit (fun id ->
-      heap_priority.(id) <- -.float_of_int !next;
-      incr next);
+  let levels = Circuit.unsafe_levels circuit in
+  let depth = Circuit.depth circuit in
   let is_gate = Array.make n false in
   Array.iter
     (fun nd ->
@@ -30,13 +38,23 @@ let create circuit =
       | Gate.Input | Gate.Dff -> ()
       | _ -> is_gate.(nd.Circuit.id) <- true)
     (Circuit.nodes circuit);
+  let per_level = Array.make (depth + 1) 0 in
+  for id = 0 to n - 1 do
+    if is_gate.(id) then
+      per_level.(levels.(id)) <- per_level.(levels.(id)) + 1
+  done;
+  let buckets = Array.map (fun c -> Array.make c 0) per_level in
   {
     circuit;
-    heap_priority;
+    levels;
+    depth;
     is_gate;
     delays = Array.make n 0.0;
     arrival = Array.make n 0.0;
-    heap = Heap.create ();
+    buckets;
+    bucket_len = Array.make (depth + 1) 0;
+    min_dirty = depth + 1;
+    dirty = 0;
     queued = Array.make n false;
     journaled = Array.make n false;
     journal = [];
@@ -50,18 +68,23 @@ let is_gate t id = t.is_gate.(id)
 let mark_dirty t id =
   if t.is_gate.(id) && not t.queued.(id) then begin
     t.queued.(id) <- true;
-    Heap.push t.heap ~priority:t.heap_priority.(id) id
+    let l = t.levels.(id) in
+    t.buckets.(l).(t.bucket_len.(l)) <- id;
+    t.bucket_len.(l) <- t.bucket_len.(l) + 1;
+    t.dirty <- t.dirty + 1;
+    if l < t.min_dirty then t.min_dirty <- l
   end
 
 let drain t =
-  let rec go () =
-    match Heap.pop t.heap with
-    | None -> ()
-    | Some (_, id) ->
-      t.queued.(id) <- false;
-      go ()
-  in
-  go ()
+  if t.dirty > 0 then
+    for l = t.min_dirty to t.depth do
+      for i = 0 to t.bucket_len.(l) - 1 do
+        t.queued.(t.buckets.(l).(i)) <- false
+      done;
+      t.bucket_len.(l) <- 0
+    done;
+  t.dirty <- 0;
+  t.min_dirty <- t.depth + 1
 
 (* Same folds, in the same order, as the full evaluation's topological
    sweep, so a recomputed node whose inputs are unchanged reproduces its
@@ -93,16 +116,27 @@ let step t ~recompute id =
 
 let propagate t ~recompute =
   let processed = ref 0 in
-  let running = ref true in
-  while !running do
-    match Heap.pop t.heap with
-    | None -> running := false
-    | Some (_, id) ->
-      t.queued.(id) <- false;
-      incr processed;
-      if step t ~recompute id then
-        Array.iter (fun f -> mark_dirty t f) (Circuit.fanouts t.circuit id)
+  let l = ref t.min_dirty in
+  (* Marks raised while processing level l land strictly above l, so the
+     ascending sweep visits them; [dirty] short-circuits the tail once the
+     wavefront has died out. *)
+  while !l <= t.depth && t.dirty > 0 do
+    let len = t.bucket_len.(!l) in
+    if len > 0 then begin
+      let bucket = t.buckets.(!l) in
+      t.bucket_len.(!l) <- 0;
+      t.dirty <- t.dirty - len;
+      for i = 0 to len - 1 do
+        let id = bucket.(i) in
+        t.queued.(id) <- false;
+        incr processed;
+        if step t ~recompute id then
+          Array.iter (fun f -> mark_dirty t f) (Circuit.fanouts t.circuit id)
+      done
+    end;
+    incr l
   done;
+  t.min_dirty <- t.depth + 1;
   !processed
 
 let refresh t ~recompute =

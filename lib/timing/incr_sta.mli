@@ -4,8 +4,10 @@
     one gate per move and previously re-propagated the whole circuit. This
     module keeps the per-gate delays and arrival times of a circuit as
     mutable state and re-propagates only the affected cone: the caller
-    marks the gates whose delay inputs changed, and {!propagate} walks a
-    topologically ordered worklist, recomputing each dirty gate through a
+    marks the gates whose delay inputs changed, and {!propagate} drains
+    per-level buckets in ascending level order (a valid topological order
+    in which a processed level can never be re-dirtied, since every fanout
+    sits at a strictly higher level), recomputing each dirty gate through a
     caller-supplied [recompute] callback (which owns the device model) and
     enqueueing a gate's fanouts only when its delay or arrival actually
     changed. Because the recomputation uses the same folds in the same
@@ -47,7 +49,7 @@ val mark_dirty : t -> int -> unit
 
 val propagate :
   t -> recompute:(id:int -> max_fanin_delay:float -> float) -> int
-(** Drain the worklist in topological order. For each dirty gate the
+(** Drain the level buckets in ascending level order. For each dirty gate the
     engine recomputes the max fanin delay, asks [recompute] for the new
     gate delay (the callback sees the current design state and may update
     its own per-gate bookkeeping), updates the arrival time, and marks the
