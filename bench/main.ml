@@ -432,11 +432,25 @@ let measure_scale () =
     done;
     let r1 = Flat_sta.analyze f ~jobs:1 ~delays in
     let r4 = Flat_sta.analyze f ~jobs:4 ~delays in
+    (* Bitwise, like test_flat.ml: (=) conflates 0. with -0. and never
+       matches NaN, which is weaker than the byte-identical contract. *)
+    let bits_equal a b =
+      Array.length a = Array.length b
+      && begin
+           let ok = ref true in
+           for i = 0 to Array.length a - 1 do
+             if Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then
+               ok := false
+           done;
+           !ok
+         end
+    in
     let jobs_identical =
-      r1.Flat_sta.arrival = r4.Flat_sta.arrival
-      && r1.Flat_sta.required = r4.Flat_sta.required
-      && r1.Flat_sta.slack = r4.Flat_sta.slack
-      && Float.equal r1.Flat_sta.critical_delay r4.Flat_sta.critical_delay
+      bits_equal r1.Flat_sta.arrival r4.Flat_sta.arrival
+      && bits_equal r1.Flat_sta.required r4.Flat_sta.required
+      && bits_equal r1.Flat_sta.slack r4.Flat_sta.slack
+      && Int64.bits_of_float r1.Flat_sta.critical_delay
+         = Int64.bits_of_float r4.Flat_sta.critical_delay
     in
     let g = float_of_int gates in
     {

@@ -116,6 +116,14 @@ let forward_sweep ~jobs ~min_par_width f ~delays ~arrival =
 
 let forward_into ?jobs ?(min_par_width = default_min_par_width) f ~delays
     ~arrival =
+  (* The C kernel indexes both columns by gate id with no bounds checks;
+     these O(1) length checks are what keeps a short array from
+     corrupting the heap. *)
+  let n = Flat.size f in
+  if Array.length delays <> n then
+    invalid_arg "Flat_sta.forward_into: delay array size mismatch";
+  if Array.length arrival <> n then
+    invalid_arg "Flat_sta.forward_into: arrival array size mismatch";
   let jobs = match jobs with Some j -> j | None -> Par.jobs () in
   Array.fill arrival 0 (Array.length arrival) 0.0;
   forward_sweep ~jobs ~min_par_width f ~delays ~arrival

@@ -56,4 +56,6 @@ val forward_into :
   float
 (** Fill a caller-owned arrival buffer (length {!Dcopt_netlist.Flat.size})
     and return the critical delay — the allocation-free core loop for
-    engines that re-sweep repeatedly. No validation is performed. *)
+    engines that re-sweep repeatedly. Raises [Invalid_argument] if either
+    array's length differs from {!Dcopt_netlist.Flat.size}; no other
+    validation is performed. *)

@@ -124,11 +124,18 @@ let propagate t ~recompute =
     let len = t.bucket_len.(!l) in
     if len > 0 then begin
       let bucket = t.buckets.(!l) in
+      (* Retire the whole bucket before stepping any of it: [recompute]
+         may raise (e.g. Guard.Non_finite) mid-bucket, and an id left
+         queued=true with no bucket slot could never be re-marked dirty.
+         Clearing up front is safe — fanouts sit at strictly higher
+         levels, so no step below can re-queue an id from this bucket. *)
+      for i = 0 to len - 1 do
+        t.queued.(bucket.(i)) <- false
+      done;
       t.bucket_len.(!l) <- 0;
       t.dirty <- t.dirty - len;
       for i = 0 to len - 1 do
         let id = bucket.(i) in
-        t.queued.(id) <- false;
         incr processed;
         if step t ~recompute id then
           Array.iter (fun f -> mark_dirty t f) (Circuit.fanouts t.circuit id)

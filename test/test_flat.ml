@@ -203,6 +203,28 @@ let test_metrics_presence () =
   expect_gauge "sta.level.max_width" (float_of_int (Flat.max_level_width f));
   expect_gauge "flat.alloc_bytes" (float_of_int (Flat.alloc_bytes f))
 
+(* forward_into hands its arrays straight to the unchecked C kernel, so
+   the OCaml wrapper's length validation is the only thing between a
+   short array and heap corruption. *)
+let test_forward_into_validates_lengths () =
+  let c = generated 51L 100 in
+  let f = Flat.of_circuit c in
+  let n = Flat.size f in
+  let delays = random_delays 52L n in
+  let arrival = Array.make n 0.0 in
+  let critical = Flat_sta.forward_into f ~jobs:1 ~delays ~arrival in
+  let reference = Sta.analyze c ~delays in
+  check_bits "forward_into critical" reference.Sta.critical_delay critical;
+  let expect_invalid what thunk =
+    match thunk () with
+    | (_ : float) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "short delays" (fun () ->
+      Flat_sta.forward_into f ~jobs:1 ~delays:(Array.make (n - 1) 0.0) ~arrival);
+  expect_invalid "short arrival" (fun () ->
+      Flat_sta.forward_into f ~jobs:1 ~delays ~arrival:(Array.make (n - 1) 0.0))
+
 let () =
   Alcotest.run "flat"
     [
@@ -216,6 +238,8 @@ let () =
             test_evaluate_par_differential;
           Alcotest.test_case "incremental engine on generated DAG" `Quick
             test_incr_on_generated_dag;
+          Alcotest.test_case "forward_into validates array lengths" `Quick
+            test_forward_into_validates_lengths;
         ] );
       ( "observability",
         [
