@@ -469,8 +469,105 @@ let measure_scale () =
   in
   List.map one sizes
 
+(* Fleet throughput kernel: the same 64-job batch (s27 joint, one
+   distinct operating point per job) through a 4-worker fleet vs a
+   1-worker fleet. Both sides go through identical machinery — fresh
+   worker processes, dispatch, heartbeats, result framing — with the
+   workers spawned and connected by a warm-up batch outside the clock,
+   so the ratio isolates what adding workers buys and the gated ns/job
+   measures steady-state distribution cost, not one-time process spawn.
+   (The in-process Service.run_batch path is deliberately NOT the
+   timing baseline: by this point the bench process carries a large
+   live heap from bechamel and the 100k-gate scale kernels, which
+   inflates its per-job cost by ~2x vs a fresh process — a
+   process-state artifact, not a fleet property. It still supplies the
+   reference rows for the byte-identity check.) The row records the
+   host's core count next to the speedup: on a single-core container
+   extra workers cannot help (speedup ~1x is the honest reading there),
+   while the same row shows real scaling on multi-core hosts. *)
+
+type fleet_result = {
+  fl_name : string;
+  fl_jobs : int;
+  fl_workers : int;
+  fl_cpus : int;
+  fl_ns_per_job : float; (* [fl_workers]-worker fleet, workers already up *)
+  fl_w1_ns_per_job : float; (* 1-worker fleet, same machinery *)
+  fl_speedup : float; (* 1-worker / [fl_workers]-worker *)
+  fl_rows_identical : bool; (* fleet rows == in-process rows, bytewise *)
+}
+
+let measure_fleet () =
+  let module Service = Dcopt_service.Service in
+  let module Fleet = Dcopt_service.Fleet in
+  let module Job = Dcopt_service.Job in
+  let module Json = Dcopt_util.Json in
+  (* the coordinator spawns `minpower worker`; bench/main.exe and
+     bin/minpower.exe sit side by side in the build tree *)
+  let binary =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "minpower.exe")
+  in
+  if not (Sys.file_exists binary) then begin
+    Printf.printf
+      "\n(fleet kernel skipped: %s not built — run through dune so the \
+       coordinator can spawn workers)\n"
+      binary;
+    []
+  end
+  else begin
+    let n_jobs = 64 and workers = 4 in
+    let job i =
+      Job.make
+        ~id:(Printf.sprintf "f%02d" i)
+        ~optimizer:"joint"
+        ~config:
+          (Json.Obj
+             [ ("clock_frequency", Json.Float (float_of_int (150 + i) *. 1e6)) ])
+        "s27"
+    in
+    let jobs = List.init n_jobs job in
+    let reps = if !quick then 2 else 3 in
+    let row_strings rows =
+      List.map (fun r -> Json.to_string (Job.row_to_json r)) rows
+    in
+    let timed_fleet n_workers =
+      let fleet = Fleet.create (Fleet.options ~binary ~workers:n_workers ()) in
+      Fun.protect
+        ~finally:(fun () -> Fleet.shutdown fleet)
+        (fun () ->
+          ignore (Fleet.run_batch fleet [ Job.make ~id:"warmup" "s27" ]);
+          let best_dt = ref infinity and out = ref [] in
+          for _ = 1 to reps do
+            let rows, dt = wall (fun () -> Fleet.run_batch fleet jobs) in
+            if dt < !best_dt then best_dt := dt;
+            out := rows
+          done;
+          (!out, !best_dt))
+    in
+    let reference_rows = row_strings (Service.run_batch jobs) in
+    let w1_rows, w1_dt = timed_fleet 1 in
+    let wn_rows, wn_dt = timed_fleet workers in
+    let g = float_of_int n_jobs in
+    [
+      {
+        fl_name = "fleet_batch";
+        fl_jobs = n_jobs;
+        fl_workers = workers;
+        fl_cpus = Domain.recommended_domain_count ();
+        fl_ns_per_job = wn_dt *. 1e9 /. g;
+        fl_w1_ns_per_job = w1_dt *. 1e9 /. g;
+        fl_speedup = w1_dt /. wn_dt;
+        fl_rows_identical =
+          row_strings w1_rows = reference_rows
+          && row_strings wn_rows = reference_rows;
+      };
+    ]
+  end
+
 let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
-    ~scale_results =
+    ~scale_results ~fleet_results =
   let esc = Dcopt_obs.Metrics.json_escape in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": \"dcopt-bench-timing/1\",\n";
@@ -514,6 +611,17 @@ let write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
         r.sc_ptr_ns_per_gate r.sc_speedup r.sc_jobs_identical
         (if i < List.length scale_results - 1 then "," else ""))
     scale_results;
+  Buffer.add_string b "  ],\n  \"fleet\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"jobs\": %d, \"workers\": %d, \"cpus\": %d, \
+         \"ns_per_job\": %.1f, \"one_worker_ns_per_job\": %.1f, \
+         \"speedup_vs_one_worker\": %.2f, \"rows_identical\": %b}%s\n"
+        (esc r.fl_name) r.fl_jobs r.fl_workers r.fl_cpus r.fl_ns_per_job
+        r.fl_w1_ns_per_job r.fl_speedup r.fl_rows_identical
+        (if i < List.length fleet_results - 1 then "," else ""))
+    fleet_results;
   Buffer.add_string b "  ]\n}\n";
   let oc = open_out path in
   Fun.protect
@@ -555,7 +663,7 @@ let measure_kernels () =
 
 module Bench_gate = Dcopt_obs.Bench_gate
 
-let gate_measurements ~kernels ~incremental ~scale_results =
+let gate_measurements ~kernels ~incremental ~scale_results ~fleet_results =
   List.filter_map
     (fun (name, ns) ->
       match ns with
@@ -570,6 +678,9 @@ let gate_measurements ~kernels ~incremental ~scale_results =
   @ List.map
       (fun r -> { Bench_gate.name = "scale:" ^ r.sc_name; ns = r.sc_ns_per_gate })
       scale_results
+  @ List.map
+      (fun r -> { Bench_gate.name = "fleet:" ^ r.fl_name; ns = r.fl_ns_per_job })
+      fleet_results
 
 let merge_min a b =
   List.map
@@ -588,16 +699,26 @@ let merge_min a b =
    keep the per-kernel minimum — min-of-k is a far tighter estimator of
    the true cost than any single run — and only fail once the minimum of
    three passes still exceeds the threshold. *)
-let run_gate ~baseline_path ~kernels ~incremental ~scale_results =
-  (* scale kernels are optional on the baseline side: a quick run without
-     --scale legitimately skips them (they gate whenever measured) *)
-  let optional name = String.length name >= 6 && String.sub name 0 6 = "scale:" in
+let run_gate ~baseline_path ~kernels ~incremental ~scale_results ~fleet_results
+    =
+  (* scale and fleet kernels are optional on the baseline side: a quick
+     run without --scale legitimately skips the former, and a bench
+     binary run without bin/minpower.exe built cannot spawn the latter
+     (they gate whenever measured) *)
+  let has_prefix p name =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let optional name = has_prefix "scale:" name || has_prefix "fleet:" name in
   match Bench_gate.load_baseline baseline_path with
   | Error e ->
     Printf.eprintf "bench gate: %s\n" e;
     exit 1
   | Ok baseline ->
-    let current = ref (gate_measurements ~kernels ~incremental ~scale_results) in
+    let current =
+      ref
+        (gate_measurements ~kernels ~incremental ~scale_results ~fleet_results)
+    in
     let max_attempts = 3 in
     let rec attempt n =
       let verdicts = Bench_gate.check ~baseline ~current:!current ~optional () in
@@ -616,10 +737,13 @@ let run_gate ~baseline_path ~kernels ~incremental ~scale_results =
         let scale_results' =
           if scale_results = [] then [] else measure_scale ()
         in
+        let fleet_results' =
+          if fleet_results = [] then [] else measure_fleet ()
+        in
         current :=
           merge_min !current
             (gate_measurements ~kernels:kernels' ~incremental:incremental'
-               ~scale_results:scale_results');
+               ~scale_results:scale_results' ~fleet_results:fleet_results');
         attempt (n + 1)
       end
       else begin
@@ -734,15 +858,62 @@ let run_timing () =
     end
     else []
   in
+  let fleet_results =
+    let results = measure_fleet () in
+    if results <> [] then begin
+      print_newline ();
+      let ft =
+        Dcopt_util.Text_table.create
+          ~headers:
+            [
+              "Fleet kernel";
+              "jobs";
+              "workers";
+              "cpus";
+              "fleet ns/job";
+              "1-worker ns/job";
+              "speedup";
+              "rows identical";
+            ]
+      in
+      List.iter
+        (fun r ->
+          Dcopt_util.Text_table.add_row ft
+            [
+              r.fl_name;
+              string_of_int r.fl_jobs;
+              string_of_int r.fl_workers;
+              string_of_int r.fl_cpus;
+              Printf.sprintf "%.0f" r.fl_ns_per_job;
+              Printf.sprintf "%.0f" r.fl_w1_ns_per_job;
+              Printf.sprintf "%.2fx" r.fl_speedup;
+              (if r.fl_rows_identical then "yes" else "NO");
+            ])
+        results;
+      Dcopt_util.Text_table.print ft;
+      (* same contract as the scale kernels: fleet rows that differ from
+         the in-process path are a hard failure, not a table footnote *)
+      List.iter
+        (fun r ->
+          if not r.fl_rows_identical then begin
+            Printf.eprintf
+              "fleet kernel %s: fleet rows differ from the in-process path\n"
+              r.fl_name;
+            exit 1
+          end)
+        results
+    end;
+    results
+  in
   (match !json_out with
   | None -> ()
   | Some path ->
     write_timing_json path ~kernels ~full_joint ~incremental ~gate_count
-      ~scale_results);
+      ~scale_results ~fleet_results);
   match !check_baseline with
   | None -> ()
   | Some baseline_path ->
-    run_gate ~baseline_path ~kernels ~incremental ~scale_results
+    run_gate ~baseline_path ~kernels ~incremental ~scale_results ~fleet_results
 
 (* ------------------------------------------------------------------ *)
 

@@ -40,6 +40,10 @@ type obs = {
   trace : string option;
   metrics : bool;
   open_metrics : string option;
+  jobs_flag : int option;  (** --jobs as given, for oversubscription checks *)
+  worker_passthrough : string list;
+      (** observability argv to forward to spawned fleet workers, so the
+          whole fleet logs into one correlation chain *)
 }
 
 let obs_term =
@@ -126,15 +130,30 @@ let obs_term =
     | Some n when n >= 1 -> Dcopt_par.Par.set_jobs n
     | Some n -> Logs.warn (fun m -> m "--jobs %d ignored (must be >= 1)" n)
     | None -> ());
-    Dcopt_obs.Events.set_run_id
-      (match run_id with
+    let run_id =
+      match run_id with
       | Some id -> id
-      | None ->
-        Printf.sprintf "run-%d-%Ld" (Unix.getpid ()) (Clock.now_ns ()));
+      | None -> Printf.sprintf "run-%d-%Ld" (Unix.getpid ()) (Clock.now_ns ())
+    in
+    Dcopt_obs.Events.set_run_id run_id;
     (match events with
     | Some path -> Dcopt_obs.Events.open_file ~min_level:events_level path
     | None -> ());
-    { trace; metrics; open_metrics }
+    (* what a spawned fleet worker needs to join this run's correlation
+       chain: same run id, same event log (O_APPEND keeps concurrent
+       whole-line writers safe), same threshold *)
+    let worker_passthrough =
+      [ "--run-id"; run_id ]
+      @ (match events with
+        | Some path ->
+          [
+            "--events"; path;
+            "--events-level";
+            Dcopt_obs.Events.level_to_string events_level;
+          ]
+        | None -> [])
+    in
+    { trace; metrics; open_metrics; jobs_flag = jobs; worker_passthrough }
   in
   Term.(
     const setup $ Logs_cli.level () $ trace_arg $ metrics_arg
@@ -864,6 +883,45 @@ let checkpoint_arg =
   Arg.(
     value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
 
+let workers_arg =
+  let doc =
+    "Distribute the batch over $(docv) spawned worker processes (a \
+     multi-process fleet with work stealing, backpressure and crash \
+     recovery) instead of the in-process domain pool. Rows are \
+     byte-identical at any worker count, including across worker \
+     crashes. Mutually exclusive with $(b,--jobs) > 1: fleet \
+     parallelism replaces the pool."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+(* --workers N and --jobs M is oversubscription: N worker processes *and*
+   M domains per process thrash one another on the same cores. The combo
+   is refused with a located diagnostic rather than silently degrading. *)
+let check_workers_jobs workers obs =
+  match (workers, obs.jobs_flag) with
+  | Some n, _ when n < 1 ->
+    Some
+      (Dcopt_util.Diag.errorf ~file:"<command-line>"
+         ~code:"config.fleet_size" "--workers %d: a fleet needs at least 1 \
+                                    worker" n)
+  | Some n, Some m when m > 1 ->
+    Some
+      (Dcopt_util.Diag.errorf ~file:"<command-line>"
+         ~code:"config.oversubscribe"
+         "--workers %d with --jobs %d oversubscribes: fleet workers run \
+          jobs=1 internally (fleet parallelism replaces the domain pool); \
+          drop --jobs or use the in-process path without --workers"
+         n m)
+  | _ -> None
+
+let fleet_of ~workers ~store_dir obs =
+  let worker_args =
+    (match store_dir with Some d -> [ "--store"; d ] | None -> [])
+    @ obs.worker_passthrough
+  in
+  Dcopt_service.Fleet.create
+    (Dcopt_service.Fleet.options ~workers ~worker_args ())
+
 let read_lines ic =
   let rec go acc n =
     match input_line ic with
@@ -873,7 +931,13 @@ let read_lines ic =
   go [] 1
 
 let batch_cmd =
-  let run jobs_path store checkpoint table require_cached obs =
+  let run jobs_path store checkpoint workers table require_cached obs =
+    match check_workers_jobs workers obs with
+    | Some diag ->
+      Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
+      finish obs 2
+    | None ->
+    let store_dir = store in
     let lines =
       if jobs_path = "-" then read_lines stdin
       else begin
@@ -938,7 +1002,16 @@ let batch_cmd =
       List.iter
         (fun s -> Sys.set_signal s (Sys.Signal_handle interrupted))
         [ Sys.sigint; Sys.sigterm ]);
-    let rows = Service.run_batch ?store ?checkpoint jobs in
+    let rows =
+      match workers with
+      | None -> Service.run_batch ?store ?checkpoint jobs
+      | Some n ->
+        let fleet = fleet_of ~workers:n ~store_dir obs in
+        Fun.protect
+          ~finally:(fun () -> Dcopt_service.Fleet.shutdown fleet)
+          (fun () ->
+            Dcopt_service.Fleet.run_batch fleet ?store ?checkpoint jobs)
+    in
     let rec merge entries rows =
       match (entries, rows) with
       | [], _ -> []
@@ -990,22 +1063,40 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(
-      const run $ jobs_path $ store_arg $ checkpoint_arg $ table
+      const run $ jobs_path $ store_arg $ checkpoint_arg $ workers_arg $ table
       $ require_cached $ obs_term)
 
 let serve_cmd =
-  let run store socket obs =
-    let store = Option.map Store.open_ store in
-    (match socket with
-    | Some path -> Service.serve_unix_socket ?store path
-    | None -> Service.serve ?store stdin stdout);
-    finish obs 0
+  let run store socket workers obs =
+    match check_workers_jobs workers obs with
+    | Some diag ->
+      Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
+      finish obs 2
+    | None ->
+      let store_dir = store in
+      let store = Option.map Store.open_ store in
+      let run_jobs =
+        match workers with
+        | None -> None
+        | Some n ->
+          (* the pool is persistent across the whole serve session:
+             spawned lazily at the first job that needs computing,
+             replaced as workers die, reused by every subsequent job *)
+          let fleet = fleet_of ~workers:n ~store_dir obs in
+          at_exit (fun () -> Dcopt_service.Fleet.shutdown fleet);
+          Some (fun jobs -> Dcopt_service.Fleet.run_batch fleet ?store jobs)
+      in
+      (match socket with
+      | Some path -> Service.serve_unix_socket ?store ?run:run_jobs path
+      | None -> Service.serve ?store ?run:run_jobs stdin stdout);
+      finish obs 0
   in
   let doc =
     "Serve optimization jobs as a long-running loop: one JSON job spec \
      per input line, one JSON result row per output line, until EOF \
      (default stdin/stdout; $(b,--socket) listens on a unix domain \
-     socket instead)."
+     socket instead). With $(b,--workers), jobs are executed by a \
+     persistent multi-process fleet."
   in
   let socket =
     Arg.(
@@ -1014,7 +1105,56 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:"Listen on a unix domain socket at $(docv).")
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ store_arg $ socket $ obs_term)
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ store_arg $ socket $ workers_arg $ obs_term)
+
+let worker_cmd =
+  let run connect worker_id store obs =
+    (* fleet parallelism replaces the domain pool: a worker computes one
+       job at a time unless --jobs explicitly says otherwise *)
+    if obs.jobs_flag = None then Dcopt_par.Par.set_jobs 1;
+    let worker_id =
+      match worker_id with
+      | Some id -> id
+      | None -> Printf.sprintf "w-pid%d" (Unix.getpid ())
+    in
+    let store = Option.map Store.open_ store in
+    match Dcopt_service.Worker.run ?store ~connect ~worker_id () with
+    | clean -> finish obs (if clean then 0 else 1)
+    | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
+      Logs.err (fun m ->
+          m "worker %s: cannot reach coordinator at %s" worker_id connect);
+      finish obs 1
+  in
+  let doc =
+    "Run as a fleet worker: connect to a coordinator socket (spawned \
+     automatically by $(b,minpower batch --workers) / $(b,minpower serve \
+     --workers); rarely invoked by hand), pull job frames, execute them \
+     through the service pipeline and stream result rows back. Defaults \
+     the domain pool to jobs=1."
+  in
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Coordinator address: a unix socket path, or host:port for \
+             TCP.")
+  in
+  let worker_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-id" ] ~docv:"ID"
+          ~doc:
+            "Identity in the fleet protocol and the event-log correlation \
+             chain (defaults to a pid-derived id).")
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc)
+    Term.(const run $ connect $ worker_id $ store_arg $ obs_term)
 
 let tech_cmd =
   let run scale_factor obs =
@@ -1047,6 +1187,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ optimize_cmd; baseline_cmd; compare_cmd; batch_cmd; serve_cmd;
-            profile_cmd; stats_cmd; list_cmd; body_bias_cmd; dump_cmd;
-            generate_cmd; pareto_cmd; characterize_cmd; spice_cmd; tech_cmd;
-            equiv_cmd ]))
+            worker_cmd; profile_cmd; stats_cmd; list_cmd; body_bias_cmd;
+            dump_cmd;
+            generate_cmd; pareto_cmd; characterize_cmd; spice_cmd;
+            tech_cmd; equiv_cmd ]))

@@ -12,11 +12,12 @@ type verdict = {
 
 let default_threshold = 1.5
 
-(* The timing JSON (schema dcopt-bench-timing/1) carries three result
-   groups; the gate reads the two that are stable enough to compare —
-   bechamel kernel estimates and the per-move incremental costs — and
-   flattens them into one namespaced list. full_joint is wall-clock of a
-   3 ms-scale run and too noisy to gate on. *)
+(* The timing JSON (schema dcopt-bench-timing/1) carries several result
+   groups; the gate reads the ones stable enough to compare — bechamel
+   kernel estimates, the per-move incremental costs, the per-gate scale
+   STA costs, and the per-job fleet batch cost — and flattens them into
+   one namespaced list. full_joint is wall-clock of a 3 ms-scale run
+   and too noisy to gate on. *)
 let measurements_of_json json =
   let list_field name =
     match Json.field name json with
@@ -41,6 +42,9 @@ let measurements_of_json json =
   @ List.filter_map
       (entry ~prefix:"scale:" ~ns_field:"ns_per_gate")
       (list_field "scale")
+  @ List.filter_map
+      (entry ~prefix:"fleet:" ~ns_field:"ns_per_job")
+      (list_field "fleet")
 
 let load_baseline path =
   match Json.read_file path with

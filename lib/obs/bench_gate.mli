@@ -5,11 +5,12 @@
     [bench/main.exe timing --json] (committed as [test/BENCH_timing.json]).
     The gate reads the bechamel kernel estimates ([kernels\[\].ns_per_run],
     namespaced ["kernel:NAME"]), the incremental per-move costs
-    ([incremental\[\].incr_ns_per_move], namespaced ["incr:NAME"]) and the
+    ([incremental\[\].incr_ns_per_move], namespaced ["incr:NAME"]), the
     large-circuit STA scale kernels ([scale\[\].ns_per_gate], namespaced
-    ["scale:NAME"]); the [full_joint] wall-clock group is deliberately
-    excluded — millisecond runs under parallel test load are too noisy to
-    gate on.
+    ["scale:NAME"]) and the multi-process fleet batch cost
+    ([fleet\[\].ns_per_job], namespaced ["fleet:NAME"]); the [full_joint]
+    wall-clock group is deliberately excluded — millisecond runs under
+    parallel test load are too noisy to gate on.
 
     The threshold is noise-tolerant by design (default 1.5x): quick-mode
     bechamel quotas scatter, and the caller is expected to re-measure and
@@ -56,7 +57,9 @@ val check :
     skip instead — the verdict carries [current_ns = None] with
     [v_ok = true]. Used for the ["scale:"] kernels, which quick runs
     legitimately omit (they gate only when the run measures them, e.g.
-    [bench timing --scale] or a full run). *)
+    [bench timing --scale] or a full run), and for the ["fleet:"] kernel,
+    which a bench binary without [bin/minpower.exe] next to it cannot
+    spawn. *)
 
 val all_ok : verdict list -> bool
 val failures : verdict list -> verdict list

@@ -63,26 +63,35 @@ let active level =
 type scope = {
   run_id : string option;
   batch_id : int option;
+  worker_id : string option;
   job_id : string option;
 }
 
-let empty_scope = { run_id = None; batch_id = None; job_id = None }
+let empty_scope =
+  { run_id = None; batch_id = None; worker_id = None; job_id = None }
+
 let scope_key = Domain.DLS.new_key (fun () -> empty_scope)
 
 (* The run id is one per process (set at CLI startup, before the pool
    exists), so it lives outside the domain-local scopes: every domain
    inherits it without threading it through each task closure. A scoped
-   run_id still overrides it. *)
+   run_id still overrides it. The worker id works the same way: a fleet
+   worker process is one worker for its whole life, so [minpower worker]
+   sets it once and every event the process emits carries it. *)
 let global_run_id = ref None
 let set_run_id id = global_run_id := Some id
+let global_worker_id = ref None
+let set_worker_id id = global_worker_id := Some id
 
-let with_scope ?run_id ?batch_id ?job_id fn =
+let with_scope ?run_id ?batch_id ?worker_id ?job_id fn =
   let outer = Domain.DLS.get scope_key in
   let merged =
     {
       run_id = (match run_id with Some _ -> run_id | None -> outer.run_id);
       batch_id =
         (match batch_id with Some _ -> batch_id | None -> outer.batch_id);
+      worker_id =
+        (match worker_id with Some _ -> worker_id | None -> outer.worker_id);
       job_id = (match job_id with Some _ -> job_id | None -> outer.job_id);
     }
   in
@@ -96,6 +105,10 @@ let current_scope () =
   in
   (run_id, s.batch_id, s.job_id)
 
+let current_worker_id () =
+  let s = Domain.DLS.get scope_key in
+  match s.worker_id with Some _ -> s.worker_id | None -> !global_worker_id
+
 let emit ?(fields = []) level event =
   match !current with
   | None -> ()
@@ -105,6 +118,11 @@ let emit ?(fields = []) level event =
     let run_id =
       match scope.run_id with Some _ -> scope.run_id | None -> !global_run_id
     in
+    let worker_id =
+      match scope.worker_id with
+      | Some _ -> scope.worker_id
+      | None -> !global_worker_id
+    in
     let opt k v f = match v with Some x -> [ (k, f x) ] | None -> [] in
     let line =
       Json.Obj
@@ -113,6 +131,7 @@ let emit ?(fields = []) level event =
         :: ("event", Json.String event)
         :: (opt "run_id" run_id (fun x -> Json.String x)
            @ opt "batch_id" scope.batch_id (fun x -> Json.Int x)
+           @ opt "worker_id" worker_id (fun x -> Json.String x)
            @ opt "job_id" scope.job_id (fun x -> Json.String x)
            @ fields))
     in

@@ -4,7 +4,8 @@
     log answers "what happened to {e this} job". Every event carries a
     strictly monotonic timestamp ({!Clock.now_ns}), a severity, an event
     name, and whatever part of the correlation chain
-    [run_id → batch_id → job_id] is in scope — so a batch result row can
+    [run_id → batch_id → worker_id → job_id] is in scope — so a batch
+    result row can
     be joined to its retries, store and checkpoint hits, guard trips and
     convergence trajectory by grepping the log for its [job_id].
 
@@ -49,8 +50,21 @@ val set_run_id : string -> unit
     pool exists): every event from every domain carries it unless a
     {!with_scope} [run_id] overrides it. *)
 
+val set_worker_id : string -> unit
+(** Set the process-level worker id — a fleet worker process is one
+    worker for its whole life, so [minpower worker] sets it once and
+    every event the process emits carries it (between [batch_id] and
+    [job_id] in the chain) unless a {!with_scope} [worker_id] overrides
+    it. Coordinator processes never set one, so their events have no
+    [worker_id] member. *)
+
 val with_scope :
-  ?run_id:string -> ?batch_id:int -> ?job_id:string -> (unit -> 'a) -> 'a
+  ?run_id:string ->
+  ?batch_id:int ->
+  ?worker_id:string ->
+  ?job_id:string ->
+  (unit -> 'a) ->
+  'a
 (** Run the function with the given correlation IDs attached to every
     event it emits. The scope is domain-local and layered: fields not
     passed inherit from the enclosing scope, so a process-level [run_id]
@@ -60,15 +74,19 @@ val with_scope :
 val current_scope : unit -> string option * int option * string option
 (** The calling domain's [(run_id, batch_id, job_id)]. *)
 
+val current_worker_id : unit -> string option
+(** The calling domain's worker id (scoped, falling back to
+    {!set_worker_id}'s process-level value). *)
+
 (** {1 Emission} *)
 
 val emit : ?fields:(string * Dcopt_util.Json.t) list -> level -> string -> unit
 (** [emit level event] writes one JSONL line
     [{"ts_ns":…,"level":…,"event":event,…scope…,…fields…}] to the sink;
     no-op when no sink is configured or [level] is below its threshold.
-    Field order is fixed (ts_ns, level, event, run_id, batch_id, job_id,
-    then [fields] in the given order), so the log is deterministic up to
-    timestamps. *)
+    Field order is fixed (ts_ns, level, event, run_id, batch_id,
+    worker_id, job_id, then [fields] in the given order), so the log is
+    deterministic up to timestamps. *)
 
 val debug : ?fields:(string * Dcopt_util.Json.t) list -> string -> unit
 val info : ?fields:(string * Dcopt_util.Json.t) list -> string -> unit

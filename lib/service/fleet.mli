@@ -1,0 +1,76 @@
+(** Multi-process optimization fleet: the coordinator side.
+
+    A fleet owns a listening unix-domain socket and a pool of [minpower
+    worker] child processes that connect back to it ({!Worker},
+    {!Wire}). {!run_batch} is a drop-in replacement for
+    {!Service.run_batch}: the whole batch pipeline (dedup,
+    store/checkpoint lookups, row assembly) still runs on the
+    coordinator via {!Service.run_batch_via}, and only the compute step
+    is distributed — so rows are byte-identical to the in-process path
+    by construction, whatever the worker count and whatever crashes.
+
+    Scheduling is worker-pull with backpressure: tasks sit in one shared
+    queue, and any ready worker with in-flight room (at most
+    [max_in_flight] outstanding jobs, default 2) takes the next task —
+    a slow worker's share drains to whoever is keeping up, with no
+    static sharding. Health is tracked per worker: a worker computing a
+    job streams heartbeats, so silence from a worker {e with jobs in
+    flight} beyond [heartbeat_timeout_s], an EOF, a write error, a
+    malformed frame, or a reaped exit all count it lost. Its in-flight
+    jobs are requeued onto survivors (at most [max_requeues] times each,
+    then computed in-process by the coordinator); if the whole fleet
+    dies, the coordinator drains the queue itself. A batch therefore
+    {e always} completes with a full, deterministic row set.
+
+    Workers are spawned lazily on the first batch that actually has
+    something to compute (a fully warm batch spawns nothing) and are
+    reused across batches; workers lost between batches are replaced at
+    the next batch ([ensure]d back up to [workers]).
+
+    Observability: [service.fleet.workers] / [in_flight] gauges,
+    [spawned] / [dispatched] / [results] / [heartbeats] / [worker_lost]
+    / [requeued] / [fallback] counters, and [fleet.*] events carrying
+    the [run_id → batch_id → worker_id → job_id] correlation chain. *)
+
+type options = private {
+  workers : int;
+  binary : string;
+  worker_args : string list;
+  max_in_flight : int;
+  heartbeat_timeout_s : float;
+  max_requeues : int;
+  spawn_timeout_s : float;
+}
+
+val options :
+  ?binary:string ->
+  ?worker_args:string list ->
+  ?max_in_flight:int ->
+  ?heartbeat_timeout_s:float ->
+  ?max_requeues:int ->
+  ?spawn_timeout_s:float ->
+  workers:int ->
+  unit ->
+  options
+(** [binary] defaults to [Sys.executable_name] (the coordinator spawns
+    its own executable with the [worker] subcommand); [worker_args] are
+    appended to the worker argv (store/events/run-id passthrough).
+    Raises [Invalid_argument] when [workers < 1]. *)
+
+type t
+
+val create : options -> t
+(** Bind the coordinator socket (no workers yet) and ignore [SIGPIPE]
+    process-wide — a worker dying mid-write must surface as an error on
+    that worker's descriptor, not kill the coordinator. *)
+
+val run_batch :
+  t -> ?store:Store.t -> ?checkpoint:Checkpoint.t -> Job.t list -> Job.row list
+(** {!Service.run_batch} semantics, compute step distributed over the
+    fleet. Spawns (or replaces) workers as needed. Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Send every live worker a [shutdown] frame, give clean exits ~2 s,
+    [SIGKILL] stragglers, reap everything, close and unlink the socket.
+    Idempotent. *)

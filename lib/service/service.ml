@@ -213,9 +213,41 @@ let cacheable = function
   | Job.Solved _ | Job.Infeasible -> true
   | Job.Failed _ -> false
 
-let run_batch ?store ?checkpoint jobs =
+(* One distinct computation of a batch: the first occurrence of its
+   digest, carrying that occurrence's job_id as its event-log identity.
+   Executors receive these opaquely — enough to run the job locally
+   ([compute_task]) or to ship it to a worker process ([task_job]) and
+   match the answer back up ([task_digest]). *)
+type task = { task_id : string; task_job : Job.t; task_res : resolved }
+
+let task_id t = t.task_id
+let task_digest t = t.task_res.key
+
+let task_job t =
+  (* ship the first occurrence's identity with the spec, so a worker
+     process joins the coordinator's correlation chain under the same
+     job_id that the coordinator's rows and events use *)
+  { t.task_job with Job.id = Some t.task_id }
+
+let compute_task ~batch_id t =
+  Events.with_scope ~batch_id ~job_id:t.task_id @@ fun () ->
+  compute t.task_res
+
+let fresh_batch_id () = 1 + Atomic.fetch_and_add batch_seq 1
+
+(* The batch pipeline with the compute step abstracted out: resolution,
+   dedup, store/checkpoint lookups, bookkeeping and row assembly all
+   happen here (on the calling domain), and [execute] turns the deduped
+   task array into one [computed] per task — by any means. The default
+   executor is the in-process domain pool; the fleet executor ships
+   tasks to worker processes. Rows depend only on what [execute]
+   returns, never on how it scheduled — the byte-identity invariant
+   across [--jobs]/[--workers] paths lives here. *)
+let run_batch_via ?store ?checkpoint ?batch_id ~execute jobs =
   Span.with_ "service.batch" @@ fun () ->
-  let batch_id = 1 + Atomic.fetch_and_add batch_seq 1 in
+  let batch_id =
+    match batch_id with Some id -> id | None -> fresh_batch_id ()
+  in
   Events.with_scope ~batch_id @@ fun () ->
   let jobs = Array.of_list jobs in
   Metrics.incr ~by:(Array.length jobs) jobs_c;
@@ -238,7 +270,9 @@ let run_batch ?store ?checkpoint jobs =
       match r with
       | Ok r when not (Hashtbl.mem first_index r.key) ->
         Hashtbl.add first_index r.key i;
-        unique := (r, job_id_at i) :: !unique
+        unique :=
+          { task_id = job_id_at i; task_job = jobs.(i); task_res = r }
+          :: !unique
       | _ -> ())
     resolved;
   let unique = List.rev !unique in
@@ -248,11 +282,12 @@ let run_batch ?store ?checkpoint jobs =
   | None -> ()
   | Some st ->
     List.iter
-      (fun (r, jid) ->
+      (fun t ->
+        let r = t.task_res in
         match Option.bind (Store.find st r.key) outcome_of_store with
         | Some outcome ->
           Hashtbl.add from_store r.key outcome;
-          Events.with_scope ~job_id:jid (fun () ->
+          Events.with_scope ~job_id:t.task_id (fun () ->
               Events.info "job.store_hit"
                 ~fields:[ ("digest", Json.String r.key) ])
         | None -> ())
@@ -265,12 +300,13 @@ let run_batch ?store ?checkpoint jobs =
   | None -> ()
   | Some ck ->
     List.iter
-      (fun (r, jid) ->
+      (fun t ->
+        let r = t.task_res in
         if not (Hashtbl.mem from_store r.key) then
           match Checkpoint.find ck r.key with
           | Some outcome ->
             Hashtbl.add from_ckpt r.key outcome;
-            Events.with_scope ~job_id:jid (fun () ->
+            Events.with_scope ~job_id:t.task_id (fun () ->
                 Events.info "job.checkpoint_hit"
                   ~fields:[ ("digest", Json.String r.key) ]);
             (* a resumed outcome is as good as a computed one: persist it
@@ -286,28 +322,17 @@ let run_batch ?store ?checkpoint jobs =
   let to_compute =
     Array.of_list
       (List.filter
-         (fun (r, _) ->
-           not (Hashtbl.mem from_store r.key || Hashtbl.mem from_ckpt r.key))
+         (fun t ->
+           let key = t.task_res.key in
+           not (Hashtbl.mem from_store key || Hashtbl.mem from_ckpt key))
          unique)
   in
   Metrics.set queue_depth_g (float_of_int (Array.length to_compute));
-  Metrics.set in_flight_g
-    (float_of_int (min (Par.jobs ()) (Array.length to_compute)));
-  let computed =
-    Par.map ~site:"service"
-      (fun (r, jid) ->
-        (* worker-side: the enclosing batch scope is domain-local, so the
-           chain is re-established inside the task closure *)
-        Events.with_scope ~batch_id ~job_id:jid @@ fun () ->
-        let c = compute r in
-        (* the moment the job completes: a kill between here and the pool
-           barrier loses nothing already paid for *)
-        (match checkpoint with
-        | Some ck -> Checkpoint.record ck r.key c.comp_outcome
-        | None -> ());
-        c)
-      to_compute
-  in
+  let computed = execute ~batch_id to_compute in
+  if Array.length computed <> Array.length to_compute then
+    invalid_arg
+      (Printf.sprintf "Service executor returned %d results for %d tasks"
+         (Array.length computed) (Array.length to_compute));
   Metrics.set queue_depth_g 0.0;
   Metrics.set in_flight_g 0.0;
   (* post-batch bookkeeping, main domain only: histograms, store writes *)
@@ -334,10 +359,10 @@ let run_batch ?store ?checkpoint jobs =
       (match store with
       | Some st -> (
         match Job.outcome_to_store_json c.comp_outcome with
-        | Some doc -> Store.put st (fst to_compute.(i)).key doc
+        | Some doc -> Store.put st to_compute.(i).task_res.key doc
         | None -> ())
       | None -> ());
-      Hashtbl.replace by_key (fst to_compute.(i)).key c)
+      Hashtbl.replace by_key to_compute.(i).task_res.key c)
     computed;
   (* emit rows in job order *)
   let rows =
@@ -380,6 +405,28 @@ let run_batch ?store ?checkpoint jobs =
         ("checkpoint_hits", Json.Int (Hashtbl.length from_ckpt));
       ];
   rows
+
+(* The default executor: the in-process domain pool. *)
+let in_process_execute ?checkpoint ~batch_id tasks =
+  Metrics.set in_flight_g
+    (float_of_int (min (Par.jobs ()) (Array.length tasks)));
+  Par.map ~site:"service"
+    (fun t ->
+      (* worker-side: the enclosing batch scope is domain-local, so the
+         chain is re-established inside the task closure *)
+      let c = compute_task ~batch_id t in
+      (* the moment the job completes: a kill between here and the pool
+         barrier loses nothing already paid for *)
+      (match checkpoint with
+      | Some ck -> Checkpoint.record ck t.task_res.key c.comp_outcome
+      | None -> ());
+      c)
+    tasks
+
+let run_batch ?store ?checkpoint ?batch_id jobs =
+  run_batch_via ?store ?checkpoint ?batch_id
+    ~execute:(in_process_execute ?checkpoint)
+    jobs
 
 (* The rows of a batch that are already answerable without computing
    anything: resolution failures, store hits, checkpoint hits. This is
@@ -461,7 +508,10 @@ let serve_status_json () =
       ("in_flight", Json.Float (Metrics.gauge_value in_flight_g));
     ]
 
-let serve ?store ic oc =
+let serve ?store ?run ic oc =
+  let run_jobs =
+    match run with Some f -> f | None -> fun jobs -> run_batch ?store jobs
+  in
   let line_no = ref 0 in
   (try
      while true do
@@ -488,13 +538,23 @@ let serve ?store ic oc =
            flush oc
          end
          else begin
+           (* Any one bad line — unparsable JSON, a shape-invalid job, or
+              an exception escaping the runner — answers as a failed row
+              for that line and the session continues: a client can never
+              take the serve loop down with a malformed frame. *)
            let rows =
              match Json.of_string line with
              | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
              | Ok json -> (
                match Job.of_json json with
                | Error msg -> [ failed_line_row ~line_no:!line_no msg ]
-               | Ok job -> run_batch ?store [ job ])
+               | Ok job -> (
+                 try run_jobs [ job ]
+                 with e ->
+                   [
+                     failed_line_row ~line_no:!line_no
+                       ("internal error: " ^ Printexc.to_string e);
+                   ]))
            in
            List.iter
              (fun row ->
@@ -507,7 +567,7 @@ let serve ?store ic oc =
    with End_of_file -> ());
   flush oc
 
-let serve_unix_socket ?store path =
+let serve_unix_socket ?store ?run path =
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -517,7 +577,10 @@ let serve_unix_socket ?store path =
     let fd, _ = Unix.accept sock in
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    (try serve ?store ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+    (* a dropped or misbehaving client ends its own session only; the
+       accept loop survives anything a connection throws at it *)
+    (try serve ?store ?run ic oc
+     with Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
     (* closing the out channel flushes and closes the shared fd *)
     close_out_noerr oc
   done

@@ -46,8 +46,71 @@ val resolve_circuit :
     (parse errors become [Error]), anything else is looked up in
     {!Dcopt_suite.Suite}. *)
 
+(** {1 Pluggable execution}
+
+    {!run_batch_via} is the batch pipeline with the compute step
+    abstracted out: resolution, dedup, store/checkpoint lookups and row
+    assembly happen on the calling domain, and [execute] turns the
+    deduped {!task} array into one {!computed} per task (same order) by
+    any means — the in-process domain pool ({!run_batch}'s default) or
+    the multi-process fleet ({!Fleet}). Rows depend only on the outcomes
+    [execute] returns, never on how it scheduled them: that is the
+    byte-identity invariant across the [--jobs] and [--workers] paths. *)
+
+type task
+(** One distinct computation of a batch: the first occurrence of its
+    digest, carrying that occurrence's job id as its event-log
+    identity. *)
+
+val task_id : task -> string
+(** The job id of the digest's first occurrence in the batch. *)
+
+val task_digest : task -> string
+(** The content-addressed store key ({!Store.digest}). *)
+
+val task_job : task -> Job.t
+(** The job spec to ship to a worker process, with [id] pinned to
+    {!task_id} so the worker joins the coordinator's correlation chain
+    under the same job id. *)
+
+type computed = {
+  comp_outcome : Job.outcome;
+  comp_attempts : int;
+  comp_latency_s : float;
+  comp_wall_ns : int64;
+  comp_alloc_bytes : float;
+}
+(** What one execution produced. Only [comp_outcome] reaches result
+    rows; the rest feeds histograms. Remote executors that cannot
+    measure a field report it as zero. *)
+
+val compute_task : batch_id:int -> task -> computed
+(** Run one task on the calling domain, isolated exactly as the pool
+    path: per-attempt deadline, bounded retry, any exception folded
+    into a [Failed] outcome. Establishes the [batch_id]/[job_id] event
+    scope itself, so executors may call it from any domain (or as a
+    local fallback when no worker can take the task). *)
+
+val run_batch_via :
+  ?store:Store.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?batch_id:int ->
+  execute:(batch_id:int -> task array -> computed array) ->
+  Job.t list ->
+  Job.row list
+(** {!run_batch} with the compute step supplied by [execute] (which
+    must return exactly one {!computed} per task, in task order —
+    anything else raises [Invalid_argument]). [batch_id] defaults to a
+    fresh id from the process-wide batch sequence. [execute] is
+    responsible for checkpoint recording as results land (the pipeline
+    only {e reads} the checkpoint up front). *)
+
 val run_batch :
-  ?store:Store.t -> ?checkpoint:Checkpoint.t -> Job.t list -> Job.row list
+  ?store:Store.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?batch_id:int ->
+  Job.t list ->
+  Job.row list
 (** Run every job (worker count from {!Dcopt_par.Par.jobs}); with a
     [store], solved/infeasible outcomes are served from and persisted to
     it. Never raises on job-level problems.
@@ -69,11 +132,18 @@ val partial_rows :
     partial result of a killed run. Touches no batch counters. *)
 
 val serve :
-  ?store:Store.t -> in_channel -> out_channel -> unit
+  ?store:Store.t ->
+  ?run:(Job.t list -> Job.row list) ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Long-running loop: one job spec as JSON per input line, one result
     row as JSON per output line (flushed), until EOF. Blank lines are
-    skipped; unparsable lines produce a [Failed] row with id
-    ["line<n>"].
+    skipped; unparsable lines, shape-invalid jobs and exceptions
+    escaping the runner all produce a [Failed] row with id ["line<n>"]
+    and the session continues — a malformed frame can never take the
+    loop down. [run] replaces the default per-line {!run_batch} (the
+    fleet coordinator plugs in {!Fleet.run_batch} here).
 
     Lines that are not JSON objects are control requests answered from
     the live registry mid-session: ["metrics"] returns the OpenMetrics
@@ -82,6 +152,9 @@ val serve :
     JSON line with the service counters and gauges. An unknown bare
     word produces a [Failed] row. *)
 
-val serve_unix_socket : ?store:Store.t -> string -> unit
+val serve_unix_socket :
+  ?store:Store.t -> ?run:(Job.t list -> Job.row list) -> string -> unit
 (** Bind a unix domain socket at this path (unlinking a stale one) and
-    {!serve} each connection in sequence, forever. *)
+    {!serve} each connection in sequence, forever. A connection that
+    drops mid-session or throws ends only its own session, never the
+    accept loop. *)

@@ -69,11 +69,29 @@ let find t key =
         note_corrupt ();
         None)
 
+(* Tmp names must be collision-safe across every concurrent writer of a
+   shared store: the pid separates processes (fleet workers, parallel
+   batches), the counter separates domains and repeated writes within
+   one process. A colliding tmp name would let one writer rename the
+   other's half-written file into place. *)
+let tmp_seq = Atomic.make 0
+
 let put t key value =
   let path = path_of t key in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (Json.to_string value));
-  Sys.rename tmp path
+  (* Entries are content-addressed, so concurrent writers of one key are
+     writing the same bytes: whoever renames last wins and nobody can
+     tell the difference. A rename that fails while the destination now
+     exists is therefore a benign race — another writer beat us — not an
+     error; only a rename that leaves no entry behind propagates. *)
+  try Sys.rename tmp path
+  with Sys_error _ as e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    if not (Sys.file_exists path) then raise e

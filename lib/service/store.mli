@@ -41,7 +41,11 @@ val find : t -> string -> Dcopt_util.Json.t option
     [service.store.corrupt] counter so store rot is observable. *)
 
 val put : t -> string -> Dcopt_util.Json.t -> unit
-(** Atomically (over)write an entry. *)
+(** Atomically (over)write an entry. Safe for concurrent multi-process
+    writers of one shared store directory: tmp names are unique per
+    (pid, in-process counter), and a rename lost to a concurrent writer
+    of the same key is a benign race (entries are content-addressed, so
+    both writers carried the same bytes), not an error. *)
 
 val note_corrupt : unit -> unit
 (** Bump the [service.store.corrupt] counter. For callers ({!Checkpoint},

@@ -1,0 +1,162 @@
+module Json = Dcopt_util.Json
+
+(* Bumped whenever a frame changes shape; a worker whose hello carries a
+   different version is refused, so a mixed-version fleet fails loudly at
+   connect time instead of corrupting a batch. *)
+let protocol_version = 1
+
+type to_worker =
+  | Assign of { seq : int; batch_id : int; job : Job.t }
+  | Shutdown
+
+type from_worker =
+  | Hello of { worker_id : string; pid : int; version : int }
+  | Heartbeat
+  | Result of { seq : int; row : Job.row }
+
+let to_worker_to_json = function
+  | Assign { seq; batch_id; job } ->
+    Json.Obj
+      [
+        ("frame", Json.String "job");
+        ("seq", Json.Int seq);
+        ("batch_id", Json.Int batch_id);
+        ("job", Job.to_json job);
+      ]
+  | Shutdown -> Json.Obj [ ("frame", Json.String "shutdown") ]
+
+let from_worker_to_json = function
+  | Hello { worker_id; pid; version } ->
+    Json.Obj
+      [
+        ("frame", Json.String "hello");
+        ("worker_id", Json.String worker_id);
+        ("pid", Json.Int pid);
+        ("version", Json.Int version);
+      ]
+  | Heartbeat -> Json.Obj [ ("frame", Json.String "heartbeat") ]
+  | Result { seq; row } ->
+    Json.Obj
+      [
+        ("frame", Json.String "result");
+        ("seq", Json.Int seq);
+        ("row", Job.row_to_json row);
+      ]
+
+let ( let* ) = Result.bind
+
+let parse_frame line =
+  match Json.of_string line with
+  | Error msg -> Error ("frame is not JSON: " ^ msg)
+  | Ok json -> (
+    match Option.bind (Json.field "frame" json) Json.get_string with
+    | None -> Error "frame has no string \"frame\" member"
+    | Some kind -> Ok (kind, json))
+
+let int_field name json =
+  match Option.bind (Json.field name json) Json.get_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "frame is missing integer %S" name)
+
+let string_field name json =
+  match Option.bind (Json.field name json) Json.get_string with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "frame is missing string %S" name)
+
+let sub_field name json =
+  match Json.field name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "frame is missing %S" name)
+
+let to_worker_of_line line =
+  let* kind, json = parse_frame line in
+  match kind with
+  | "job" ->
+    let* seq = int_field "seq" json in
+    let* batch_id = int_field "batch_id" json in
+    let* spec = sub_field "job" json in
+    let* job = Job.of_json spec in
+    Ok (Assign { seq; batch_id; job })
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown coordinator frame %S" other)
+
+let from_worker_of_line line =
+  let* kind, json = parse_frame line in
+  match kind with
+  | "hello" ->
+    let* worker_id = string_field "worker_id" json in
+    let* pid = int_field "pid" json in
+    let* version = int_field "version" json in
+    Ok (Hello { worker_id; pid; version })
+  | "heartbeat" -> Ok Heartbeat
+  | "result" ->
+    let* seq = int_field "seq" json in
+    let* row = sub_field "row" json in
+    let* row = Job.row_of_json row in
+    Ok (Result { seq; row })
+  | other -> Error (Printf.sprintf "unknown worker frame %S" other)
+
+(* Frames are newline-delimited JSON documents written whole. A frame
+   never contains a raw newline (Json.to_string escapes them), so the
+   reader can reassemble on '\n' alone. *)
+let write_frame fd json =
+  let line = Json.to_string json ^ "\n" in
+  let bytes = Bytes.of_string line in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let n =
+      try Unix.write fd bytes !off (len - !off)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    off := !off + n
+  done
+
+(* Coordinator addresses: "host:port" (with an integral port and no '/')
+   is TCP, anything else is a unix-domain socket path. *)
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_of_string s =
+  if String.contains s '/' then Unix_path s
+  else
+    match String.rindex_opt s ':' with
+    | None -> Unix_path s
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when host <> "" && p > 0 && p < 65536 -> Tcp (host, p)
+      | _ -> Unix_path s)
+
+let sockaddr_of = function
+  | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let connect addr =
+  let domain, sockaddr = sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let listen ?(backlog = 16) addr =
+  (match addr with
+  | Unix_path path -> if Sys.file_exists path then Sys.remove path
+  | Tcp _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd backlog
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd

@@ -1,0 +1,60 @@
+(** Fleet protocol framing: newline-delimited JSON frames between the
+    coordinator ({!Fleet}) and worker processes ({!Worker}).
+
+    Coordinator → worker:
+
+    - [{"frame":"job","seq":N,"batch_id":B,"job":{…}}] — run this job
+      spec; [seq] is the coordinator's dispatch sequence number, echoed
+      back with the result so requeued jobs can never be double-counted.
+    - [{"frame":"shutdown"}] — finish nothing further and exit cleanly.
+
+    Worker → coordinator:
+
+    - [{"frame":"hello","worker_id":…,"pid":…,"version":…}] — first
+      frame after connecting; a version mismatch refuses the worker.
+    - [{"frame":"heartbeat"}] — liveness while computing (an idle worker
+      is silent; it is the {e absence} of both heartbeats and results
+      from a worker with jobs in flight that signals death).
+    - [{"frame":"result","seq":N,"row":{…}}] — the finished row for
+      dispatch [seq].
+
+    A frame is one [Json.to_string] document plus ['\n']; rendered JSON
+    never contains a raw newline, so readers reassemble on newlines
+    alone. *)
+
+val protocol_version : int
+
+type to_worker =
+  | Assign of { seq : int; batch_id : int; job : Job.t }
+  | Shutdown
+
+type from_worker =
+  | Hello of { worker_id : string; pid : int; version : int }
+  | Heartbeat
+  | Result of { seq : int; row : Job.row }
+
+val to_worker_to_json : to_worker -> Dcopt_util.Json.t
+val from_worker_to_json : from_worker -> Dcopt_util.Json.t
+
+val to_worker_of_line : string -> (to_worker, string) result
+val from_worker_of_line : string -> (from_worker, string) result
+(** Parse one frame line; [Error] on non-JSON, a missing/mistyped
+    member, or an unknown ["frame"] kind. *)
+
+val write_frame : Unix.file_descr -> Dcopt_util.Json.t -> unit
+(** Write one frame (document + newline) whole, retrying short writes
+    and [EINTR]. Raises [Unix.Unix_error] on a dead peer ([EPIPE] when
+    [SIGPIPE] is ignored, which {!Fleet} and {!Worker} both arrange). *)
+
+(** {1 Addresses} *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_of_string : string -> addr
+(** ["host:port"] with an integral port and no ['/'] is {!Tcp};
+    everything else is a unix-domain socket path. *)
+
+val connect : addr -> Unix.file_descr
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** [listen] unlinks a stale unix socket path and sets [SO_REUSEADDR]
+    for TCP. Both raise [Unix.Unix_error] on failure. *)

@@ -1,0 +1,118 @@
+module Metrics = Dcopt_obs.Metrics
+module Events = Dcopt_obs.Events
+module Json = Dcopt_util.Json
+
+let jobs_c =
+  Metrics.counter ~help:"Jobs this worker process executed"
+    "service.worker.jobs"
+
+(* Deterministic crash injection for the recovery tests:
+   DCOPT_FLEET_CHAOS_KILL="<worker_id>:<nth>" makes the named worker
+   SIGKILL itself in place of sending its nth result — the harshest
+   possible death (job fully paid for, result never delivered), which
+   the coordinator must answer by requeuing onto survivors. *)
+let chaos_kill_after ~worker_id =
+  match Sys.getenv_opt "DCOPT_FLEET_CHAOS_KILL" with
+  | None -> None
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None -> None
+    | Some i ->
+      let id = String.sub spec 0 i in
+      let nth =
+        int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      if id = worker_id then nth else None)
+
+let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Events.set_worker_id worker_id;
+  let fd = Wire.connect (Wire.addr_of_string connect) in
+  let ic = Unix.in_channel_of_descr fd in
+  (* results and heartbeats interleave from two threads; frames must hit
+     the socket whole *)
+  let write_mutex = Mutex.create () in
+  let send frame =
+    Mutex.lock write_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock write_mutex)
+      (fun () -> Wire.write_frame fd (Wire.from_worker_to_json frame))
+  in
+  send
+    (Wire.Hello
+       { worker_id; pid = Unix.getpid (); version = Wire.protocol_version });
+  Events.info "worker.start"
+    ~fields:[ ("pid", Json.Int (Unix.getpid ())) ];
+  (* Heartbeats flow only while a job is computing: an idle worker is
+     silent (nothing in flight means nothing for the coordinator to
+     requeue), and a worker stuck inside an optimizer keeps proving it
+     is alive without touching the compute path. *)
+  let computing = Atomic.make false in
+  let stop = Atomic.make false in
+  let heartbeat =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          Thread.delay heartbeat_interval_s;
+          if Atomic.get computing && not (Atomic.get stop) then
+            try send Wire.Heartbeat
+            with Unix.Unix_error _ | Sys_error _ -> Atomic.set stop true
+        done)
+      ()
+  in
+  let chaos = chaos_kill_after ~worker_id in
+  let results_sent = ref 0 in
+  let clean =
+    try
+      let running = ref true in
+      let clean = ref false in
+      while !running && not (Atomic.get stop) do
+        match input_line ic with
+        | exception End_of_file -> running := false
+        | line -> (
+          match Wire.to_worker_of_line line with
+          | Error msg ->
+            (* a coordinator speaking garbage means the stream is out of
+               sync; there is no way to resynchronise a line protocol,
+               so exit and let the coordinator count us lost *)
+            Events.error "worker.bad_frame"
+              ~fields:[ ("error", Json.String msg) ];
+            running := false
+          | Ok Wire.Shutdown ->
+            clean := true;
+            running := false
+          | Ok (Wire.Assign { seq; batch_id; job }) ->
+            Metrics.incr jobs_c;
+            Atomic.set computing true;
+            (* the full single-job pipeline, sharing the coordinator's
+               batch_id: store hits work here too (any worker can serve
+               any job the shared store has), and isolation guarantees
+               a row comes back whatever the job does *)
+            let rows =
+              Fun.protect
+                ~finally:(fun () -> Atomic.set computing false)
+                (fun () -> Service.run_batch ?store ~batch_id [ job ])
+            in
+            let row =
+              match rows with
+              | [ row ] -> row
+              | _ -> assert false (* one job in, one row out *)
+            in
+            incr results_sent;
+            (match chaos with
+            | Some nth when !results_sent = nth ->
+              Unix.kill (Unix.getpid ()) Sys.sigkill
+            | _ -> ());
+            send (Wire.Result { seq; row }))
+      done;
+      !clean
+    with Unix.Unix_error _ | Sys_error _ ->
+      (* coordinator went away mid-send/mid-read: nothing left to serve *)
+      false
+  in
+  Atomic.set stop true;
+  Thread.join heartbeat;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Events.info "worker.exit"
+    ~fields:[ ("clean", if clean then Json.Bool true else Json.Bool false) ];
+  clean

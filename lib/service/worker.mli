@@ -1,0 +1,32 @@
+(** Fleet worker process body: the [minpower worker] subcommand.
+
+    Connects to a coordinator ({!Fleet}) socket, announces itself with a
+    [hello] frame, then loops: read a [job] frame, run it through the
+    full single-job {!Service.run_batch} pipeline (sharing the
+    coordinator's [batch_id], so the event-log correlation chain
+    [run_id → batch_id → worker_id → job_id] spans processes), and send
+    the [result] frame back. While a job computes, a background thread
+    streams [heartbeat] frames so the coordinator can tell a slow
+    optimizer from a dead process; an idle worker is silent.
+
+    Workers are meant to run with the domain pool at [jobs=1] — fleet
+    parallelism replaces the in-process pool — which the CLI arranges.
+
+    Chaos hook (tests only): with
+    [DCOPT_FLEET_CHAOS_KILL="<worker_id>:<nth>"] in the environment, the
+    named worker [SIGKILL]s itself in place of sending its [nth] result,
+    exercising the coordinator's requeue path deterministically. *)
+
+val run :
+  ?store:Store.t ->
+  ?heartbeat_interval_s:float ->
+  connect:string ->
+  worker_id:string ->
+  unit ->
+  bool
+(** Run the worker loop until a [shutdown] frame ([true]) or until the
+    coordinator disappears / desynchronises ([false]). [connect] is
+    parsed by {!Wire.addr_of_string}; [store] is this worker's handle on
+    the shared warm tier (hits served worker-side); heartbeats default
+    to every 0.5 s. Sets the process event-log worker id and ignores
+    [SIGPIPE]. *)

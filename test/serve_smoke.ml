@@ -128,6 +128,37 @@ let () =
   let status2 = input_line tic in
   if not (contains ~needle:"\"jobs\":2" status2) then
     fail "status does not track jobs: %S" status2;
+  (* protocol fuzz: every malformed frame must come back as a failed row
+     for that line — never a dead session, never a serve abort *)
+  let fuzz_frames =
+    [
+      "{not json at all";
+      "{\"circuit\":123}";
+      "{\"circuit\":\"s27\",\"bogus\":1}";
+      "{\"circuit\":\"s27\",\"optimizer\":\"no-such-optimizer\"}";
+      "{\"nested\":{\"deep\":[1,2,{\"x\":null}]}}";
+      "[1,2,3]";
+      "{\"circuit\":\"s27\",\"timeout_s\":\"soon\"}";
+      String.concat "" (List.init 2000 (fun _ -> "{"));
+      "{\"circuit\":\"\\u0000\\u0001\"}";
+    ]
+  in
+  List.iter
+    (fun frame ->
+      send frame;
+      let row = input_line tic in
+      if not (contains ~needle:"\"status\":\"failed\"" row) then
+        fail "malformed frame %S did not produce a failed row: %S"
+          (String.sub frame 0 (min 40 (String.length frame)))
+          row)
+    fuzz_frames;
+  (* the session survived all of it: a real job still runs *)
+  send "{\"id\":\"after-fuzz\",\"circuit\":\"s27\",\"optimizer\":\"baseline\"}";
+  let row3 = input_line tic in
+  if not (contains ~needle:"\"id\":\"after-fuzz\"" row3) then
+    fail "session dead after fuzz: %S" row3;
+  if not (contains ~needle:"\"status\":\"solved\"" row3) then
+    fail "post-fuzz job did not solve: %S" row3;
   (* EOF ends the session cleanly *)
   close_out toc;
   (match snd (Unix.waitpid [] pid) with

@@ -299,6 +299,108 @@ let test_unknown_inputs_become_rows () =
       | _ -> Alcotest.fail (r.Job.job_id ^ " should be a failure row"))
     rows
 
+(* --- fleet wire protocol ---------------------------------------------- *)
+
+module Wire = Dcopt_service.Wire
+
+let test_wire_roundtrip () =
+  let job =
+    Job.make ~id:"t1" ~optimizer:"joint" ~timeout_s:1.5 ~retries:2
+      ~config:(Json.Obj [ ("clock_frequency", Json.Float 2e8) ])
+      "s27"
+  in
+  List.iter
+    (fun frame ->
+      let line = Json.to_string (Wire.to_worker_to_json frame) in
+      match Wire.to_worker_of_line line with
+      | Ok frame' ->
+        Alcotest.(check bool) "coordinator frame round-trips" true
+          (frame = frame')
+      | Error e -> Alcotest.fail e)
+    [ Wire.Assign { seq = 7; batch_id = 3; job }; Wire.Shutdown ];
+  let row =
+    {
+      Job.job_id = "t1";
+      row_circuit = "s27";
+      row_optimizer = "joint";
+      digest = "abc123";
+      cache_hit = false;
+      outcome = Job.Failed { error = "boom"; attempts = 2 };
+    }
+  in
+  List.iter
+    (fun frame ->
+      let line = Json.to_string (Wire.from_worker_to_json frame) in
+      match Wire.from_worker_of_line line with
+      | Ok frame' ->
+        Alcotest.(check bool) "worker frame round-trips" true (frame = frame')
+      | Error e -> Alcotest.fail e)
+    [
+      Wire.Hello { worker_id = "w0"; pid = 123; version = Wire.protocol_version };
+      Wire.Heartbeat;
+      Wire.Result { seq = 7; row };
+    ]
+
+let test_wire_rejects_malformed () =
+  let expect_error what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " should not parse")
+  in
+  expect_error "garbage" (Wire.to_worker_of_line "not json");
+  expect_error "no frame member" (Wire.to_worker_of_line "{\"seq\":1}");
+  expect_error "unknown kind" (Wire.to_worker_of_line "{\"frame\":\"nope\"}");
+  expect_error "missing seq"
+    (Wire.to_worker_of_line "{\"frame\":\"job\",\"batch_id\":1}");
+  expect_error "bad job"
+    (Wire.to_worker_of_line
+       "{\"frame\":\"job\",\"seq\":1,\"batch_id\":1,\"job\":{\"x\":1}}");
+  expect_error "missing row" (Wire.from_worker_of_line "{\"frame\":\"result\",\"seq\":1}");
+  expect_error "non-json worker frame" (Wire.from_worker_of_line "\x00\x01")
+
+let test_wire_addr () =
+  let check what want got =
+    Alcotest.(check bool) what true (want = got)
+  in
+  check "host:port is tcp" (Wire.Tcp ("localhost", 7070))
+    (Wire.addr_of_string "localhost:7070");
+  check "path stays unix" (Wire.Unix_path "/tmp/x.sock")
+    (Wire.addr_of_string "/tmp/x.sock");
+  check "path with colon-int suffix but slash stays unix"
+    (Wire.Unix_path "/tmp/x:1") (Wire.addr_of_string "/tmp/x:1");
+  check "non-numeric port stays unix" (Wire.Unix_path "foo:bar")
+    (Wire.addr_of_string "foo:bar")
+
+(* byte-identity of run_batch against a fleet-shaped executor that
+   computes tasks out of order on the calling domain — the library half
+   of the fleet invariant, no processes involved *)
+let test_run_batch_via_out_of_order () =
+  let jobs =
+    List.concat_map
+      (fun fc ->
+        [
+          Job.make ~id:(Printf.sprintf "a%d" fc) ~optimizer:"baseline"
+            ~config:(Json.Obj [ ("clock_frequency", Json.Float (float fc *. 1e6)) ])
+            "s27";
+        ])
+      [ 150; 175; 200; 150 ]
+  in
+  let reference = Service.run_batch jobs in
+  let scrambled =
+    Service.run_batch_via
+      ~execute:(fun ~batch_id tasks ->
+        let n = Array.length tasks in
+        let out = Array.make n None in
+        (* reverse order, like a slow worker finishing last *)
+        for i = n - 1 downto 0 do
+          out.(i) <- Some (Service.compute_task ~batch_id tasks.(i))
+        done;
+        Array.map Option.get out)
+      jobs
+  in
+  Alcotest.(check string)
+    "rows byte-identical under an out-of-order executor"
+    (rows_to_string reference) (rows_to_string scrambled)
+
 let () =
   Alcotest.run "service"
     [
@@ -325,6 +427,16 @@ let () =
             test_within_batch_dedup;
           Alcotest.test_case "digest sensitivity" `Quick
             test_digest_sensitivity;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "wire frame round-trip" `Quick
+            test_wire_roundtrip;
+          Alcotest.test_case "wire rejects malformed frames" `Quick
+            test_wire_rejects_malformed;
+          Alcotest.test_case "wire address parsing" `Quick test_wire_addr;
+          Alcotest.test_case "out-of-order executor byte-identity" `Quick
+            test_run_batch_via_out_of_order;
         ] );
       ( "isolation",
         [
