@@ -264,10 +264,54 @@ let bechamel_tests () =
       .Dcopt_timing.Delay_assign.t_max
   in
   let n = Circuit.size core in
+  (* constrained-vs-scalar STA pair, small and large: the same forward +
+     backward analysis with a scalar target vs per-endpoint required
+     seeds (one tightened output, the Constraints projection shape) *)
+  let module Constraints = Dcopt_timing.Constraints in
+  let module Sta = Dcopt_timing.Sta in
+  let module Flat_sta = Dcopt_timing.Flat_sta in
+  let tc = 1.0 /. 300e6 in
+  let req_of circuit =
+    let out_name id = (Circuit.node circuit id).Circuit.name in
+    let victim = out_name (Circuit.outputs circuit).(0) in
+    Constraints.required_times
+      {
+        (Constraints.of_cycle_time tc) with
+        Constraints.output_delays =
+          [
+            { Constraints.port = victim; io_clock = None; io_delay = 0.1 *. tc };
+          ];
+      }
+      ~default:tc circuit
+  in
+  let req = req_of core in
+  let dag =
+    Dcopt_netlist.Generator.(random_dag (default_dag ~name:"dag10k" ~seed:7L ~gates:10_000 ()))
+  in
+  let dag_flat = Dcopt_netlist.Flat.of_circuit dag in
+  let dag_req = req_of dag in
+  let dag_delays =
+    let rng = Dcopt_util.Prng.create 13L in
+    Array.init (Circuit.size dag) (fun _ -> Dcopt_util.Prng.float rng 1e-9)
+  in
   [
     Test.make ~name:"activity/first-order (s298)"
       (Staged.stage (fun () ->
            ignore (Dcopt_activity.Activity.local_profile core specs)));
+    Test.make ~name:"timing/sta scalar (s298)"
+      (Staged.stage (fun () ->
+           ignore (Sta.analyze ~required_time:tc core ~delays:budgets)));
+    Test.make ~name:"timing/sta constrained (s298)"
+      (Staged.stage (fun () ->
+           ignore (Sta.analyze ~required_times:req core ~delays:budgets)));
+    Test.make ~name:"timing/sta scalar (dag10k)"
+      (Staged.stage (fun () ->
+           ignore (Flat_sta.analyze ~required_time:tc dag_flat ~delays:dag_delays)));
+    Test.make ~name:"timing/sta constrained (dag10k)"
+      (Staged.stage (fun () ->
+           ignore
+             (Flat_sta.analyze ~required_times:dag_req dag_flat
+                ~delays:dag_delays)));
     Test.make ~name:"timing/procedure-1 budgets (s298)"
       (Staged.stage (fun () ->
            ignore
@@ -417,21 +461,40 @@ let measure_scale () =
   let module Flat_sta = Dcopt_timing.Flat_sta in
   let module Prng = Dcopt_util.Prng in
   let one (name, gates, reps) =
+    (* the sta_constrained row measures the same flat-vs-pointer pair on
+       the per-endpoint required-time path: finite capture budgets at
+       every primary output, infinity elsewhere — the shape
+       Constraints.required_times projects, so the dedicated _req
+       backward kernel is the one on the clock *)
+    let constrained = String.equal name "sta_constrained" in
     let d = G.default_dag ~name ~seed:42L ~gates () in
     let c = G.random_dag d in
     let f = Flat.of_circuit c in
     let n = Circuit.size c in
     let rng = Prng.create 9L in
     let delays = Array.init n (fun _ -> Prng.float rng 1e-9) in
+    let required_times =
+      if not constrained then None
+      else begin
+        let req = Array.make n infinity in
+        let rng = Prng.create 11L in
+        Array.iter
+          (fun id -> req.(id) <- 0.5e-9 +. Prng.float rng 1e-9)
+          (Circuit.outputs c);
+        Some req
+      end
+    in
     let best_ptr = ref infinity and best_flat = ref infinity in
     for _ = 1 to reps do
-      let _, dt = wall (fun () -> Sta.analyze c ~delays) in
+      let _, dt = wall (fun () -> Sta.analyze ?required_times c ~delays) in
       if dt < !best_ptr then best_ptr := dt;
-      let _, dt = wall (fun () -> Flat_sta.analyze f ~jobs:1 ~delays) in
+      let _, dt =
+        wall (fun () -> Flat_sta.analyze ?required_times f ~jobs:1 ~delays)
+      in
       if dt < !best_flat then best_flat := dt
     done;
-    let r1 = Flat_sta.analyze f ~jobs:1 ~delays in
-    let r4 = Flat_sta.analyze f ~jobs:4 ~delays in
+    let r1 = Flat_sta.analyze ?required_times f ~jobs:1 ~delays in
+    let r4 = Flat_sta.analyze ?required_times f ~jobs:4 ~delays in
     (* Bitwise, like test_flat.ml: (=) conflates 0. with -0. and never
        matches NaN, which is weaker than the byte-identical contract. *)
     let bits_equal a b =
@@ -464,8 +527,14 @@ let measure_scale () =
     }
   in
   let sizes =
-    if !quick then [ ("sta_100k", 100_000, 5) ]
-    else [ ("sta_100k", 100_000, 8); ("sta_1m", 1_000_000, 3) ]
+    if !quick then
+      [ ("sta_100k", 100_000, 5); ("sta_constrained", 100_000, 5) ]
+    else
+      [
+        ("sta_100k", 100_000, 8);
+        ("sta_constrained", 100_000, 8);
+        ("sta_1m", 1_000_000, 3);
+      ]
   in
   List.map one sizes
 
@@ -780,7 +849,8 @@ let run_timing () =
     List.map
       (fun name ->
         let p = Flow.prepare (Suite.find_exn name) in
-        let _, dt = wall (fun () -> Flow.run_joint p) in
+        let _, dt = wall (fun () -> (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p)) in
         Dcopt_util.Text_table.add_row t [ name; Printf.sprintf "%.2f s" dt ];
         (name, dt))
       (if !quick then [ "s27" ] else [ "s27"; "s298"; "s344"; "s510" ])

@@ -11,6 +11,10 @@
 
 module Flow = Dcopt_core.Flow
 module Optimizer = Dcopt_core.Optimizer
+module Scenario = Dcopt_core.Scenario
+module Sdc = Dcopt_timing.Sdc
+module Constraints = Dcopt_timing.Constraints
+module Diag = Dcopt_util.Diag
 module Solution = Dcopt_opt.Solution
 module Suite = Dcopt_suite.Suite
 module Json = Dcopt_util.Json
@@ -220,6 +224,27 @@ let fc_arg =
   let doc = "Clock frequency in Hz." in
   Arg.(value & opt float 300e6 & info [ "fc"; "frequency" ] ~docv:"HZ" ~doc)
 
+let cycle_target_arg =
+  let doc =
+    "Cycle-time target in seconds (an alternative to $(b,--fc); exactly      the scalar constraint $(b,--fc)'s reciprocal sets)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cycle-target" ] ~docv:"SECONDS" ~doc)
+
+let sdc_arg =
+  let doc =
+    "SDC-lite constraint file: clock periods, per-endpoint      set_max_delay/set_min_delay, false paths and I/O delays. The      tightest clock period defines the clock frequency; conflicts with      $(b,--cycle-target)."
+  in
+  Arg.(value & opt (some file) None & info [ "sdc" ] ~docv:"FILE" ~doc)
+
+let corners_arg =
+  let doc =
+    "Process corners to optimize across, comma-separated: presets      $(b,nominal) (1.0), $(b,slow) (1.1), $(b,leaky)/$(b,fast) (0.9) or      explicit $(i,name:factor) threshold multipliers. The first corner      books the energy objective; feasibility must hold at every corner."
+  in
+  Arg.(value & opt (some string) None & info [ "corners" ] ~docv:"SPEC" ~doc)
+
 let activity_arg =
   let doc = "Transition density at every primary input (per cycle)." in
   Arg.(value & opt float 0.1 & info [ "activity" ] ~docv:"D" ~doc)
@@ -299,35 +324,121 @@ let print_solution ?(json = false) p = function
         (p.Flow.config.Flow.clock_frequency /. 1e6);
     1
 
+(* --sdc and --cycle-target both define the timing target; the combo is
+   refused with a located diagnostic (the config.oversubscribe pattern)
+   rather than silently letting one win. *)
+let check_sdc_cycle_target sdc cycle_target =
+  match (sdc, cycle_target) with
+  | Some path, Some t ->
+    Some
+      (Diag.errorf ~file:"<command-line>" ~code:"config.conflict"
+         "--sdc %s with --cycle-target %g: both set the timing target; \
+          drop --cycle-target (the SDC clock period defines the cycle) or \
+          drop --sdc"
+         path t)
+  | _ -> None
+
 let optimize_cmd =
-  let run spec fc activity probability m_steps exact grid n_vt tech json obs =
-    let config = config_of ?tech fc activity probability m_steps exact in
-    finish obs
-      (with_prepared spec config (fun p ->
-           (* dispatch through the registry so the CLI exercises the same
-              descriptors as the batch service *)
-           let sol =
-             if n_vt > 1 then Flow.run_multi_vt ~n_vt p
-             else
-               let name = if grid then "joint-grid" else "joint" in
-               (Optimizer.get name).Optimizer.run p
-           in
-           print_solution ~json p sol))
+  let run spec fc cycle_target sdc corners_spec activity probability m_steps
+      exact grid n_vt tech json obs =
+    match check_sdc_cycle_target sdc cycle_target with
+    | Some diag ->
+      Printf.eprintf "%s\n" (Diag.to_string diag);
+      finish obs 2
+    | None -> (
+      match cycle_target with
+      | Some t when not (Float.is_finite t && t > 0.0) ->
+        Printf.eprintf "%s\n"
+          (Diag.to_string
+             (Diag.errorf ~file:"<command-line>" ~code:"config.range"
+                "--cycle-target %g: the cycle time must be positive and \
+                 finite"
+                t));
+        finish obs 2
+      | _ -> (
+        match Option.map Scenario.corners_of_spec corners_spec with
+        | Some (Error diags) ->
+          List.iter
+            (fun d -> Printf.eprintf "%s\n" (Diag.to_string d))
+            diags;
+          finish obs 2
+        | corners_result ->
+          let corners =
+            match corners_result with Some (Ok ks) -> Some ks | _ -> None
+          in
+          finish obs
+            (with_circuit spec (fun circuit ->
+                 let constraints_result =
+                   match sdc with
+                   | None -> Ok None
+                   | Some path -> (
+                     match Sdc.parse_file_checked ~circuit path with
+                     | Ok c -> Ok (Some c)
+                     | Error diags -> Error (path, diags))
+                 in
+                 match constraints_result with
+                 | Error (path, diags) ->
+                   Printf.eprintf "%s%s: %s\n" (Diag.render diags) path
+                     (Diag.summary diags);
+                   2
+                 | Ok constraints ->
+                   let fc =
+                     match (cycle_target, constraints) with
+                     | Some t, _ -> 1.0 /. t
+                     | None, Some c -> (
+                       match Constraints.default_period c with
+                       | Some period -> 1.0 /. period
+                       | None -> fc)
+                     | None, None -> fc
+                   in
+                   let config =
+                     config_of ?tech fc activity probability m_steps exact
+                   in
+                   let p = Flow.prepare ~config ?constraints circuit in
+                   let s =
+                     match corners with
+                     | None -> Scenario.of_prepared p
+                     | Some ks -> Scenario.make ~corners:ks p
+                   in
+                   (* dispatch through the registry so the CLI exercises
+                      the same descriptors as the batch service; --n-vt
+                      composes the multi-vt engine with an explicit count *)
+                   let sol =
+                     if n_vt > 1 then
+                       let pv = Scenario.prepared_view s in
+                       Scenario.finalize s
+                         (Flow.run_with_budgets ~name:"multi-vt" pv
+                            (fun budgets ->
+                              Dcopt_opt.Multi_vt.optimize
+                                ~m_steps:pv.Flow.config.Flow.m_steps ~n_vt
+                                pv.Flow.env ~budgets))
+                     else
+                       let name = if grid then "joint-grid" else "joint" in
+                       (Optimizer.get name).Optimizer.run s
+                   in
+                   print_solution ~json p sol))))
   in
   let doc = "Jointly optimize Vdd, Vt and device widths (Procedure 2)." in
   Cmd.v
     (Cmd.info "optimize" ~doc)
     Term.(
-      const run $ circuit_arg $ fc_arg $ activity_arg $ probability_arg
-      $ m_steps_arg $ exact_arg $ grid_arg $ n_vt_arg $ tech_arg $ json_arg
-      $ obs_term)
+      const run $ circuit_arg $ fc_arg $ cycle_target_arg $ sdc_arg
+      $ corners_arg $ activity_arg $ probability_arg $ m_steps_arg
+      $ exact_arg $ grid_arg $ n_vt_arg $ tech_arg $ json_arg $ obs_term)
+
+(* the CLI baseline pins --vt, so it composes the engine with
+   Flow.run_with_budgets instead of using the registry's default *)
+let run_baseline_at ~vt p =
+  Flow.run_with_budgets ~name:"baseline" ~vt p (fun budgets ->
+      Dcopt_opt.Baseline.optimize ~vt ~m_steps:p.Flow.config.Flow.m_steps
+        p.Flow.env ~budgets)
 
 let baseline_cmd =
   let run spec fc activity probability m_steps exact vt json obs =
     let config = config_of fc activity probability m_steps exact in
     finish obs
       (with_prepared spec config (fun p ->
-           print_solution ~json p (Flow.run_baseline ~vt p)))
+           print_solution ~json p (run_baseline_at ~vt p)))
   in
   let doc = "Optimize only Vdd and widths at a fixed threshold (Table 1)." in
   Cmd.v
@@ -341,8 +452,11 @@ let compare_cmd =
     let config = config_of fc activity probability m_steps exact in
     finish obs
       (with_prepared spec config (fun p ->
-           let base = Flow.run_baseline ~vt p in
-           let joint = (Optimizer.get "joint-grid").Optimizer.run p in
+           let base = run_baseline_at ~vt p in
+           let joint =
+             (Optimizer.get "joint-grid").Optimizer.run
+               (Scenario.of_prepared p)
+           in
            match (base, joint) with
            | Some base, Some joint ->
              if json then
@@ -488,7 +602,9 @@ let profile_cmd =
                (Telemetry.record recorder)
                (Telemetry.tee (Telemetry.to_metrics ()) (Telemetry.to_events ()))
            in
-           let sol = optimizer.Optimizer.run ~observer p in
+           let sol =
+             optimizer.Optimizer.run ~observer (Scenario.of_prepared p)
+           in
            let wall_ns = Int64.sub (Clock.now_ns ()) t0 in
            print_phase_breakdown ~wall_ns;
            print_iteration_summary recorder;
@@ -718,7 +834,8 @@ let pareto_cmd =
                let config = config_of fc activity probability m_steps false in
                let p = Flow.prepare ~config circuit in
                match
-                 Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+                 (Optimizer.get "joint-grid").Optimizer.run
+                   (Scenario.of_prepared p)
                with
                | None ->
                  Text_table.add_row table
@@ -801,7 +918,8 @@ let spice_cmd =
              if not optimize then None
              else
                let p = Flow.prepare circuit in
-               Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p
+               (Optimizer.get "joint-grid").Optimizer.run
+                 (Scenario.of_prepared p)
                |> Option.map (fun sol ->
                       sol.Solution.design.Dcopt_opt.Power_model.widths)
            in

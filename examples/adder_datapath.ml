@@ -32,7 +32,8 @@ let () =
         { Flow.default_config with Flow.clock_frequency = fc_mhz *. 1e6 }
       in
       let p = Flow.prepare ~config adder in
-      match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
+      match (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared p) with
       | None ->
         Dcopt_util.Text_table.add_row table
           [ Printf.sprintf "%.0f MHz" fc_mhz; "-"; "-"; "-"; "-"; "-";

@@ -19,7 +19,8 @@ module Tech = Dcopt_device.Tech
 let () =
   let tech = Tech.default in
   let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s386") in
-  match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
+  match (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared p) with
   | None -> print_endline "no feasible design"
   | Some sol ->
     let vt =

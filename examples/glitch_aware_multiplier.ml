@@ -38,7 +38,8 @@ let () =
       { Flow.default_config with Flow.clock_frequency = 100e6; engine }
     in
     let p = Flow.prepare ~config multiplier in
-    match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
+    match (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared p) with
     | None -> Printf.printf "%-22s infeasible\n" label
     | Some sol ->
       Printf.printf

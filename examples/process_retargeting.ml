@@ -34,7 +34,10 @@ let () =
         List.filter_map
           (fun name ->
             let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
-            Flow.run_baseline ~vt p |> Option.map Solution.total_energy)
+            Flow.run_with_budgets ~name:"baseline" ~vt p (fun budgets ->
+                Dcopt_opt.Baseline.optimize ~vt
+                  ~m_steps:p.Flow.config.Flow.m_steps p.Flow.env ~budgets)
+            |> Option.map Solution.total_energy)
           circuits
       in
       let feasible = List.length energies in

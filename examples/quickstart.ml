@@ -24,7 +24,8 @@ let () =
   (* 3. The conventional design: threshold pinned at 700 mV, only supply
      and widths tuned. *)
   let baseline =
-    match Flow.run_baseline prepared with
+    match (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared prepared) with
     | Some sol -> sol
     | None -> failwith "300 MHz is unreachable at Vt = 0.7 V"
   in
@@ -32,7 +33,10 @@ let () =
 
   (* 4. The paper's contribution: joint (Vdd, Vt, widths) optimization. *)
   let joint =
-    match Flow.run_joint prepared with
+    match
+      (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared prepared)
+    with
     | Some sol -> sol
     | None -> failwith "joint optimization found no feasible design"
   in

@@ -1,0 +1,27 @@
+# Worked SDC-lite constraint file for the s27 benchmark — the shape the
+# `minpower optimize --sdc` / batch `scenarios.sdc` front door expects.
+# One command per line, `\` continues, `#` comments. Times are
+# nanoseconds (the SDC convention); the reader converts to seconds.
+#
+# Try it:
+#   dune exec bin/minpower.exe -- optimize s27 --sdc examples/s27.sdc \
+#     --corners leaky,slow
+
+# Two clocks. The core clock is the fastest one, so it defines the
+# default cycle target (the CLI derives --fc from it); the interface
+# clock captures the external handshake at half rate.
+create_clock -period 3.3 -name clk_core [get_ports {G0 G1}]
+create_clock -period 6.6 -name clk_io G2
+
+# The downstream latch on the observable output steals 0.3 ns of the
+# core cycle: G17 must settle by 3.0 ns, not 3.3.
+set_output_delay 0.3 -clock clk_core [get_ports G17]
+
+# External data arrives 0.4 ns after the clock edge, so paths from the
+# interface pins start late.
+set_input_delay 0.4 -clock clk_io \
+  [get_ports {G2 G3}]
+
+# A blanket bound on every register-to-output path. Looser than the
+# core clock here, so it documents intent without tightening anything.
+set_max_delay 5.0

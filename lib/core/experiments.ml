@@ -59,20 +59,22 @@ let rows_with ~runner ?(config = Flow.default_config)
          runner p name density)
   |> List.filter_map Fun.id
 
-(* The table drivers dispatch through the {!Optimizer} registry — the
-   same descriptors the CLI and the batch service use — rather than
-   hard-coding Flow entry points. *)
+(* Every driver dispatches through the {!Optimizer} registry — the same
+   descriptors the CLI and the batch service use; the per-optimizer Flow
+   entry points no longer exist. Single-corner studies wrap the prepared
+   circuit in the legacy nominal scenario. *)
+
+let run_opt name p =
+  (Optimizer.get name).Optimizer.run (Scenario.of_prepared p)
 
 let rows_for ~optimizer ?baseline ?config ?circuits ?activities () =
-  let opt = Optimizer.get optimizer in
-  let base = Option.map Optimizer.get baseline in
   let runner p name density =
-    match opt.Optimizer.run p with
+    match run_opt optimizer p with
     | None -> None
     | Some sol ->
       let savings =
-        Option.bind base (fun b ->
-            b.Optimizer.run p
+        Option.bind baseline (fun b ->
+            run_opt b p
             |> Option.map (fun b -> Solution.savings ~baseline:b sol))
       in
       Some (row_of_solution p name density savings sol)
@@ -118,7 +120,7 @@ let render_table ~title rows =
 let fig2a ?(config = Flow.default_config) ?(circuit = "s298")
     ?(tolerances = [| 0.0; 0.05; 0.10; 0.15; 0.20; 0.25; 0.30 |]) () =
   let p = prepare_at config circuit config.Flow.input_density in
-  match Flow.run_baseline p with
+  match run_opt "baseline" p with
   | None -> [||]
   | Some base ->
     Variation.savings_curve ~m_steps:config.Flow.m_steps p.Flow.env
@@ -200,8 +202,8 @@ let annealing_comparison ?(config = Flow.default_config)
         let r = f () in
         (r, Sys.time () -. t0)
       in
-      let h, ht = timed (fun () -> Flow.run_joint ~strategy:Heuristic.Grid_refine p) in
-      let a, at = timed (fun () -> Flow.run_annealing p) in
+      let h, ht = timed (fun () -> run_opt "joint-grid" p) in
+      let a, at = timed (fun () -> run_opt "annealing" p) in
       match (h, a) with
       | Some h, Some a ->
         let he = Solution.total_energy h and ae = Solution.total_energy a in
@@ -243,7 +245,7 @@ let render_annealing rows =
 type ablation_row = { label : string; value : float; detail : string }
 
 let optimized_energy p =
-  Flow.run_joint ~strategy:Heuristic.Grid_refine p
+  run_opt "joint-grid" p
   |> Option.map Solution.total_energy
 
 let ablation_activity ?(config = Flow.default_config) ?(circuit = "s298") () =
@@ -306,7 +308,7 @@ let ablation_multi_vt ?(config = Flow.default_config) ?(circuit = "s298") () =
            { label = "single-vt"; value = e; detail = "n_v = 1" })
   in
   let dual =
-    Flow.run_multi_vt ~n_vt:2 p
+    run_opt "multi-vt" p
     |> Option.map (fun sol ->
            {
              label = "dual-vt";
@@ -325,7 +327,7 @@ let ablation_short_circuit ?(config = Flow.default_config)
   let run include_short_circuit label =
     let config = { config with Flow.include_short_circuit } in
     let p = prepare_at config circuit config.Flow.input_density in
-    Flow.run_joint ~strategy:Heuristic.Grid_refine p
+    run_opt "joint-grid" p
     |> Option.map (fun sol ->
            {
              label;
@@ -360,7 +362,9 @@ let ablation_multi_vdd ?(config = Flow.default_config) ?(circuit = "s298") () =
              detail = "one supply, Vt free" })
   in
   let joint_dual =
-    Flow.run_multi_vdd p
+    Flow.run_with_budgets ~name:"multi-vdd" p (fun budgets ->
+        Dcopt_opt.Multi_vdd.optimize ~m_steps:p.Flow.config.Flow.m_steps
+          p.Flow.env ~budgets)
     |> Option.map (fun r ->
            { label = "joint dual-vdd";
              value = Solution.total_energy r.Dcopt_opt.Multi_vdd.solution;
@@ -441,7 +445,7 @@ let scaling_study ?(config = Flow.default_config) ?(circuit = "s298")
          in
          let config = { config with Flow.tech } in
          let p = prepare_at config circuit config.Flow.input_density in
-         Flow.run_joint ~strategy:Heuristic.Grid_refine p
+         run_opt "joint-grid" p
          |> Option.map (fun sol ->
                 {
                   node_name = tech.Dcopt_device.Tech.tech_name;
@@ -591,7 +595,7 @@ let state_activity_study ?(config = Flow.default_config)
       let optimize engine =
         let config = { config with Flow.engine } in
         let p = prepare_at config name config.Flow.input_density in
-        Flow.run_joint ~strategy:Heuristic.Grid_refine p
+        run_opt "joint-grid" p
         |> Option.map Solution.total_energy
       in
       match
@@ -641,10 +645,10 @@ let ablation_sizing ?(config = Flow.default_config) ?(circuit = "s298") () =
     (r, Sys.time () -. t0)
   in
   let proc2, t2 =
-    timed (fun () -> Flow.run_joint ~strategy:Heuristic.Grid_refine p)
+    timed (fun () -> run_opt "joint-grid" p)
   in
   let tilos, tt =
-    timed (fun () -> Flow.run_tilos { p with Flow.config =
+    timed (fun () -> run_opt "tilos" { p with Flow.config =
         { p.Flow.config with Flow.m_steps = 8 } })
   in
   List.filter_map Fun.id
@@ -673,7 +677,7 @@ let ablation_fanin ?(config = Flow.default_config) ?(circuit = "s298") () =
   let core = Circuit.combinational_core (Suite.find_exn circuit) in
   let run c label =
     let p = Flow.prepare ~config c in
-    Flow.run_joint ~strategy:Heuristic.Grid_refine p
+    run_opt "joint-grid" p
     |> Option.map (fun sol ->
            {
              label;
@@ -701,7 +705,7 @@ let temperature_study ?(config = Flow.default_config) ?(circuit = "s298")
          let tech = Dcopt_device.Tech.at_temperature config.Flow.tech ~celsius in
          let config = { config with Flow.tech } in
          let p = prepare_at config circuit config.Flow.input_density in
-         Flow.run_joint ~strategy:Heuristic.Grid_refine p
+         run_opt "joint-grid" p
          |> Option.map (fun sol ->
                 {
                   label = Printf.sprintf "%.0f C" celsius;
@@ -726,7 +730,7 @@ let beyond_paper_pipeline ?(config = Flow.default_config)
   in
   let optimize_on c =
     let p = Flow.prepare ~config c in
-    (p, Flow.run_joint ~strategy:Heuristic.Grid_refine p)
+    (p, run_opt "joint-grid" p)
   in
   let row label detail sol =
     { label; value = Solution.total_energy sol; detail }

@@ -1,12 +1,8 @@
 module Circuit = Dcopt_netlist.Circuit
 module Activity = Dcopt_activity.Activity
 module Delay_assign = Dcopt_timing.Delay_assign
+module Constraints = Dcopt_timing.Constraints
 module Power_model = Dcopt_opt.Power_model
-module Heuristic = Dcopt_opt.Heuristic
-module Baseline = Dcopt_opt.Baseline
-module Annealing = Dcopt_opt.Annealing
-module Multi_vt = Dcopt_opt.Multi_vt
-module Multi_vdd = Dcopt_opt.Multi_vdd
 module Solution = Dcopt_opt.Solution
 module Budget_repair = Dcopt_opt.Budget_repair
 module Tech = Dcopt_device.Tech
@@ -114,13 +110,22 @@ let engine_name = function
   | Monte_carlo _ -> "monte-carlo"
   | Sequential_trace _ -> "sequential-trace"
 
-let prepare ?(config = default_config) circuit =
+let prepare ?(config = default_config) ?constraints circuit =
   (match Dcopt_util.Diag.errors (validate_config config) with
   | [] -> ()
   | errors ->
     invalid_arg
       ("Flow.prepare: ill-posed configuration\n"
       ^ Dcopt_util.Diag.render errors));
+  (* The legacy scalar cycle target becomes a one-clock constraint set
+     here — every caller migrates through this compatibility
+     constructor, and the scalar shape keeps the downstream fast paths
+     bit-identical. *)
+  let constraints =
+    match constraints with
+    | Some c -> c
+    | None -> Constraints.of_cycle_time (1.0 /. config.clock_frequency)
+  in
   Span.with_ "flow.prepare" ~args:[ ("circuit", Circuit.name circuit) ]
   @@ fun () ->
   let core =
@@ -166,12 +171,12 @@ let prepare ?(config = default_config) circuit =
   let env =
     Span.with_ "wire-load" (fun () ->
         Power_model.make_env
-          ~include_short_circuit:config.include_short_circuit ~tech:config.tech
-          ~fc:config.clock_frequency core profile)
+          ~include_short_circuit:config.include_short_circuit ~constraints
+          ~tech:config.tech ~fc:config.clock_frequency core profile)
   in
   let budget =
     Span.with_ "budgeting" (fun () ->
-        Delay_assign.assign ~skew_factor:config.skew_factor core
+        Delay_assign.assign ~skew_factor:config.skew_factor ~constraints core
           ~cycle_time:(1.0 /. config.clock_frequency))
   in
   Log.info (fun m ->
@@ -203,10 +208,11 @@ let repaired_budgets p ~vt =
 
 let fast_budgets p = repaired_budgets p ~vt:p.config.tech.Tech.vt_min
 
-(* Every budget-constrained optimizer entry point is the same pipeline:
-   an "optimize" span around Budget_repair at the right corner and the
-   search itself. The run_* functions below stay as thin named wrappers
-   (the compatible public API); uniform dispatch lives in {!Optimizer}. *)
+(* Every budget-constrained optimizer is the same pipeline: an
+   "optimize" span around Budget_repair at the right corner and the
+   search itself. The per-optimizer run_* wrappers this module used to
+   export are gone — dispatch goes through the {!Optimizer} registry,
+   whose builtins are built on this helper. *)
 let run_with_budgets ~name ?vt p search =
   Span.with_ "optimize" ~args:[ ("optimizer", name) ] @@ fun () ->
   let budgets =
@@ -217,46 +223,7 @@ let run_with_budgets ~name ?vt p search =
   | None -> None
   | Some budgets -> Span.with_ "search" (fun () -> search budgets)
 
-let run_baseline ?observer ?(vt = Baseline.default_vt) p =
-  run_with_budgets ~name:"baseline" ~vt p (fun budgets ->
-      Baseline.optimize ?observer ~vt ~m_steps:p.config.m_steps p.env ~budgets)
-
-let run_joint ?observer ?(strategy = Heuristic.Paper_binary) p =
-  let sol =
-    run_with_budgets ~name:"heuristic" p (fun budgets ->
-        Heuristic.optimize ?observer
-          ~options:
-            { Heuristic.m_steps = p.config.m_steps; strategy; vt_fixed = None }
-          p.env ~budgets)
-  in
-  (match sol with
-  | Some sol ->
-    Log.info (fun m ->
-        m "joint optimum: Vdd %.2f V, Vt %s mV, %s per cycle"
-          (Solution.vdd sol)
-          (Solution.vt_values sol
-          |> List.map (fun v -> Printf.sprintf "%.0f" (v *. 1000.0))
-          |> String.concat "/")
-          (Dcopt_util.Si.format ~unit:"J" (Solution.total_energy sol)))
-  | None -> Log.warn (fun m -> m "joint optimization found no feasible design"));
-  sol
-
-let run_annealing ?observer ?options p =
-  run_with_budgets ~name:"annealing" p (fun budgets ->
-      Annealing.optimize ?observer ?options p.env ~budgets)
-
-let run_multi_vt ?(n_vt = 2) p =
-  run_with_budgets ~name:"multi-vt" p (fun budgets ->
-      Multi_vt.optimize ~m_steps:p.config.m_steps ~n_vt p.env ~budgets)
-
-let run_tilos ?observer p =
-  Span.with_ "optimize" ~args:[ ("optimizer", "tilos") ] @@ fun () ->
-  Span.with_ "search" (fun () ->
-      Dcopt_opt.Tilos.optimize ?observer ~m_steps:p.config.m_steps p.env)
-
-let run_multi_vdd p =
-  run_with_budgets ~name:"multi-vdd" p (fun budgets ->
-      Multi_vdd.optimize ~m_steps:p.config.m_steps p.env ~budgets)
+let constraints p = Power_model.constraints p.env
 
 (* ------------------------------------------------------------------ *)
 (* Config JSON (schema version 1). [config_of_json] reads a partial

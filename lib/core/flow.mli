@@ -3,8 +3,9 @@
     [prepare] takes any circuit (sequential or combinational) through the
     full front end: combinational-core extraction, activity estimation
     (§4.1), wire-load estimation (§2) and Procedure-1 delay budgeting
-    (§4.2). The [run_*] functions then execute the optimizers of §4.3 and
-    §5 on the prepared circuit. *)
+    (§4.2). Optimizers are then dispatched uniformly through the
+    {!Optimizer} registry on a {!Scenario.t} — the per-optimizer
+    [run_*] wrappers this module used to export are gone. *)
 
 type activity_engine =
   | First_order        (** the paper's method: gate-local propagation *)
@@ -71,12 +72,26 @@ type prepared = {
   budget : Dcopt_timing.Delay_assign.t;
 }
 
-val prepare : ?config:config -> Dcopt_netlist.Circuit.t -> prepared
-(** When {!Dcopt_obs.Span} tracing is enabled, [prepare] records a
+val prepare :
+  ?config:config ->
+  ?constraints:Dcopt_timing.Constraints.t ->
+  Dcopt_netlist.Circuit.t -> prepared
+(** [constraints] (default: the scalar compatibility set
+    {!Dcopt_timing.Constraints.of_cycle_time}[ (1 /. clock_frequency)])
+    threads per-endpoint required times through budgeting
+    ({!Dcopt_timing.Delay_assign.assign}) and every feasibility verdict
+    ({!Dcopt_opt.Power_model.make_env}). Passing the scalar set — or
+    nothing — is bit-identical to the pre-constraint behaviour.
+
+    When {!Dcopt_obs.Span} tracing is enabled, [prepare] records a
     "flow.prepare" span with "core-extraction", "activity", "wire-load"
-    and "budgeting" children, and every [run_*] function an "optimize"
+    and "budgeting" children, and {!run_with_budgets} an "optimize"
     span with "budget-repair"/"search" children — together the five flow
     phases shown by [minpower profile]. *)
+
+val constraints : prepared -> Dcopt_timing.Constraints.t
+(** The constraint set the prepared environment judges feasibility
+    against. *)
 
 val budgets : prepared -> float array
 (** The raw Procedure-1 per-gate budgets. *)
@@ -84,40 +99,24 @@ val budgets : prepared -> float array
 val repaired_budgets : prepared -> vt:float -> float array option
 (** Budgets after {!Dcopt_opt.Budget_repair} at the (max-Vdd, [vt])
     corner; [None] when the circuit cannot make the cycle time at that
-    corner at all. Every [run_*] function uses these internally — the
-    joint optimizers at the fast corner ([vt_min]), the baseline at its
-    pinned threshold. *)
+    corner at all. Every registered optimizer uses these internally —
+    the joint optimizers at the fast corner ([vt_min]), the baseline at
+    its pinned threshold. *)
 
-val run_baseline :
-  ?observer:Dcopt_obs.Telemetry.observer ->
-  ?vt:float -> prepared -> Dcopt_opt.Solution.t option
-(** Table-1 baseline: fixed threshold (default 700 mV), Vdd and widths
-    optimized. *)
+val fast_budgets : prepared -> float array option
+(** {!repaired_budgets} at the fast corner ([vt_min]) — the default
+    repair point used by {!run_with_budgets}. *)
 
-val run_joint :
-  ?observer:Dcopt_obs.Telemetry.observer ->
-  ?strategy:Dcopt_opt.Heuristic.strategy ->
-  prepared -> Dcopt_opt.Solution.t option
-(** Procedure 2 (default [Paper_binary]). [observer] receives the
-    per-trial convergence stream ({!Dcopt_obs.Telemetry}). *)
-
-val run_annealing :
-  ?observer:Dcopt_obs.Telemetry.observer ->
-  ?options:Dcopt_opt.Annealing.options ->
-  prepared -> Dcopt_opt.Solution.t option
-
-val run_multi_vt : ?n_vt:int -> prepared -> Dcopt_opt.Solution.t option
-(** n_vt distinct thresholds (default 2). *)
-
-val run_multi_vdd : prepared -> Dcopt_opt.Multi_vdd.result option
-(** Dual-supply clustered-voltage-scaling extension. *)
-
-val run_tilos :
-  ?observer:Dcopt_obs.Telemetry.observer ->
-  prepared -> Dcopt_opt.Solution.t option
-(** Budget-free TILOS sensitivity sizing (slower; typically finds lower
-    energy than Procedure 2 because it never over-constrains individual
-    gates). *)
+val run_with_budgets :
+  name:string -> ?vt:float -> prepared ->
+  (float array -> 'a option) -> 'a option
+(** The shared optimizer skeleton the registry builtins are built on:
+    an "optimize" span wrapping a "budget-repair" phase ([vt] selects
+    the repair corner, default the fast corner) and a "search" phase
+    running [search] on the repaired budgets. [None] when repair finds
+    the cycle time unreachable. Per-optimizer entry points
+    ([run_baseline], [run_joint], ...) are gone — dispatch through
+    {!Optimizer.get} instead. *)
 
 val report : prepared -> Dcopt_opt.Solution.t -> string
 (** Human-readable single-solution report. *)

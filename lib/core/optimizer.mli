@@ -1,14 +1,20 @@
 (** First-class optimizer descriptors and the registry behind every
-    dispatch-by-name surface ([minpower --optimizer], the batch service's
-    job specs, {!Experiments} drivers).
+    dispatch surface ([minpower --optimizer], the batch service's job
+    specs, {!Experiments} drivers).
 
-    A descriptor wraps one optimization entry point behind the uniform
-    signature [?observer -> Flow.prepared -> Solution.t option]; the
-    {!Flow.run_*} functions remain as thin typed wrappers for callers
-    that want optimizer-specific options. Descriptors whose underlying
-    engine takes no telemetry observer (multi-vt, multi-vdd) ignore the
-    argument — which also means service timeouts cannot interrupt them
-    mid-search (cooperative cancellation rides the observer stream; see
+    A descriptor wraps one optimization engine behind the uniform
+    signature [?observer -> Scenario.t -> Solution.t option]: the
+    engine searches on the scenario's worst-corner prepared view and
+    the result is booked across every corner by {!Scenario.finalize}.
+    The per-optimizer [Flow.run_*] wrappers are gone — this registry is
+    the only dispatch path; callers that need engine-specific options
+    (a search strategy, [n_vt], annealing schedules) compose
+    {!Flow.run_with_budgets} with the {!Dcopt_opt} engines directly.
+
+    Descriptors whose underlying engine takes no telemetry observer
+    (multi-vt, multi-vdd) ignore the argument — which also means
+    service timeouts cannot interrupt them mid-search (cooperative
+    cancellation rides the observer stream; see
     {!Dcopt_service.Service}). *)
 
 type t = {
@@ -16,7 +22,7 @@ type t = {
   doc : string;   (** one-line description for listings *)
   run :
     ?observer:Dcopt_obs.Telemetry.observer ->
-    Flow.prepared ->
+    Scenario.t ->
     Dcopt_opt.Solution.t option;
 }
 

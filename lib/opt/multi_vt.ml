@@ -65,17 +65,21 @@ let greedy_dual_vt ?vt_high_candidates env solution =
             widths = base.Power_model.widths;
           }
         in
-        (* slack per gate from the base design's achieved timing *)
+        (* slack per gate from the base design's achieved timing,
+           against the env's per-endpoint constraints when it has any *)
         let eval = solution.Solution.evaluation in
         let sta =
-          Dcopt_timing.Sta.analyze ~required_time:tc circuit
+          Dcopt_timing.Sta.analyze ~required_time:tc
+            ?required_times:(Power_model.required_times env)
+            ?arrival_offsets:(Power_model.arrival_offsets env) circuit
             ~delays:eval.Power_model.delays
         in
         let order =
           Array.to_list (Power_model.gate_ids env)
           |> List.sort (fun a b ->
-                 Float.compare sta.Dcopt_timing.Sta.slack.(b)
-                   sta.Dcopt_timing.Sta.slack.(a))
+                 Float.compare
+                   (Dcopt_timing.Sta.slack_of_endpoint sta b)
+                   (Dcopt_timing.Sta.slack_of_endpoint sta a))
         in
         let promoted = ref 0 in
         List.iter

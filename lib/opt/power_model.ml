@@ -32,6 +32,15 @@ type env = {
   acts : float array;
   gates_topo : int array;  (* gate ids in topological order *)
   short_circuit : bool;
+  env_constraints : Dcopt_timing.Constraints.t;
+  (* Constraint projections; [None] on the scalar path, which then takes
+     the verbatim legacy feasibility/seed expressions (bit-identity). *)
+  req_times : float array option;
+  arr_seed : float array option;
+  (* Corner multiplier applied to every threshold the device model sees
+     (Variation semantics: slow = vt*(1+tol)). 1.0 is the nominal
+     corner and the bit-exact identity. *)
+  vt_stress : float;
 }
 
 type evaluation = {
@@ -47,10 +56,12 @@ type evaluation = {
 }
 
 let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
-    ~tech ~fc circuit profile =
+    ?constraints ?(vt_stress = 1.0) ~tech ~fc circuit profile =
   if not (Circuit.is_combinational circuit) then
     invalid_arg "Power_model.make_env: circuit is sequential";
   if fc <= 0.0 then invalid_arg "Power_model.make_env: fc <= 0";
+  if not (vt_stress > 0.0) then
+    invalid_arg "Power_model.make_env: vt_stress <= 0";
   let wiring =
     match wiring with
     | Some w -> w
@@ -121,12 +132,27 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
       order;
     out
   in
+  let tc = 1.0 /. fc in
+  let module C = Dcopt_timing.Constraints in
+  let env_constraints =
+    match constraints with Some c -> c | None -> C.of_cycle_time tc
+  in
+  (* Scalar sets project to [None] so the legacy seed/feasibility
+     expressions run verbatim; only genuinely per-endpoint sets pay the
+     constraint path. *)
+  let req_times, arr_seed =
+    match C.scalar_cycle_time env_constraints with
+    | Some _ -> (None, None)
+    | None ->
+      ( Some (C.required_times env_constraints ~default:tc circuit),
+        C.arrival_offsets env_constraints circuit )
+  in
   {
     env_tech = tech;
     env_circuit = circuit;
     env_flat = flat;
     fc;
-    tc = 1.0 /. fc;
+    tc;
     is_gate;
     fanin_counts;
     stacks;
@@ -137,6 +163,10 @@ let make_env ?wiring ?(po_pin_width = 4.0) ?(include_short_circuit = false)
     acts;
     gates_topo;
     short_circuit = include_short_circuit;
+    env_constraints;
+    req_times;
+    arr_seed;
+    vt_stress;
   }
 
 let tech env = env.env_tech
@@ -146,6 +176,18 @@ let cycle_time env = env.tc
 let clock_frequency env = env.fc
 let gate_ids env = Array.copy env.gates_topo
 let unsafe_gate_ids env = env.gates_topo
+let constraints env = env.env_constraints
+let required_times env = env.req_times
+let arrival_offsets env = env.arr_seed
+let vt_stress env = env.vt_stress
+
+(* Re-house an env at another process corner: same structural columns
+   (shared, all read-only), different threshold stress. The cheap pivot
+   the scenario layer fans corners out over. *)
+let with_vt_stress env vt_stress =
+  if not (vt_stress > 0.0) then
+    invalid_arg "Power_model.with_vt_stress: vt_stress <= 0";
+  { env with vt_stress }
 
 let require_gate_id env id =
   if not env.is_gate.(id) then invalid_arg "Power_model: node is not a gate"
@@ -187,8 +229,8 @@ let gate_load env design ~max_fanin_delay id =
 
 let gate_delay env design ~max_fanin_delay id =
   let load = gate_load env design ~max_fanin_delay id in
-  Delay.gate_delay env.env_tech ~vdd:design.vdd ~vt:design.vt.(id)
-    ~w:design.widths.(id) load
+  Delay.gate_delay env.env_tech ~vdd:design.vdd
+    ~vt:(design.vt.(id) *. env.vt_stress) ~w:design.widths.(id) load
 
 let budget_fanin_delay env ~budgets id =
   let f = env.env_flat in
@@ -227,7 +269,8 @@ let drive_ctx cache ~vt =
 
 let sc_energy env design ~max_fanin_delay id =
   Dcopt_device.Short_circuit.energy env.env_tech ~vdd:design.vdd
-    ~vt:design.vt.(id) ~w:design.widths.(id) ~activity:env.acts.(id)
+    ~vt:(design.vt.(id) *. env.vt_stress) ~w:design.widths.(id)
+    ~activity:env.acts.(id)
     ~input_transition_time:
       (Dcopt_device.Short_circuit.transition_time_of_delay max_fanin_delay)
 
@@ -272,7 +315,7 @@ let eval_range env design cache delays arrival st_terms dy_terms sc_terms
       worst_arrival := Float.max !worst_arrival (Array.unsafe_get arrival fi)
     done;
     let max_fanin_delay = !max_fanin_delay in
-    let ctx = drive_ctx cache ~vt:design.vt.(id) in
+    let ctx = drive_ctx cache ~vt:(design.vt.(id) *. env.vt_stress) in
     let w = design.widths.(id) in
     (* one load per gate: the delay and the dynamic-energy term share it *)
     let load = gate_load env design ~max_fanin_delay id in
@@ -296,10 +339,25 @@ let default_min_par_width = 512
    the domain pool (when the global job count allows). *)
 let par_gate_threshold = 20_000
 
+(* Constraint-aware feasibility: every endpoint on time against its own
+   required seed ([infinity] = released). [None] runs the verbatim legacy
+   scalar comparison. *)
+let arrivals_feasible env ~critical_delay arrival =
+  match env.req_times with
+  | None -> critical_delay <= env.tc *. (1.0 +. 1e-6)
+  | Some req ->
+    Array.for_all
+      (fun id -> arrival.(id) <= req.(id) *. (1.0 +. 1e-6))
+      (Circuit.outputs env.env_circuit)
+
 let evaluate_with ~jobs ~min_par_width env design =
   let n = Circuit.size env.env_circuit in
   let delays = Array.make n 0.0 in
-  let arrival = Array.make n 0.0 in
+  let arrival =
+    match env.arr_seed with
+    | None -> Array.make n 0.0
+    | Some seed -> Array.copy seed (* gate slots overwritten by the sweep *)
+  in
   let st_terms = Array.make n 0.0 in
   let dy_terms = Array.make n 0.0 in
   let sc_terms = Array.make n 0.0 in
@@ -354,7 +412,7 @@ let evaluate_with ~jobs ~min_par_width env design =
     dynamic_power = (!dynamic_e +. !short_e) *. env.fc;
     delays;
     critical_delay;
-    feasible = (not tripped) && critical_delay <= env.tc *. (1.0 +. 1e-6);
+    feasible = (not tripped) && arrivals_feasible env ~critical_delay arrival;
   }
 
 let evaluate_seq env design =
@@ -384,7 +442,10 @@ let size_gate_ctx env design ~budgets ctx id =
     ~hi:tech.Tech.w_max ~iters:40 ()
 
 let size_gate env design ~budgets id =
-  let ctx = Drive.make env.env_tech ~vdd:design.vdd ~vt:design.vt.(id) in
+  let ctx =
+    Drive.make env.env_tech ~vdd:design.vdd
+      ~vt:(design.vt.(id) *. env.vt_stress)
+  in
   size_gate_ctx env design ~budgets ctx id
 
 let size_all env ~vdd ~vt ~budgets =
@@ -396,7 +457,7 @@ let size_all env ~vdd ~vt ~budgets =
      final before the gate itself is sized. *)
   for i = Array.length env.gates_topo - 1 downto 0 do
     let id = env.gates_topo.(i) in
-    let ctx = drive_ctx cache ~vt:vt.(id) in
+    let ctx = drive_ctx cache ~vt:(vt.(id) *. env.vt_stress) in
     match size_gate_ctx env design ~budgets ctx id with
     | Some w -> design.widths.(id) <- w
     | None ->
@@ -464,7 +525,7 @@ module Incr = struct
   let recompute t ~id ~max_fanin_delay =
     let env = t.ienv in
     let design = t.idesign in
-    let ctx = drive_ctx t.icache ~vt:design.vt.(id) in
+    let ctx = drive_ctx t.icache ~vt:(design.vt.(id) *. env.vt_stress) in
     let w = design.widths.(id) in
     let load = gate_load env design ~max_fanin_delay id in
     (* Running totals are updated by subtract-then-add, so clamping a
@@ -531,6 +592,16 @@ module Incr = struct
         saved = None;
       }
     in
+    (* Constraint input delays seed the (live) arrival column at the
+       primary inputs; inputs are never dirtied, so the seeds survive
+       every propagate/commit/rollback cycle. *)
+    (match env.arr_seed with
+     | None -> ()
+     | Some seed ->
+       let arr = Incr_sta.arrivals t.ist in
+       Array.iteri
+         (fun id s -> if not env.is_gate.(id) then arr.(id) <- s)
+         seed);
     (* Populate by a full sweep: the sub-then-add updates against zeroed
        terms reduce to the exact left-to-right sums [evaluate] computes. *)
     Incr_sta.refresh t.ist ~recompute:(fun ~id ~max_fanin_delay ->
@@ -653,7 +724,13 @@ module Incr = struct
   let short_circuit_energy t = t.sc_total
   let total_energy t = t.st_total +. t.dy_total +. t.sc_total
   let critical_delay t = t.crit
-  let feasible t = t.crit <= t.ienv.tc *. (1.0 +. 1e-6)
+
+  let feasible t =
+    match t.ienv.req_times with
+    | None -> t.crit <= t.ienv.tc *. (1.0 +. 1e-6)
+    | Some _ ->
+      arrivals_feasible t.ienv ~critical_delay:t.crit
+        (Incr_sta.arrivals t.ist)
 
   let critical_path t =
     Dcopt_timing.Sta.critical_path_of_arrival t.ienv.env_circuit

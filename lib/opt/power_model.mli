@@ -37,6 +37,8 @@ val make_env :
   ?include_short_circuit:bool ->
                            (* add the Veendrick crowbar term, default false
                               (the paper's Appendix A.1 setting) *)
+  ?constraints:Dcopt_timing.Constraints.t ->
+  ?vt_stress:float ->
   tech:Dcopt_device.Tech.t ->
   fc:float ->
   Dcopt_netlist.Circuit.t ->
@@ -44,10 +46,39 @@ val make_env :
   env
 (** Prepares a combinational circuit. The wiring model defaults to
     {!Dcopt_wiring.Wire_model.create} over the circuit's gate count.
-    Raises [Invalid_argument] on sequential circuits or [fc <= 0]. *)
+    Raises [Invalid_argument] on sequential circuits or [fc <= 0].
+
+    [constraints] (default: the scalar compatibility set for [1/fc])
+    makes every feasibility verdict per-endpoint: an evaluation is
+    feasible when each primary output arrives by its own
+    {!Dcopt_timing.Constraints.required_times} seed, and constraint
+    input delays seed the arrival sweep. A scalar set is bit-identical
+    to the legacy single-cycle-time behaviour.
+
+    [vt_stress] (default 1.0) is the process-corner threshold
+    multiplier: every threshold the device model reads becomes
+    [vt *. vt_stress] ({!Dcopt_opt.Variation} semantics — slow corner =
+    [1 + tolerance]). The design records keep nominal thresholds; 1.0
+    is the bit-exact identity. *)
 
 val tech : env -> Dcopt_device.Tech.t
 val circuit : env -> Dcopt_netlist.Circuit.t
+
+val constraints : env -> Dcopt_timing.Constraints.t
+(** The constraint set feasibility is judged against. *)
+
+val required_times : env -> float array option
+(** Per-node required seeds; [None] on the scalar fast path. *)
+
+val arrival_offsets : env -> float array option
+(** Constraint input-delay seeds; [None] when the set has none. *)
+
+val vt_stress : env -> float
+
+val with_vt_stress : env -> float -> env
+(** The same prepared circuit re-housed at another corner (structural
+    columns shared). Raises [Invalid_argument] on a non-positive
+    multiplier. *)
 
 val flat : env -> Dcopt_netlist.Flat.t
 (** The struct-of-arrays view the evaluation sweeps run on (built once by

@@ -160,7 +160,10 @@ let of_json json =
 let slack_profile env t =
   let cycle = Power_model.cycle_time env in
   let sta =
-    Dcopt_timing.Flat_sta.analyze (Power_model.flat env) ~required_time:cycle
+    Dcopt_timing.Flat_sta.analyze ~required_time:cycle
+      ?required_times:(Power_model.required_times env)
+      ?arrival_offsets:(Power_model.arrival_offsets env)
+      (Power_model.flat env)
       ~delays:t.evaluation.Power_model.delays
   in
   let worst = ref infinity and near = ref 0 in

@@ -46,7 +46,8 @@ val better : t option -> t -> t option
 
 val slack_profile : Power_model.env -> t -> float * int
 (** [(worst_slack, near_critical)] of the solution's achieved delays
-    against the cycle-time deadline: the minimum slack over all nodes and
+    against the env's constraint set (per-endpoint required times when
+    the set is not scalar): the minimum slack over all nodes and
     the number of nodes with slack within 5% of the cycle time. Runs the
     levelized {!Dcopt_timing.Flat_sta} analyzer over the env's flat view
     (so reporting a solution also exercises — and instruments, via the

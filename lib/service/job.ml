@@ -8,12 +8,14 @@ type t = {
   circuit : string;
   optimizer : string;
   config : Json.t option;
+  scenarios : Json.t option;
   timeout_s : float option;
   retries : int;
 }
 
-let make ?id ?(optimizer = "joint") ?config ?timeout_s ?(retries = 0) circuit =
-  { id; circuit; optimizer; config; timeout_s; retries }
+let make ?id ?(optimizer = "joint") ?config ?scenarios ?timeout_s
+    ?(retries = 0) circuit =
+  { id; circuit; optimizer; config; scenarios; timeout_s; retries }
 
 let to_json j =
   Json.Obj
@@ -21,6 +23,7 @@ let to_json j =
     @ [ ("circuit", Json.String j.circuit);
         ("optimizer", Json.String j.optimizer) ]
     @ (match j.config with Some c -> [ ("config", c) ] | None -> [])
+    @ (match j.scenarios with Some s -> [ ("scenarios", s) ] | None -> [])
     @ (match j.timeout_s with
       | Some s -> [ ("timeout_s", Json.Float s) ]
       | None -> [])
@@ -37,8 +40,8 @@ let of_json json =
         (fun acc (name, _) ->
           let* () = acc in
           match name with
-          | "id" | "circuit" | "optimizer" | "config" | "timeout_s"
-          | "retries" ->
+          | "id" | "circuit" | "optimizer" | "config" | "scenarios"
+          | "timeout_s" | "retries" ->
             Ok ()
           | other -> Error (Printf.sprintf "unknown job field %S" other))
         (Ok ()) members
@@ -78,7 +81,15 @@ let of_json json =
         | _ -> Error "job field \"retries\" must be a non-negative integer")
     in
     let config = Json.field "config" json in
-    Ok { id; circuit; optimizer; config; timeout_s; retries }
+    let* scenarios =
+      match Json.field "scenarios" json with
+      | None -> Ok None
+      | Some v -> (
+        match Json.get_obj v with
+        | Some _ -> Ok (Some v)
+        | None -> Error "job field \"scenarios\" must be an object")
+    in
+    Ok { id; circuit; optimizer; config; scenarios; timeout_s; retries }
 
 type outcome =
   | Solved of Solution.t

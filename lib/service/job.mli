@@ -19,6 +19,12 @@ type t = {
       (** partial config object applied over
           {!Dcopt_core.Flow.default_config} by
           {!Dcopt_core.Flow.config_of_json} *)
+  scenarios : Dcopt_util.Json.t option;
+      (** versioned multi-corner scenario object: [{"version": 1,
+          "sdc": "<path>", "corners": <Scenario.corners_to_json>}], both
+          inner members optional. Resolution failures (unreadable or
+          diagnosed SDC, bad corner list) become typed per-job failures.
+          Jobs without this field keep their pre-scenario store digest. *)
   timeout_s : float option;
       (** per-attempt wall-clock cap; cancellation is cooperative (rides
           the telemetry observer), so observer-less optimizers cannot be
@@ -28,6 +34,7 @@ type t = {
 
 val make :
   ?id:string -> ?optimizer:string -> ?config:Dcopt_util.Json.t ->
+  ?scenarios:Dcopt_util.Json.t ->
   ?timeout_s:float -> ?retries:int -> string -> t
 (** [make circuit] with defaults: optimizer ["joint"], no overrides, no
     timeout, no retries. *)
@@ -35,7 +42,8 @@ val make :
 val to_json : t -> Dcopt_util.Json.t
 val of_json : Dcopt_util.Json.t -> (t, string) result
 (** Accepts an object with a required ["circuit"] member and optional
-    ["id"], ["optimizer"], ["config"], ["timeout_s"], ["retries"];
+    ["id"], ["optimizer"], ["config"], ["scenarios"], ["timeout_s"],
+    ["retries"];
     unknown members are typed errors. *)
 
 (** What happened to one job. [Failed] rows are never cached. *)

@@ -1,5 +1,9 @@
 module Flow = Dcopt_core.Flow
 module Optimizer = Dcopt_core.Optimizer
+module Scenario = Dcopt_core.Scenario
+module Sdc = Dcopt_timing.Sdc
+module Constraints = Dcopt_timing.Constraints
+module Diag = Dcopt_util.Diag
 module Par = Dcopt_par.Par
 module Metrics = Dcopt_obs.Metrics
 module Span = Dcopt_obs.Span
@@ -69,12 +73,81 @@ type resolved = {
   optimizer : Optimizer.t;
   config : Flow.config;
   circuit : Dcopt_netlist.Circuit.t;
+  constraints : Constraints.t option;
+  corners : Scenario.corner list option;
   key : string;
   timeout_s : float option;
   retries : int;
 }
 
 let ( let* ) = Result.bind
+
+let scenarios_schema_version = 1
+
+(* The [scenarios] job field: both members optional, any resolution
+   failure (unreadable/diagnosed SDC, bad corner entry) is a typed
+   per-job error. *)
+let resolve_scenarios circuit = function
+  | None -> Ok (None, None)
+  | Some sc ->
+    let* () =
+      match Json.get_obj sc with
+      | None -> Error "scenarios: must be an object"
+      | Some members ->
+        List.fold_left
+          (fun acc (name, _) ->
+            let* () = acc in
+            match name with
+            | "version" | "sdc" | "corners" -> Ok ()
+            | other ->
+              Error (Printf.sprintf "scenarios: unknown field %S" other))
+          (Ok ()) members
+    in
+    let* () =
+      match Json.field "version" sc with
+      | Some v when Json.get_int v = Some scenarios_schema_version -> Ok ()
+      | Some _ -> Error "scenarios: unsupported schema version"
+      | None -> Error "scenarios: missing \"version\""
+    in
+    let* constraints =
+      match Json.field "sdc" sc with
+      | None -> Ok None
+      | Some v -> (
+        match Json.get_string v with
+        | None -> Error "scenarios: \"sdc\" must be a file path"
+        | Some path -> (
+          match Sdc.parse_file_checked ~circuit path with
+          | Ok c -> Ok (Some c)
+          | Error diags ->
+            Error
+              ("sdc: "
+              ^ String.concat "; " (List.map Diag.to_string diags))))
+    in
+    let* corners =
+      match Json.field "corners" sc with
+      | None -> Ok None
+      | Some v -> (
+        match Scenario.corners_of_json v with
+        | Ok ks -> Ok (Some ks)
+        | Error msg -> Error msg)
+    in
+    Ok (constraints, corners)
+
+(* A canonical scenario rendering for the store key — present only for
+   jobs that carry a [scenarios] field, so scenario-less digests (and
+   every cached pre-scenario row) are unchanged. *)
+let scenario_digest_string constraints corners =
+  let c_part =
+    match constraints with
+    | None -> "-"
+    | Some c -> Json.to_string (Constraints.to_json c)
+  in
+  let k_part =
+    match corners with
+    | None -> "-"
+    | Some ks -> Scenario.corners_digest_string ks
+  in
+  "scenario\n" ^ c_part ^ "\n" ^ k_part
 
 let resolve_job (job : Job.t) =
   let* circuit = resolve_circuit job.Job.circuit in
@@ -94,12 +167,22 @@ let resolve_job (job : Job.t) =
       | Ok c -> Ok c
       | Error msg -> Error ("config: " ^ msg))
   in
-  let key = Store.digest ~optimizer:optimizer.Optimizer.name ~config circuit in
+  let* constraints, corners = resolve_scenarios circuit job.Job.scenarios in
+  let scenario =
+    match job.Job.scenarios with
+    | None -> None
+    | Some _ -> Some (scenario_digest_string constraints corners)
+  in
+  let key =
+    Store.digest ?scenario ~optimizer:optimizer.Optimizer.name ~config circuit
+  in
   Ok
     {
       optimizer;
       config;
       circuit;
+      constraints;
+      corners;
       key;
       timeout_s = job.Job.timeout_s;
       retries = job.Job.retries;
@@ -158,8 +241,14 @@ let compute r =
       if Int64.compare (Clock.now_ns ()) deadline > 0 then raise Timed_out
     in
     match
-      let p = Flow.prepare ~config:r.config r.circuit in
-      r.optimizer.Optimizer.run ~observer p
+      let p = Flow.prepare ~config:r.config ?constraints:r.constraints
+          r.circuit in
+      let s =
+        match r.corners with
+        | None -> Scenario.of_prepared p
+        | Some corners -> Scenario.make ~corners p
+      in
+      r.optimizer.Optimizer.run ~observer s
     with
     | Some sol -> (Job.Solved sol, attempt)
     | None -> (Job.Infeasible, attempt)

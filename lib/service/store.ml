@@ -28,15 +28,20 @@ let open_ path =
 
 let dir t = t.dir
 
-let digest ~optimizer ~config circuit =
+(* [scenario] is appended only when present, so every pre-scenario
+   digest — and with it every cached single-corner row — is unchanged. *)
+let digest ?scenario ~optimizer ~config circuit =
+  let base =
+    [
+      code_model_version;
+      optimizer;
+      Json.to_string (Dcopt_core.Flow.config_to_json config);
+      Dcopt_netlist.Bench_format.to_string circuit;
+    ]
+  in
   let payload =
     String.concat "\n"
-      [
-        code_model_version;
-        optimizer;
-        Json.to_string (Dcopt_core.Flow.config_to_json config);
-        Dcopt_netlist.Bench_format.to_string circuit;
-      ]
+      (match scenario with None -> base | Some s -> base @ [ s ])
   in
   Digest.to_hex (Digest.string payload)
 

@@ -26,13 +26,17 @@ val open_ : string -> t
 val dir : t -> string
 
 val digest :
+  ?scenario:string ->
   optimizer:string ->
   config:Dcopt_core.Flow.config ->
   Dcopt_netlist.Circuit.t ->
   string
 (** The cache key: an MD5 hex digest over {!code_model_version}, the
     optimizer name, the canonical config JSON and the canonical [.bench]
-    text of the circuit. *)
+    text of the circuit. [scenario] — the canonical rendering of a job's
+    constraint set and corner list — is folded in {e only when present},
+    so digests (and cached rows) of scenario-less jobs are unchanged
+    from before the scenario redesign. *)
 
 val find : t -> string -> Dcopt_util.Json.t option
 (** Look a digest up; [None] on absence or on any read/parse failure.

@@ -65,11 +65,21 @@ let chain_criticalities circuit =
     order;
   (up, down)
 
-let assign ?(skew_factor = 0.95) ?max_paths ?(slope_guard = 0.3) circuit
-    ~cycle_time =
+let assign ?(skew_factor = 0.95) ?max_paths ?(slope_guard = 0.3) ?constraints
+    circuit ~cycle_time =
   Dcopt_obs.Span.with_ "procedure1.assign"
     ~args:[ ("circuit", Circuit.name circuit) ]
   @@ fun () ->
+  (* A constraint set collapses to the single scalar Procedure 1
+     distributes: its tightest clock period / global max-delay bound.
+     (Per-endpoint bounds are enforced by the STA feasibility check, not
+     by the budget split.) The scalar compatibility set [of_cycle_time
+     ct] yields exactly [ct], so legacy runs are bit-identical. *)
+  let cycle_time =
+    match constraints with
+    | None -> cycle_time
+    | Some c -> Constraints.tightest_cycle_time c ~default:cycle_time
+  in
   if not (Circuit.is_combinational circuit) then
     invalid_arg "Delay_assign.assign: circuit is sequential";
   if cycle_time <= 0.0 then invalid_arg "Delay_assign.assign: cycle_time <= 0";

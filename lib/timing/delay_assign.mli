@@ -25,12 +25,20 @@ val assign :
   ?skew_factor:float ->   (* the paper's b <= 1, default 0.95 *)
   ?max_paths:int ->       (* path-enumeration cap, default 16 * gates *)
   ?slope_guard:float ->   (* min budget as fraction of max fanin budget, default 0.3 *)
+  ?constraints:Constraints.t ->
   Dcopt_netlist.Circuit.t ->
   cycle_time:float ->
   t
 (** Requires a combinational circuit and [cycle_time > 0]. Postcondition
     (checked): with gate delays equal to the returned budgets, the critical
-    delay is at most [skew_factor * cycle_time] within float tolerance. *)
+    delay is at most [skew_factor * cycle_time] within float tolerance.
+
+    [constraints] supersedes [cycle_time] with the set's
+    {!Constraints.tightest_cycle_time} (falling back to [cycle_time] for
+    an empty set): Procedure 1 distributes the tightest bound, while
+    per-endpoint requirements are enforced downstream by the
+    constraint-aware STA feasibility check. A scalar compatibility set
+    is bit-identical to passing its cycle time directly. *)
 
 val verify : Dcopt_netlist.Circuit.t -> t -> cycle_time:float -> bool
 (** Re-checks the postcondition by STA. *)

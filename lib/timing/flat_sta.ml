@@ -78,6 +78,22 @@ external backward_range :
   = "dcopt_flat_sta_backward_range_bytecode" "dcopt_flat_sta_backward_range_native"
 [@@noalloc]
 
+external backward_req_range :
+  float array (* required *) ->
+  float array (* slack *) ->
+  float array (* arrival *) ->
+  float array (* delays *) ->
+  int array (* level order *) ->
+  int array (* fanout_off *) ->
+  int array (* fanout_edges *) ->
+  float array (* required seeds *) ->
+  (int[@untagged]) (* lo *) ->
+  (int[@untagged]) (* hi *) ->
+  unit
+  = "dcopt_flat_sta_backward_req_range_bytecode"
+    "dcopt_flat_sta_backward_req_range_native"
+[@@noalloc]
+
 (* Run [kernel lo hi] over one level slice, chunked over the pool when the
    slice is wide enough. Chunk boundaries only partition the index space;
    each index writes its own cell, so the chunking (and hence the job
@@ -154,15 +170,26 @@ let forward ?jobs ?min_par_width f ~delays =
   let critical = forward_sweep ~jobs ~min_par_width f ~delays ~arrival in
   (arrival, critical)
 
-let analyze ?required_time ?jobs ?(min_par_width = default_min_par_width) f
-    ~delays =
+let analyze ?required_time ?required_times ?arrival_offsets ?jobs
+    ?(min_par_width = default_min_par_width) f ~delays =
   validate "Flat_sta.analyze" f ~delays;
   set_gauges f;
   let jobs = match jobs with Some j -> j | None -> Par.jobs () in
   let n = Flat.size f in
-  let arrival = fresh_arrival f in
+  (match required_times with
+   | Some seeds when Array.length seeds <> n ->
+     invalid_arg "Flat_sta.analyze: required_times size mismatch"
+   | _ -> ());
+  (match arrival_offsets with
+   | Some seeds when Array.length seeds <> n ->
+     invalid_arg "Flat_sta.analyze: arrival_offsets size mismatch"
+   | _ -> ());
+  let arrival =
+    match arrival_offsets with
+    | None -> fresh_arrival f
+    | Some seeds -> Array.copy seeds (* gate slots overwritten by the sweep *)
+  in
   let critical_delay = forward_sweep ~jobs ~min_par_width f ~delays ~arrival in
-  let target = Option.value required_time ~default:critical_delay in
   (* The backward sweep writes every node's required and slack exactly
      once (every node appears in the level order), so the columns start
      uninitialized. *)
@@ -173,11 +200,23 @@ let analyze ?required_time ?jobs ?(min_par_width = default_min_par_width) f
   let order = f.Flat.level_order in
   let fanout_off = f.Flat.fanout_off in
   let fanout_edges = f.Flat.fanout_edges in
-  let is_output = f.Flat.is_output in
-  for l = f.Flat.depth downto 0 do
-    run_level ~jobs ~min_par_width
-      (backward_range required slack arrival delays order fanout_off
-         fanout_edges is_output target)
-      off.(l) off.(l + 1)
-  done;
+  (match required_times with
+   | Some seeds ->
+     (* Constraint path: the per-node seed kernel. A uniform seed at
+        every output is bit-identical to the scalar kernel below. *)
+     for l = f.Flat.depth downto 0 do
+       run_level ~jobs ~min_par_width
+         (backward_req_range required slack arrival delays order fanout_off
+            fanout_edges seeds)
+         off.(l) off.(l + 1)
+     done
+   | None ->
+     let target = Option.value required_time ~default:critical_delay in
+     let is_output = f.Flat.is_output in
+     for l = f.Flat.depth downto 0 do
+       run_level ~jobs ~min_par_width
+         (backward_range required slack arrival delays order fanout_off
+            fanout_edges is_output target)
+         off.(l) off.(l + 1)
+     done);
   { arrival; critical_delay; required; slack }

@@ -30,14 +30,19 @@ val default_min_par_width : int
 
 val analyze :
   ?required_time:float ->
+  ?required_times:float array ->
+  ?arrival_offsets:float array ->
   ?jobs:int ->
   ?min_par_width:int ->
   Dcopt_netlist.Flat.t ->
   delays:float array ->
   result
 (** Levelized forward + backward pass; see {!Sta.analyze} for the
-    semantics. [jobs] defaults to the global {!Dcopt_par.Par.jobs}.
-    Requires a combinational circuit. *)
+    semantics, including the constraint-aware [required_times] /
+    [arrival_offsets] seeds (the per-endpoint path runs a dedicated C
+    kernel; a uniform seed is bit-identical to the scalar kernel).
+    [jobs] defaults to the global {!Dcopt_par.Par.jobs}. Requires a
+    combinational circuit. *)
 
 val forward :
   ?jobs:int ->

@@ -101,3 +101,50 @@ CAMLprim value dcopt_flat_sta_backward_range_bytecode(value *argv, int argn) {
             Long_val(argv[9]), Long_val(argv[10]));
   return Val_unit;
 }
+
+/* Constraint-aware backward sweep: identical loop body, but the required
+   time is seeded per node from a precomputed array (+inf at
+   non-endpoints and released endpoints, the endpoint's own bound
+   otherwise) instead of the uniform is_output ? target : +inf select.
+   With a uniform seed the two kernels compute bit-identical columns —
+   the scalar kernel above is kept so the legacy path never even reads a
+   seed column. */
+static void bwd_range_req(double *required, double *slack,
+                          const double *arrival, const double *delays,
+                          const value *order, const value *off,
+                          const value *edges, const double *seed, long lo,
+                          long hi) {
+  for (long k = lo; k < hi; k++) {
+    long id = Long_val(order[k]);
+    double req = seed[id];
+    long s = Long_val(off[id]), e = Long_val(off[id + 1]);
+    for (long p = s; p < e; p++) {
+      long c = Long_val(edges[p]);
+      double need = required[c] - delays[c];
+      if (need < req) req = need;
+    }
+    required[id] = req;
+    slack[id] = req - arrival[id];
+  }
+}
+
+CAMLprim value dcopt_flat_sta_backward_req_range_native(
+    value v_required, value v_slack, value v_arrival, value v_delays,
+    value v_order, value v_fanout_off, value v_fanout_edges, value v_seed,
+    intnat lo, intnat hi) {
+  bwd_range_req(DBL_ARR(v_required), DBL_ARR(v_slack),
+                CONST_DBL_ARR(v_arrival), CONST_DBL_ARR(v_delays),
+                INT_ARR(v_order), INT_ARR(v_fanout_off),
+                INT_ARR(v_fanout_edges), CONST_DBL_ARR(v_seed), lo, hi);
+  return Val_unit;
+}
+
+CAMLprim value dcopt_flat_sta_backward_req_range_bytecode(value *argv,
+                                                          int argn) {
+  (void)argn;
+  bwd_range_req(DBL_ARR(argv[0]), DBL_ARR(argv[1]), CONST_DBL_ARR(argv[2]),
+                CONST_DBL_ARR(argv[3]), INT_ARR(argv[4]), INT_ARR(argv[5]),
+                INT_ARR(argv[6]), CONST_DBL_ARR(argv[7]), Long_val(argv[8]),
+                Long_val(argv[9]));
+  return Val_unit;
+}

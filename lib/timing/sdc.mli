@@ -1,0 +1,36 @@
+(** SDC-lite constraint file reader — the PR-5-style recovering front
+    door for {!Constraints}.
+
+    Supported commands (one per line, [\ ] continuations, [#] comments):
+
+    - [create_clock -period P [-name N] [-waveform {R F}] [ports]]
+    - [set_max_delay D [-from spec] [-to spec]]
+    - [set_min_delay D [-from spec] [-to spec]]
+    - [set_false_path [-from spec] [-to spec]]
+    - [set_input_delay D [-clock C] spec]
+    - [set_output_delay D [-clock C] spec]
+
+    where [spec] is [\[get_ports {a b}\]], [\[get_ports a\]],
+    [\[get_pins ...\]] or a bare port name. Times follow the SDC
+    convention of {e nanoseconds} and are converted to seconds.
+
+    The parser scans the whole file and reports {e every} problem it
+    finds, each located by line (codes [sdc.syntax], [sdc.command],
+    [sdc.range], [sdc.duplicate], [sdc.clock], [sdc.port]; recognised
+    but ignored SDC commands come back as [sdc.unsupported]
+    {e warnings}). [sdc.port] diagnostics require the circuit — pass
+    [?circuit] to cross-check port references. [Error] is never
+    empty. *)
+
+val parse :
+  ?file:string ->
+  ?circuit:Dcopt_netlist.Circuit.t ->
+  string ->
+  (Constraints.t, Dcopt_util.Diag.t list) result
+
+val parse_file_checked :
+  ?circuit:Dcopt_netlist.Circuit.t ->
+  string ->
+  (Constraints.t, Dcopt_util.Diag.t list) result
+(** {!parse} on a file's contents (unreadable file = one [sdc.io]
+    diagnostic); the path is stamped into every diagnostic. *)

@@ -21,14 +21,18 @@ let validate name circuit ~delays =
 
 (* Forward pass only: arrival times and critical delay. The backward
    (required/slack) pass is paid by [analyze] alone, so callers that only
-   need the critical delay or a critical path do half the work. *)
-let forward circuit ~delays =
+   need the critical delay or a critical path do half the work.
+   [?offsets] seeds input arrivals (constraint input delays); [None] is
+   the scalar fast path and takes exactly the legacy code. *)
+let forward ?offsets circuit ~delays =
   let n = Circuit.size circuit in
   let arrival = Array.make n 0.0 in
   Circuit.iter_topo circuit (fun id ->
       let nd = Circuit.node circuit id in
       match nd.Circuit.kind with
-      | Gate.Input -> arrival.(id) <- 0.0
+      | Gate.Input ->
+        arrival.(id) <-
+          (match offsets with None -> 0.0 | Some s -> s.(id))
       | _ ->
         let worst =
           Array.fold_left (fun acc f -> Float.max acc arrival.(f)) 0.0
@@ -42,15 +46,35 @@ let forward circuit ~delays =
   in
   (arrival, critical_delay)
 
-let analyze ?required_time circuit ~delays =
+let analyze ?required_time ?required_times ?arrival_offsets circuit ~delays =
   validate "Sta.analyze" circuit ~delays;
   let n = Circuit.size circuit in
-  let arrival, critical_delay = forward circuit ~delays in
-  let target = Option.value required_time ~default:critical_delay in
+  (match required_times with
+   | Some seeds when Array.length seeds <> n ->
+     invalid_arg "Sta.analyze: required_times size mismatch"
+   | _ -> ());
+  (match arrival_offsets with
+   | Some seeds when Array.length seeds <> n ->
+     invalid_arg "Sta.analyze: arrival_offsets size mismatch"
+   | _ -> ());
+  let arrival, critical_delay =
+    forward ?offsets:arrival_offsets circuit ~delays
+  in
   let required = Array.make n infinity in
-  Array.iter
-    (fun id -> required.(id) <- Float.min required.(id) target)
-    (Circuit.outputs circuit);
+  (match required_times with
+   | Some seeds ->
+     (* Per-endpoint constraint seeds: [infinity] entries (non-endpoints,
+        false-path'd endpoints) leave the node unconstrained. A uniform
+        seed of [t] at every output is bit-identical to the scalar
+        [required_time:t] path below. *)
+     for id = 0 to n - 1 do
+       if seeds.(id) < required.(id) then required.(id) <- seeds.(id)
+     done
+   | None ->
+     let target = Option.value required_time ~default:critical_delay in
+     Array.iter
+       (fun id -> required.(id) <- Float.min required.(id) target)
+       (Circuit.outputs circuit));
   (* Backward pass in reverse topological order: a node must settle early
      enough for every consumer to still meet its own requirement. *)
   Circuit.iter_topo_rev circuit (fun id ->
@@ -61,6 +85,13 @@ let analyze ?required_time circuit ~delays =
         (Circuit.fanouts circuit id));
   let slack = Array.init n (fun id -> required.(id) -. arrival.(id)) in
   { arrival; critical_delay; required; slack }
+
+let slack_of_endpoint r id = r.slack.(id)
+
+let worst_endpoint_slack circuit r =
+  Array.fold_left
+    (fun acc id -> Float.min acc r.slack.(id))
+    infinity (Circuit.outputs circuit)
 
 let critical_path_of_arrival circuit ~arrival ~delays =
   let worst_output =
@@ -119,3 +150,12 @@ let meets circuit ~delays ~cycle_time =
   validate "Sta.meets" circuit ~delays;
   let _, critical_delay = forward circuit ~delays in
   critical_delay <= cycle_time *. (1.0 +. 1e-4)
+
+let meets_constraints ?arrival_offsets circuit ~delays ~required_times =
+  validate "Sta.meets_constraints" circuit ~delays;
+  if Array.length required_times <> Circuit.size circuit then
+    invalid_arg "Sta.meets_constraints: required_times size mismatch";
+  let arrival, _ = forward ?offsets:arrival_offsets circuit ~delays in
+  Array.for_all
+    (fun id -> arrival.(id) <= required_times.(id) *. (1.0 +. 1e-4))
+    (Circuit.outputs circuit)

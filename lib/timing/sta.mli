@@ -13,12 +13,31 @@ type result = {
 
 val analyze :
   ?required_time:float ->
+  ?required_times:float array ->
+  ?arrival_offsets:float array ->
   Dcopt_netlist.Circuit.t -> delays:float array -> result
 (** [analyze c ~delays] propagates arrival times: inputs arrive at 0, a
     gate's arrival is its delay plus the max fanin arrival. [required_time]
     defaults to the computed critical delay (so the critical path has zero
     slack). [delays] is indexed by node id; entries for [Input] nodes are
-    ignored. Requires a combinational circuit. *)
+    ignored. Requires a combinational circuit.
+
+    [required_times] supersedes the scalar target with per-node required
+    seeds (from {!Constraints.required_times}): [infinity] entries are
+    unconstrained, and a uniform seed of [t] at every output is
+    bit-identical to [~required_time:t]. [arrival_offsets] seeds the
+    forward pass with per-node input delays (from
+    {!Constraints.arrival_offsets}); [None] is the legacy zero seed. *)
+
+val slack_of_endpoint : result -> int -> float
+(** The slack of one node id, straight from the analysis — the accessor
+    callers use instead of recomputing [target -. arrival] by hand
+    (which silently diverges from the backward pass on reconvergent
+    fanout). *)
+
+val worst_endpoint_slack : Dcopt_netlist.Circuit.t -> result -> float
+(** Minimum slack over the primary outputs ([infinity] for a circuit
+    with none). *)
 
 val critical_path : Dcopt_netlist.Circuit.t -> delays:float array -> int list
 (** Gate ids of one maximal-arrival path, source to output. Runs the
@@ -39,3 +58,14 @@ val critical_path_of_arrival :
 val meets : Dcopt_netlist.Circuit.t -> delays:float array -> cycle_time:float -> bool
 (** True when the critical delay is at most [cycle_time] (with 0.01%%
     tolerance for float accumulation). Forward pass only. *)
+
+val meets_constraints :
+  ?arrival_offsets:float array ->
+  Dcopt_netlist.Circuit.t ->
+  delays:float array ->
+  required_times:float array ->
+  bool
+(** Constraint-aware {!meets}: every primary output arrives no later
+    than its required seed (same 0.01%% tolerance; [infinity] seeds
+    always pass). With a uniform seed this coincides with
+    [meets ~cycle_time]. Forward pass only. *)

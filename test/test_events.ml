@@ -144,9 +144,9 @@ let () =
       doc = "fails twice, then delegates to the baseline";
       run =
         (let calls = Atomic.make 0 in
-         fun ?observer:_ p ->
+         fun ?observer:_ s ->
            if Atomic.fetch_and_add calls 1 < 2 then failwith "injected fault";
-           Flow.run_baseline p);
+           (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run s);
     }
 
 let test_batch_correlation_chain () =

@@ -37,8 +37,10 @@ let test_repaired_budgets_still_meet_cycle () =
 
 let test_end_to_end_s27 () =
   let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s27") in
-  let baseline = Flow.run_baseline p in
-  let joint = Flow.run_joint p in
+  let baseline = (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) in
+  let joint = (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) in
   match (baseline, joint) with
   | Some b, Some j ->
     Alcotest.(check bool) "joint cheaper" true
@@ -52,7 +54,9 @@ let test_whole_suite_end_to_end () =
   List.iter
     (fun name ->
       let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
-      match (Flow.run_baseline p, Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p) with
+      match ((Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p), (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared p)) with
       | Some b, Some j ->
         let savings = Solution.savings ~baseline:b j in
         Alcotest.(check bool)
@@ -68,7 +72,9 @@ let test_paper_binary_across_circuits () =
   List.iter
     (fun name ->
       let p = Flow.prepare (Dcopt_suite.Suite.find_exn name) in
-      match (Flow.run_baseline p, Flow.run_joint p) with
+      match ((Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p), (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p)) with
       | Some b, Some j ->
         let savings = Solution.savings ~baseline:b j in
         Alcotest.(check bool)
@@ -80,7 +86,8 @@ let test_paper_binary_across_circuits () =
 
 let test_report_contains_key_numbers () =
   let p = Flow.prepare (Dcopt_suite.Suite.find_exn "s27") in
-  match Flow.run_joint p with
+  match (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) with
   | None -> Alcotest.fail "expected solution"
   | Some sol ->
     let r = Flow.report p sol in
@@ -98,17 +105,23 @@ let test_report_contains_key_numbers () =
 let test_infeasible_frequency_returns_none () =
   let config = { Flow.default_config with Flow.clock_frequency = 30e9 } in
   let p = Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s298") in
-  Alcotest.(check bool) "no joint" true (Flow.run_joint p = None);
-  Alcotest.(check bool) "no baseline" true (Flow.run_baseline p = None)
+  Alcotest.(check bool) "no joint" true ((Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) = None);
+  Alcotest.(check bool) "no baseline" true ((Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) = None)
 
 let test_custom_frequency_feasible () =
   let config = { Flow.default_config with Flow.clock_frequency = 50e6 } in
   let p = Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s298") in
-  match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p with
+  match (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+        (Dcopt_core.Scenario.of_prepared p) with
   | None -> Alcotest.fail "50 MHz should be easy"
   | Some slow ->
     let p300 = Flow.prepare (Dcopt_suite.Suite.find_exn "s298") in
-    (match Flow.run_joint ~strategy:Dcopt_opt.Heuristic.Grid_refine p300 with
+    (match
+       (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+         (Dcopt_core.Scenario.of_prepared p300)
+     with
     | None -> Alcotest.fail "300 MHz feasible"
     | Some fast ->
       Alcotest.(check bool) "slower clock, lower energy" true

@@ -156,7 +156,8 @@ let test_pinned_width_corner_runs () =
   Alcotest.(check (list string)) "wmin = wmax is well-posed" []
     (List.map Diag.to_string (Diag.errors (Flow.validate_config config)));
   let p = Flow.prepare ~config (Suite.s27 ()) in
-  match Flow.run_joint p with
+  match (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) with
   | None -> () (* infeasible is a typed result too *)
   | Some sol ->
     Alcotest.(check bool) "finite energy" true

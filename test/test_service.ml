@@ -73,7 +73,8 @@ let test_tech_roundtrip () =
 
 let test_solution_roundtrip () =
   let p = Flow.prepare (Suite.find_exn "s27") in
-  match Flow.run_baseline p with
+  match (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+      (Dcopt_core.Scenario.of_prepared p) with
   | None -> Alcotest.fail "s27 baseline infeasible"
   | Some sol -> (
     let j1 = Solution.to_json sol in
@@ -195,9 +196,9 @@ let test_fault_injection_and_isolation () =
       Optimizer.name = "test-flaky";
       doc = "fails twice, then delegates to the baseline";
       run =
-        (fun ?observer:_ p ->
+        (fun ?observer:_ s ->
           if Atomic.fetch_and_add calls 1 < 2 then failwith "injected fault";
-          Flow.run_baseline p);
+          (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run s);
     };
   Optimizer.register
     {

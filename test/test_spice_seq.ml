@@ -207,7 +207,8 @@ let test_seq_sim_flow_engine () =
         Dcopt_core.Flow.Sequential_trace { cycles = 1000; seed = 1L } }
   in
   let p = Dcopt_core.Flow.prepare ~config (Dcopt_suite.Suite.find_exn "s27") in
-  match Dcopt_core.Flow.run_joint p with
+  match (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+    (Dcopt_core.Scenario.of_prepared p) with
   | Some sol ->
     Alcotest.(check bool) "feasible under traced activity" true
       (Dcopt_opt.Solution.feasible sol)

@@ -83,9 +83,10 @@ let test_extended_circuits_optimizable () =
     (fun name ->
       let p = Dcopt_core.Flow.prepare (Suite.find_exn name) in
       match
-        ( Dcopt_core.Flow.run_baseline p,
-          Dcopt_core.Flow.run_joint
-            ~strategy:Dcopt_opt.Heuristic.Grid_refine p )
+        ( (Dcopt_core.Optimizer.get "baseline").Dcopt_core.Optimizer.run
+    (Dcopt_core.Scenario.of_prepared p),
+          (Dcopt_core.Optimizer.get "joint-grid").Dcopt_core.Optimizer.run
+            (Dcopt_core.Scenario.of_prepared p) )
       with
       | Some b, Some j ->
         let savings = Dcopt_opt.Solution.savings ~baseline:b j in

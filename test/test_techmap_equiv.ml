@@ -147,7 +147,8 @@ let test_decompose_suite_circuit () =
     (Circuit.gate_count d > Circuit.gate_count c);
   (* the decomposed circuit must still optimize end to end *)
   let p = Dcopt_core.Flow.prepare d in
-  match Dcopt_core.Flow.run_joint p with
+  match (Dcopt_core.Optimizer.get "joint").Dcopt_core.Optimizer.run
+    (Dcopt_core.Scenario.of_prepared p) with
   | Some sol ->
     Alcotest.(check bool) "optimizable" true (Dcopt_opt.Solution.feasible sol)
   | None -> Alcotest.fail "decomposed circuit should close timing"
