@@ -601,8 +601,10 @@ let measure_fleet () =
     let row_strings rows =
       List.map (fun r -> Json.to_string (Job.row_to_json r)) rows
     in
-    let timed_fleet n_workers =
-      let fleet = Fleet.create (Fleet.options ~binary ~workers:n_workers ()) in
+    let timed_fleet ?listen n_workers =
+      let fleet =
+        Fleet.create (Fleet.options ~binary ~workers:n_workers ?listen ())
+      in
       Fun.protect
         ~finally:(fun () -> Fleet.shutdown fleet)
         (fun () ->
@@ -616,12 +618,15 @@ let measure_fleet () =
           (!out, !best_dt))
     in
     let reference_rows = row_strings (Service.run_batch jobs) in
-    let w1_rows, w1_dt = timed_fleet 1 in
-    let wn_rows, wn_dt = timed_fleet workers in
     let g = float_of_int n_jobs in
-    [
+    (* the TCP row reruns the same batch with workers dialing back over
+       loopback TCP instead of the unix socket: the delta against
+       fleet_batch is the checksum-framed TCP transport cost per job *)
+    let measure fl_name listen =
+      let w1_rows, w1_dt = timed_fleet ?listen 1 in
+      let wn_rows, wn_dt = timed_fleet ?listen workers in
       {
-        fl_name = "fleet_batch";
+        fl_name;
         fl_jobs = n_jobs;
         fl_workers = workers;
         fl_cpus = Domain.recommended_domain_count ();
@@ -631,7 +636,12 @@ let measure_fleet () =
         fl_rows_identical =
           row_strings w1_rows = reference_rows
           && row_strings wn_rows = reference_rows;
-      };
+      }
+    in
+    [
+      measure "fleet_batch" None;
+      measure "fleet_tcp_batch"
+        (Some (Dcopt_service.Wire.Tcp ("127.0.0.1", 0)));
     ]
   end
 

@@ -1032,13 +1032,67 @@ let check_workers_jobs workers obs =
          n m)
   | _ -> None
 
-let fleet_of ~workers ~store_dir obs =
+let listen_arg =
+  let doc =
+    "Fleet listen address: $(i,host:port) for TCP (port 0 binds an \
+     ephemeral port) or a filesystem path for a unix-domain socket. \
+     Defaults to a private unix socket. A TCP address lets external \
+     workers ($(b,minpower worker --connect host:port)) join the fleet \
+     from other machines."
+  in
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let fault_plan_arg =
+  let doc =
+    "Arm a deterministic fault-injection plan (also: $(b,DCOPT_FAULT_PLAN) \
+     in the environment): semicolon-separated \
+     $(i,[role/]site@occ:action[=arg]) entries, e.g. \
+     $(b,w0/wire.send.result@2:drop;store.put@*:enospc). Spawned fleet \
+     workers inherit the plan. For testing the degraded paths; see \
+     DESIGN.md §14."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+(* Arm a --fault-plan / DCOPT_FAULT_PLAN fault plan before any fleet or
+   store activity. The flag wins over the environment; either way the
+   plan is re-exported so spawned workers inherit it verbatim. Returns a
+   located diagnostic on a malformed plan instead of arming nothing. *)
+let arm_fault_plan flag =
+  let spec =
+    match flag with Some s -> Some s | None -> Sys.getenv_opt "DCOPT_FAULT_PLAN"
+  in
+  match spec with
+  | None -> None
+  | Some spec -> (
+    match Dcopt_service.Faults.parse spec with
+    | Ok plan ->
+      Dcopt_service.Faults.arm plan;
+      Unix.putenv "DCOPT_FAULT_PLAN" spec;
+      None
+    | Error msg ->
+      Some
+        (Dcopt_util.Diag.errorf ~file:"<command-line>" ~code:"config.fault_plan"
+           "--fault-plan: %s" msg))
+
+(* Parse --listen into a Wire.addr, refusing what Fleet.create would
+   refuse but with a located diagnostic instead of an exception. *)
+let parse_listen = function
+  | None -> Ok None
+  | Some s -> (
+    match Dcopt_service.Wire.addr_of_string s with
+    | Ok addr -> Ok (Some addr)
+    | Error msg ->
+      Error
+        (Dcopt_util.Diag.errorf ~file:"<command-line>" ~code:"config.addr"
+           "--listen %s: %s" s msg))
+
+let fleet_of ~workers ?listen ~store_dir obs =
   let worker_args =
     (match store_dir with Some d -> [ "--store"; d ] | None -> [])
     @ obs.worker_passthrough
   in
   Dcopt_service.Fleet.create
-    (Dcopt_service.Fleet.options ~workers ~worker_args ())
+    (Dcopt_service.Fleet.options ~workers ~worker_args ?listen ())
 
 let read_lines ic =
   let rec go acc n =
@@ -1049,12 +1103,23 @@ let read_lines ic =
   go [] 1
 
 let batch_cmd =
-  let run jobs_path store checkpoint workers table require_cached obs =
-    match check_workers_jobs workers obs with
+  let run jobs_path store checkpoint workers listen fault_plan table
+      require_cached obs =
+    let early_diag =
+      match check_workers_jobs workers obs with
+      | Some d -> Some d
+      | None -> (
+        match arm_fault_plan fault_plan with
+        | Some d -> Some d
+        | None -> (
+          match parse_listen listen with Error d -> Some d | Ok _ -> None))
+    in
+    match early_diag with
     | Some diag ->
       Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
       finish obs 2
     | None ->
+    let listen = Result.get_ok (parse_listen listen) in
     let store_dir = store in
     let lines =
       if jobs_path = "-" then read_lines stdin
@@ -1124,7 +1189,7 @@ let batch_cmd =
       match workers with
       | None -> Service.run_batch ?store ?checkpoint jobs
       | Some n ->
-        let fleet = fleet_of ~workers:n ~store_dir obs in
+        let fleet = fleet_of ~workers:n ?listen ~store_dir obs in
         Fun.protect
           ~finally:(fun () -> Dcopt_service.Fleet.shutdown fleet)
           (fun () ->
@@ -1181,16 +1246,26 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(
-      const run $ jobs_path $ store_arg $ checkpoint_arg $ workers_arg $ table
-      $ require_cached $ obs_term)
+      const run $ jobs_path $ store_arg $ checkpoint_arg $ workers_arg
+      $ listen_arg $ fault_plan_arg $ table $ require_cached $ obs_term)
 
 let serve_cmd =
-  let run store socket workers obs =
-    match check_workers_jobs workers obs with
+  let run store socket workers listen fault_plan obs =
+    let early_diag =
+      match check_workers_jobs workers obs with
+      | Some d -> Some d
+      | None -> (
+        match arm_fault_plan fault_plan with
+        | Some d -> Some d
+        | None -> (
+          match parse_listen listen with Error d -> Some d | Ok _ -> None))
+    in
+    match early_diag with
     | Some diag ->
       Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
       finish obs 2
     | None ->
+      let listen = Result.get_ok (parse_listen listen) in
       let store_dir = store in
       let store = Option.map Store.open_ store in
       let run_jobs =
@@ -1200,7 +1275,7 @@ let serve_cmd =
           (* the pool is persistent across the whole serve session:
              spawned lazily at the first job that needs computing,
              replaced as workers die, reused by every subsequent job *)
-          let fleet = fleet_of ~workers:n ~store_dir obs in
+          let fleet = fleet_of ~workers:n ?listen ~store_dir obs in
           at_exit (fun () -> Dcopt_service.Fleet.shutdown fleet);
           Some (fun jobs -> Dcopt_service.Fleet.run_batch fleet ?store jobs)
       in
@@ -1225,10 +1300,12 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ store_arg $ socket $ workers_arg $ obs_term)
+    Term.(
+      const run $ store_arg $ socket $ workers_arg $ listen_arg
+      $ fault_plan_arg $ obs_term)
 
 let worker_cmd =
-  let run connect worker_id store obs =
+  let run connect worker_id reconnect store obs =
     (* fleet parallelism replaces the domain pool: a worker computes one
        job at a time unless --jobs explicitly says otherwise *)
     if obs.jobs_flag = None then Dcopt_par.Par.set_jobs 1;
@@ -1237,18 +1314,39 @@ let worker_cmd =
       | Some id -> id
       | None -> Printf.sprintf "w-pid%d" (Unix.getpid ())
     in
-    let store = Option.map Store.open_ store in
-    match Dcopt_service.Worker.run ?store ~connect ~worker_id () with
-    | clean -> finish obs (if clean then 0 else 1)
-    | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
-      Logs.err (fun m ->
-          m "worker %s: cannot reach coordinator at %s" worker_id connect);
-      finish obs 1
+    match Dcopt_service.Wire.addr_of_string connect with
+    | Error msg ->
+      let diag =
+        Dcopt_util.Diag.errorf ~file:"<command-line>" ~code:"config.addr"
+          "--connect %s: %s" connect msg
+      in
+      Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
+      finish obs 2
+    | Ok addr -> (
+      let store = Option.map Store.open_ store in
+      match
+        Dcopt_service.Worker.run ?store ~reconnect ~connect:addr ~worker_id ()
+      with
+      | clean -> finish obs (if clean then 0 else 1)
+      | exception Failure msg ->
+        (* Worker.run refuses addresses it cannot use (resolution
+           failure, the ephemeral port 0) with the located story *)
+        let diag =
+          Dcopt_util.Diag.errorf ~file:"<command-line>" ~code:"config.addr"
+            "--connect %s: %s" connect msg
+        in
+        Printf.eprintf "%s\n" (Dcopt_util.Diag.to_string diag);
+        finish obs 2
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+        Logs.err (fun m ->
+            m "worker %s: cannot reach coordinator at %s" worker_id connect);
+        finish obs 1)
   in
   let doc =
-    "Run as a fleet worker: connect to a coordinator socket (spawned \
+    "Run as a fleet worker: connect to a coordinator address (spawned \
      automatically by $(b,minpower batch --workers) / $(b,minpower serve \
-     --workers); rarely invoked by hand), pull job frames, execute them \
+     --workers); invoked by hand with $(b,--connect host:port) to join a \
+     TCP fleet from another machine), pull job frames, execute them \
      through the service pipeline and stream result rows back. Defaults \
      the domain pool to jobs=1."
   in
@@ -1258,8 +1356,8 @@ let worker_cmd =
       & opt (some string) None
       & info [ "connect" ] ~docv:"ADDR"
           ~doc:
-            "Coordinator address: a unix socket path, or host:port for \
-             TCP.")
+            "Coordinator address: a unix socket path, $(i,host:port), or \
+             $(i,[v6::literal]:port) for TCP.")
   in
   let worker_id =
     Arg.(
@@ -1270,9 +1368,20 @@ let worker_cmd =
             "Identity in the fleet protocol and the event-log correlation \
              chain (defaults to a pid-derived id).")
   in
+  let reconnect =
+    Arg.(
+      value & opt int 0
+      & info [ "reconnect" ] ~docv:"N"
+          ~doc:
+            "Retry a lost or refused coordinator connection up to $(docv) \
+             times under capped exponential backoff with per-worker seeded \
+             jitter (default 0: spawned workers are respawned by their \
+             coordinator instead). A clean shutdown frame never \
+             reconnects.")
+  in
   Cmd.v
     (Cmd.info "worker" ~doc)
-    Term.(const run $ connect $ worker_id $ store_arg $ obs_term)
+    Term.(const run $ connect $ worker_id $ reconnect $ store_arg $ obs_term)
 
 let tech_cmd =
   let run scale_factor obs =

@@ -1,11 +1,20 @@
 (* One process-global strictly-increasing clock. The last-issued reading
    is an atomic so any domain — pool workers record spans and events too —
    can take a timestamp; the CAS loop preserves the strict-monotonicity
-   guarantee across domains, not just within one. *)
+   guarantee across domains, not just within one.
+
+   The raw source folds in Dcopt_util.Clock's injected wall offset so a
+   fault-plan clock jump visibly displaces event/trace timestamps — that
+   is the point of the injection — while a backwards jump is clamped by
+   the same CAS path that absorbs real wall-clock steps. *)
 let last = Atomic.make 0L
 
 let rec now_ns () =
-  let raw = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let raw =
+    Int64.add
+      (Int64.of_float (Unix.gettimeofday () *. 1e9))
+      (Dcopt_util.Clock.wall_offset_ns ())
+  in
   let prev = Atomic.get last in
   let t = if Int64.compare raw prev <= 0 then Int64.add prev 1L else raw in
   if Atomic.compare_and_set last prev t then t else now_ns ()

@@ -42,6 +42,12 @@ let fallback_c =
            exhausted or no workers left)"
     "service.fleet.fallback"
 
+let quarantined_c =
+  Metrics.counter
+    ~help:"Worker identities quarantined after exhausting their failure \
+           budget (no longer respawned or accepted)"
+    "service.fleet.quarantined"
+
 type options = {
   workers : int;
   binary : string;
@@ -50,12 +56,39 @@ type options = {
   heartbeat_timeout_s : float;
   max_requeues : int;
   spawn_timeout_s : float;
+  listen : Wire.addr option;
+  quarantine_after : int;
 }
 
+let env_float name default =
+  match Option.map float_of_string_opt (Sys.getenv_opt name) with
+  | Some (Some v) when v > 0.0 -> v
+  | _ -> default
+
+let env_int name default =
+  match Option.map int_of_string_opt (Sys.getenv_opt name) with
+  | Some (Some v) when v >= 0 -> v
+  | _ -> default
+
 let options ?(binary = Sys.executable_name) ?(worker_args = [])
-    ?(max_in_flight = 2) ?(heartbeat_timeout_s = 5.0) ?(max_requeues = 2)
-    ?(spawn_timeout_s = 30.0) ~workers () =
+    ?(max_in_flight = 2) ?heartbeat_timeout_s ?max_requeues
+    ?(spawn_timeout_s = 30.0) ?listen ?quarantine_after ~workers () =
   if workers < 1 then invalid_arg "Fleet.options: workers must be >= 1";
+  let heartbeat_timeout_s =
+    match heartbeat_timeout_s with
+    | Some v -> v
+    | None -> env_float "DCOPT_FLEET_HEARTBEAT_S" 5.0
+  in
+  let max_requeues =
+    match max_requeues with
+    | Some v -> v
+    | None -> env_int "DCOPT_FLEET_MAX_REQUEUES" 2
+  in
+  let quarantine_after =
+    match quarantine_after with
+    | Some v -> max 1 v
+    | None -> max 1 (env_int "DCOPT_FLEET_QUARANTINE_AFTER" 2)
+  in
   {
     workers;
     binary;
@@ -64,13 +97,16 @@ let options ?(binary = Sys.executable_name) ?(worker_args = [])
     heartbeat_timeout_s;
     max_requeues;
     spawn_timeout_s;
+    listen;
+    quarantine_after;
   }
 
 type wstate = Spawning | Ready | Lost
 
 type worker = {
   w_id : string;
-  w_pid : int;
+  w_pid : int;  (** 0 for external workers (reported pid is advisory) *)
+  w_external : bool;
   mutable w_fd : Unix.file_descr option;
   w_buf : Buffer.t;
   mutable w_state : wstate;
@@ -87,11 +123,12 @@ type pending = { p_fd : Unix.file_descr; p_buf : Buffer.t; p_since : float }
 
 type t = {
   opts : options;
-  sock_path : string;
+  sock_path : string option;  (** unix listen path, unlinked at shutdown *)
+  connect_addr : Wire.addr;  (** what spawned workers dial *)
   listen_fd : Unix.file_descr;
+  losses : Policy.quarantine;
   mutable workers : worker list;
   mutable pending : pending list;
-  mutable next_worker : int;
   mutable next_seq : int;
   mutable closed : bool;
 }
@@ -109,32 +146,48 @@ let fresh_sock_path () =
      not brick the fleet *)
   if String.length candidate < 100 then candidate else in_dir "/tmp"
 
+(* The addr a locally-spawned worker should dial: a wildcard listen host
+   binds every interface, but the child must dial a concrete one. *)
+let connectable = function
+  | Wire.Tcp (("0.0.0.0" | "::" | "*" | ""), port) ->
+    Wire.Tcp ("127.0.0.1", port)
+  | a -> a
+
 let create opts =
   (* a worker dying with frames still buffered must surface as EPIPE on
      the next write, not kill the coordinator *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let sock_path = fresh_sock_path () in
-  let listen_fd = Wire.listen (Wire.Unix_path sock_path) in
+  let addr =
+    match opts.listen with
+    | Some a -> a
+    | None -> Wire.Unix_path (fresh_sock_path ())
+  in
+  let listen_fd =
+    match Wire.listen addr with
+    | Ok fd -> fd
+    | Error msg -> invalid_arg ("Fleet.create: " ^ msg)
+  in
+  let bound = Wire.bound_addr listen_fd addr in
   {
     opts;
-    sock_path;
+    sock_path = (match addr with Wire.Unix_path p -> Some p | Wire.Tcp _ -> None);
+    connect_addr = connectable bound;
     listen_fd;
+    losses = Policy.quarantine ~after:opts.quarantine_after ();
     workers = [];
     pending = [];
-    next_worker = 0;
     next_seq = 0;
     closed = false;
   }
 
-let now () = Unix.gettimeofday ()
+let now () = Dcopt_util.Clock.monotonic_s ()
 
-let spawn t =
-  let w_id = Printf.sprintf "w%d" t.next_worker in
-  t.next_worker <- t.next_worker + 1;
+let spawn t ~w_id =
   let argv =
     Array.of_list
-      (t.opts.binary :: "worker" :: "--connect" :: t.sock_path :: "--worker-id"
-      :: w_id :: t.opts.worker_args)
+      (t.opts.binary :: "worker" :: "--connect"
+      :: Wire.string_of_addr t.connect_addr
+      :: "--worker-id" :: w_id :: t.opts.worker_args)
   in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   let pid =
@@ -155,6 +208,7 @@ let spawn t =
         {
           w_id;
           w_pid = pid;
+          w_external = false;
           w_fd = None;
           w_buf = Buffer.create 4096;
           w_state = Spawning;
@@ -164,12 +218,16 @@ let spawn t =
         };
       ]
 
+(* The spawned roster is the fixed id set w0..w(workers-1): a lost id is
+   respawned under the same name (mid-batch too), so its failure budget
+   accumulates across incarnations and quarantine is deterministic. *)
 let ensure_workers t =
-  let live =
-    List.length (List.filter (fun w -> w.w_state <> Lost) t.workers)
-  in
-  for _ = live + 1 to t.opts.workers do
-    spawn t
+  for i = 0 to t.opts.workers - 1 do
+    let w_id = Printf.sprintf "w%d" i in
+    if
+      (not (List.exists (fun w -> w.w_id = w_id && w.w_state <> Lost) t.workers))
+      && not (Policy.quarantined t.losses w_id)
+    then spawn t ~w_id
   done
 
 let update_gauges t =
@@ -193,6 +251,13 @@ let reap ?(block = false) w =
     | _ -> w.w_reaped <- true
     | exception Unix.Unix_error _ -> w.w_reaped <- true
 
+(* Dead workers whose process is collected carry no further state; drop
+   them so a long serve session's roster doesn't grow without bound.
+   Their loss history lives on in [t.losses]. *)
+let prune t =
+  t.workers <-
+    List.filter (fun w -> not (w.w_state = Lost && w.w_reaped)) t.workers
+
 (* Run the scheduling loop for one task array. This is the [execute]
    hook of {!Service.run_batch_via}: everything around it (dedup,
    store/checkpoint reads, row assembly) already happened or will
@@ -202,6 +267,7 @@ let execute t ?checkpoint ~batch_id tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
   else begin
+    prune t;
     ensure_workers t;
     let results : Service.computed option array = Array.make n None in
     let remaining = ref n in
@@ -234,16 +300,28 @@ let execute t ?checkpoint ~batch_id tasks =
       if w.w_state <> Lost then begin
         w.w_state <- Lost;
         Metrics.incr worker_lost_c;
+        let loss_count = Policy.note_loss t.losses w.w_id in
         Events.warn "fleet.worker_lost"
           ~fields:
             [
               ("worker_id", Json.String w.w_id);
               ("why", Json.String why);
               ("in_flight", Json.Int (List.length w.w_inflight));
+              ("losses", Json.Int loss_count);
             ];
+        if loss_count = t.opts.quarantine_after then begin
+          Metrics.incr quarantined_c;
+          Events.warn "fleet.quarantine"
+            ~fields:
+              [
+                ("worker_id", Json.String w.w_id);
+                ("losses", Json.Int loss_count);
+              ]
+        end;
         close_fd_opt w;
         (* harmless on an already-dead pid; necessary for a hung one *)
-        (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        if not w.w_external then
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
         let inflight = w.w_inflight in
         w.w_inflight <- [];
         List.iter
@@ -287,7 +365,9 @@ let execute t ?checkpoint ~batch_id tasks =
             Queue.add idx queue;
             continue := false
           | Some fd -> (
-            match Wire.write_frame fd (Wire.to_worker_to_json frame) with
+            match
+              Wire.send ~site:"wire.send.job" fd (Wire.to_worker_to_json frame)
+            with
             | () ->
               w.w_inflight <- (seq, idx, now ()) :: w.w_inflight;
               Metrics.incr dispatched_c;
@@ -359,6 +439,58 @@ let execute t ?checkpoint ~batch_id tasks =
           Buffer.add_subbytes w.w_buf read_buf 0 len;
           drain_lines w)
     in
+    let accept_worker p ~worker_id ~pid ~rest =
+      let prepare fd =
+        (* a wedged worker must stall its own window, not the
+           coordinator: a send that cannot complete within the
+           timeout errors out and counts the worker lost *)
+        try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0
+        with Unix.Unix_error _ | Invalid_argument _ -> ()
+      in
+      match
+        List.find_opt
+          (fun w -> w.w_id = worker_id && w.w_state = Spawning)
+          t.workers
+      with
+      | Some w ->
+        w.w_fd <- Some p.p_fd;
+        w.w_state <- Ready;
+        w.w_last_seen <- now ();
+        prepare p.p_fd;
+        Buffer.add_string w.w_buf rest;
+        Events.info "fleet.worker_ready"
+          ~fields:[ ("worker_id", Json.String worker_id) ];
+        drain_lines w
+      | None ->
+        (* an identity this coordinator never spawned: an external
+           worker (multi-host fleets, `minpower worker --connect`) —
+           welcome, as long as the id is free. No pid to reap or kill;
+           its exit is just an EOF. *)
+        prepare p.p_fd;
+        let w =
+          {
+            w_id = worker_id;
+            w_pid = 0;
+            w_external = true;
+            w_fd = Some p.p_fd;
+            w_buf = Buffer.create 4096;
+            w_state = Ready;
+            w_inflight = [];
+            w_last_seen = now ();
+            w_reaped = true;
+          }
+        in
+        Buffer.add_string w.w_buf rest;
+        t.workers <- t.workers @ [ w ];
+        Events.info "fleet.worker_ready"
+          ~fields:
+            [
+              ("worker_id", Json.String worker_id);
+              ("pid", Json.Int pid);
+              ("external", Json.Bool true);
+            ];
+        drain_lines w
+    in
     let attach_pending p =
       t.pending <- List.filter (fun q -> q != p) t.pending;
       let contents = Buffer.contents p.p_buf in
@@ -375,27 +507,16 @@ let execute t ?checkpoint ~batch_id tasks =
           try Unix.close p.p_fd with Unix.Unix_error _ -> ()
         in
         match Wire.from_worker_of_line line with
-        | Ok (Wire.Hello { worker_id; version; _ })
-          when version = Wire.protocol_version -> (
-          match
-            List.find_opt
-              (fun w -> w.w_id = worker_id && w.w_state = Spawning)
+        | Ok (Wire.Hello { worker_id; pid; version })
+          when version = Wire.protocol_version ->
+          if Policy.quarantined t.losses worker_id then
+            refuse ("worker " ^ worker_id ^ " is quarantined")
+          else if
+            List.exists
+              (fun w -> w.w_id = worker_id && w.w_state <> Lost && w.w_fd <> None)
               t.workers
-          with
-          | Some w ->
-            w.w_fd <- Some p.p_fd;
-            w.w_state <- Ready;
-            w.w_last_seen <- now ();
-            (* a wedged worker must stall its own window, not the
-               coordinator: a send that cannot complete within the
-               timeout errors out and counts the worker lost *)
-            (try Unix.setsockopt_float p.p_fd Unix.SO_SNDTIMEO 5.0
-             with Unix.Unix_error _ | Invalid_argument _ -> ());
-            Buffer.add_string w.w_buf rest;
-            Events.info "fleet.worker_ready"
-              ~fields:[ ("worker_id", Json.String worker_id) ];
-            drain_lines w
-          | None -> refuse ("no spawning worker named " ^ worker_id))
+          then refuse ("worker id " ^ worker_id ^ " is already connected")
+          else accept_worker p ~worker_id ~pid ~rest
         | Ok (Wire.Hello { version; _ }) ->
           refuse (Printf.sprintf "protocol version %d, want %d" version
                     Wire.protocol_version)
@@ -414,6 +535,16 @@ let execute t ?checkpoint ~batch_id tasks =
           attach_pending p
     in
     while !remaining > 0 do
+      (* the clock-jump injection seam: a jump displaces the wall clock
+         the observability layer reads; loss detection below is
+         monotonic and must not care (the regression test for the old
+         gettimeofday-based deadlines) *)
+      List.iter
+        (function
+          | Faults.Jump s ->
+            Dcopt_util.Clock.jump_wall_ns (Int64.of_float (s *. 1e9))
+          | _ -> ())
+        (Faults.fire "clock.tick");
       (* a child that exited is lost even if its socket still lingers *)
       List.iter
         (fun w ->
@@ -435,6 +566,14 @@ let execute t ?checkpoint ~batch_id tasks =
             lose_worker w ~why:"never connected"
           | _ -> ())
         t.workers;
+      (* mid-batch respawn: while work is still queued, a lost spawned
+         id comes back under the same name — unless its failure budget
+         is spent (quarantine), in which case the remaining workers (or
+         the fallback path) absorb its share *)
+      if not (Queue.is_empty queue) then begin
+        prune t;
+        ensure_workers t
+      end;
       let alive = List.filter (fun w -> w.w_state = Ready) t.workers in
       let joining = List.filter (fun w -> w.w_state = Spawning) t.workers in
       if alive = [] && joining = [] && t.pending = [] then begin
@@ -502,7 +641,9 @@ let shutdown t =
         if w.w_state <> Lost then begin
           (match w.w_fd with
           | Some fd -> (
-            try Wire.write_frame fd (Wire.to_worker_to_json Wire.Shutdown)
+            try
+              Wire.send ~site:"wire.send.shutdown" fd
+                (Wire.to_worker_to_json Wire.Shutdown)
             with Unix.Unix_error _ | Sys_error _ -> ())
           | None -> ());
           close_fd_opt w
@@ -533,7 +674,9 @@ let shutdown t =
       t.pending;
     t.pending <- [];
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Sys.remove t.sock_path with Sys_error _ -> ());
+    (match t.sock_path with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ());
     Metrics.set workers_g 0.0;
     Metrics.set in_flight_g 0.0
   end

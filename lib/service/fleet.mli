@@ -1,9 +1,15 @@
 (** Multi-process optimization fleet: the coordinator side.
 
-    A fleet owns a listening unix-domain socket and a pool of [minpower
-    worker] child processes that connect back to it ({!Worker},
-    {!Wire}). {!run_batch} is a drop-in replacement for
-    {!Service.run_batch}: the whole batch pipeline (dedup,
+    A fleet owns a listening socket — a private unix-domain socket by
+    default, or any {!Wire.addr} via [listen] ([minpower batch/serve
+    --listen host:port]) — and a pool of [minpower worker] processes
+    that connect back to it ({!Worker}, {!Wire}). Spawned workers are
+    children dialing the listen address; with a TCP listen address,
+    {e external} workers ([minpower worker --connect host:port] from
+    anywhere) may also join: an authenticated-by-id hello from an
+    identity the coordinator did not spawn is accepted as long as the id
+    is free and not quarantined. {!run_batch} is a drop-in replacement
+    for {!Service.run_batch}: the whole batch pipeline (dedup,
     store/checkpoint lookups, row assembly) still runs on the
     coordinator via {!Service.run_batch_via}, and only the compute step
     is distributed — so rows are byte-identical to the in-process path
@@ -13,14 +19,28 @@
     queue, and any ready worker with in-flight room (at most
     [max_in_flight] outstanding jobs, default 2) takes the next task —
     a slow worker's share drains to whoever is keeping up, with no
-    static sharding. Health is tracked per worker: a worker computing a
-    job streams heartbeats, so silence from a worker {e with jobs in
-    flight} beyond [heartbeat_timeout_s], an EOF, a write error, a
-    malformed frame, or a reaped exit all count it lost. Its in-flight
-    jobs are requeued onto survivors (at most [max_requeues] times each,
-    then computed in-process by the coordinator); if the whole fleet
-    dies, the coordinator drains the queue itself. A batch therefore
-    {e always} completes with a full, deterministic row set.
+    static sharding. Health is tracked per worker on the {e monotonic}
+    clock ({!Dcopt_util.Clock}), so a wall-clock jump (NTP step, DST,
+    an injected [clock.tick:jump]) never triggers — or masks — a
+    timeout: a worker computing a job streams heartbeats, and silence
+    from a worker {e with jobs in flight} beyond [heartbeat_timeout_s],
+    an EOF, a write error, a malformed or checksum-failed frame, or a
+    reaped exit all count it lost. Its in-flight jobs are requeued onto
+    survivors (at most [max_requeues] times each, then computed
+    in-process by the coordinator); if the whole fleet dies, the
+    coordinator drains the queue itself. A batch therefore {e always}
+    completes with a full, deterministic row set.
+
+    Failure budgets: the spawned roster is the fixed identity set
+    [w0..w(workers-1)]. A lost spawned id is respawned {e under the same
+    name} — mid-batch, as soon as there is still queued work — so its
+    losses accumulate across incarnations; after [quarantine_after]
+    losses (default 2, env [DCOPT_FLEET_QUARANTINE_AFTER]) the id is
+    quarantined: never respawned again and refused at hello, so a
+    crash-looping worker (bad host, poisoned environment) cannot grind
+    a batch forever. Other defaults also read the environment once at
+    {!options} time: [DCOPT_FLEET_HEARTBEAT_S] (5.0),
+    [DCOPT_FLEET_MAX_REQUEUES] (2).
 
     Workers are spawned lazily on the first batch that actually has
     something to compute (a fully warm batch spawns nothing) and are
@@ -29,8 +49,12 @@
 
     Observability: [service.fleet.workers] / [in_flight] gauges,
     [spawned] / [dispatched] / [results] / [heartbeats] / [worker_lost]
-    / [requeued] / [fallback] counters, and [fleet.*] events carrying
-    the [run_id → batch_id → worker_id → job_id] correlation chain. *)
+    / [requeued] / [fallback] / [quarantined] counters, and [fleet.*]
+    events carrying the [run_id → batch_id → worker_id → job_id]
+    correlation chain. The coordinator's fault seams are
+    [wire.send.job], [wire.send.shutdown] (outbound frames) and
+    [clock.tick] ([jump] displaces the wall clock the event log reads;
+    scheduling must not notice). *)
 
 type options = private {
   workers : int;
@@ -40,6 +64,8 @@ type options = private {
   heartbeat_timeout_s : float;
   max_requeues : int;
   spawn_timeout_s : float;
+  listen : Wire.addr option;
+  quarantine_after : int;
 }
 
 val options :
@@ -49,20 +75,30 @@ val options :
   ?heartbeat_timeout_s:float ->
   ?max_requeues:int ->
   ?spawn_timeout_s:float ->
+  ?listen:Wire.addr ->
+  ?quarantine_after:int ->
   workers:int ->
   unit ->
   options
 (** [binary] defaults to [Sys.executable_name] (the coordinator spawns
     its own executable with the [worker] subcommand); [worker_args] are
     appended to the worker argv (store/events/run-id passthrough).
-    Raises [Invalid_argument] when [workers < 1]. *)
+    [listen] defaults to a fresh private unix-domain socket; pass
+    [Wire.Tcp (host, port)] to accept external workers (port [0] binds
+    an ephemeral port — the actual one is what spawned workers dial).
+    [heartbeat_timeout_s], [max_requeues] and [quarantine_after]
+    default from [DCOPT_FLEET_HEARTBEAT_S] / [DCOPT_FLEET_MAX_REQUEUES]
+    / [DCOPT_FLEET_QUARANTINE_AFTER], then 5.0 / 2 / 2. Raises
+    [Invalid_argument] when [workers < 1]. *)
 
 type t
 
 val create : options -> t
 (** Bind the coordinator socket (no workers yet) and ignore [SIGPIPE]
     process-wide — a worker dying mid-write must surface as an error on
-    that worker's descriptor, not kill the coordinator. *)
+    that worker's descriptor, not kill the coordinator. Raises
+    [Invalid_argument] when the listen address cannot be bound or
+    resolved (the message carries the {!Wire} diagnostic). *)
 
 val run_batch :
   t -> ?store:Store.t -> ?checkpoint:Checkpoint.t -> Job.t list -> Job.row list
@@ -72,5 +108,7 @@ val run_batch :
 
 val shutdown : t -> unit
 (** Send every live worker a [shutdown] frame, give clean exits ~2 s,
-    [SIGKILL] stragglers, reap everything, close and unlink the socket.
+    [SIGKILL] spawned stragglers (external workers are never signalled
+    — their clean exit is their own business), reap everything, close
+    the socket and unlink it when it was a private unix path.
     Idempotent. *)

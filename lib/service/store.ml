@@ -1,10 +1,17 @@
 module Json = Dcopt_util.Json
 module Metrics = Dcopt_obs.Metrics
+module Events = Dcopt_obs.Events
 
 let corrupt_c =
   Metrics.counter
     ~help:"store/checkpoint entries that existed but could not be read back"
     "service.store.corrupt"
+
+let write_failed_c =
+  Metrics.counter
+    ~help:"store writes abandoned on disk errors (the batch continues, \
+           that result simply stays uncached)"
+    "service.store.write_failed"
 
 type t = { dir : string }
 
@@ -50,29 +57,42 @@ let path_of t key = Filename.concat t.dir (key ^ ".json")
 let note_corrupt () = Metrics.incr corrupt_c
 
 (* A missing entry is a quiet miss; an entry that exists but cannot be
-   read back whole — truncated, bit-flipped, unparsable — is also a miss
-   (a warm batch must never crash on a damaged cache) but is counted, so
-   a rotting store shows up in the metrics instead of as silently slower
-   runs. *)
+   read back whole — truncated, shrunk mid-read, bit-flipped,
+   unparsable — is also a miss (a warm batch must never crash on a
+   damaged cache) but is counted, so a rotting store shows up in the
+   metrics instead of as silently slower runs. *)
 let find t key =
-  let path = path_of t key in
-  if not (Sys.file_exists path) then None
+  if List.exists (function Faults.Eio -> true | _ -> false)
+       (Faults.fire "store.find")
+  then begin
+    note_corrupt ();
+    None
+  end
   else
-    match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | exception Sys_error _ ->
-      note_corrupt ();
-      None
-    | text -> (
-      match Json.of_string text with
-      | Ok v -> Some v
-      | Error _ ->
+    let path = path_of t key in
+    if not (Sys.file_exists path) then None
+    else
+      match
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error _ ->
         note_corrupt ();
-        None)
+        None
+      | exception End_of_file ->
+        (* the file shrank between the length check and the read: a
+           partial/short write surfacing at read-back is corruption,
+           same as a truncated document *)
+        note_corrupt ();
+        None
+      | text -> (
+        match Json.of_string text with
+        | Ok v -> Some v
+        | Error _ ->
+          note_corrupt ();
+          None)
 
 (* Tmp names must be collision-safe across every concurrent writer of a
    shared store: the pid separates processes (fleet workers, parallel
@@ -81,22 +101,59 @@ let find t key =
    other's half-written file into place. *)
 let tmp_seq = Atomic.make 0
 
+let note_write_failed key error =
+  Metrics.incr write_failed_c;
+  Events.warn "store.write_failed"
+    ~fields:[ ("digest", Json.String key); ("error", Json.String error) ]
+
+(* Writes are best-effort: the store is a cache, so a full disk or a
+   flaky device must never abort a batch that already holds the result
+   in memory. Failures clean up their temp file, count, and return. *)
 let put t key value =
-  let path = path_of t key in
-  let tmp =
-    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-      (Atomic.fetch_and_add tmp_seq 1)
+  let faults = Faults.fire "store.put" in
+  let injected =
+    List.find_map
+      (function
+        | Faults.Enospc -> Some "ENOSPC (injected)"
+        | Faults.Eio -> Some "EIO (injected)"
+        | _ -> None)
+      faults
   in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string value));
-  (* Entries are content-addressed, so concurrent writers of one key are
-     writing the same bytes: whoever renames last wins and nobody can
-     tell the difference. A rename that fails while the destination now
-     exists is therefore a benign race — another writer beat us — not an
-     error; only a rename that leaves no entry behind propagates. *)
-  try Sys.rename tmp path
-  with Sys_error _ as e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    if not (Sys.file_exists path) then raise e
+  match injected with
+  | Some error -> note_write_failed key error
+  | None -> (
+    let doc = Json.to_string value in
+    let doc =
+      (* a short write that does reach the directory entry: the torn
+         document is caught at read-back by [find] as corruption *)
+      match
+        List.find_map (function Faults.Short n -> Some n | _ -> None) faults
+      with
+      | Some n -> String.sub doc 0 (min n (String.length doc))
+      | None -> doc
+    in
+    let path = path_of t key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Atomic.fetch_and_add tmp_seq 1)
+    in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc doc)
+    with
+    | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      note_write_failed key msg
+    | () -> (
+      (* Entries are content-addressed, so concurrent writers of one key
+         are writing the same bytes: whoever renames last wins and nobody
+         can tell the difference. A rename that fails while the
+         destination now exists is therefore a benign race — another
+         writer beat us — not a failure; only a rename that leaves no
+         entry behind counts. *)
+      try Sys.rename tmp path
+      with Sys_error msg ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        if not (Sys.file_exists path) then note_write_failed key msg))

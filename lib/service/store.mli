@@ -40,16 +40,25 @@ val digest :
 
 val find : t -> string -> Dcopt_util.Json.t option
 (** Look a digest up; [None] on absence or on any read/parse failure.
-    An entry that exists but cannot be read back (truncated, bit-flipped,
-    unparsable) is still a miss — never an exception — but bumps the
-    [service.store.corrupt] counter so store rot is observable. *)
+    An entry that exists but cannot be read back whole (truncated,
+    shrunk between the size check and the read, bit-flipped, unparsable)
+    is still a miss — never an exception — but bumps the
+    [service.store.corrupt] counter so store rot is observable. The
+    [store.find] fault site injects [eio] here (counted miss). *)
 
 val put : t -> string -> Dcopt_util.Json.t -> unit
-(** Atomically (over)write an entry. Safe for concurrent multi-process
-    writers of one shared store directory: tmp names are unique per
-    (pid, in-process counter), and a rename lost to a concurrent writer
-    of the same key is a benign race (entries are content-addressed, so
-    both writers carried the same bytes), not an error. *)
+(** Atomically (over)write an entry, best-effort: a write that fails
+    ([ENOSPC], [EIO], a lost rename) removes its temp file, bumps
+    [service.store.write_failed], emits a [store.write_failed] event and
+    returns — the store is a cache, so a full disk never aborts a batch
+    that already holds the result in memory. Safe for concurrent
+    multi-process writers of one shared store directory: tmp names are
+    unique per (pid, in-process counter), and a rename lost to a
+    concurrent writer of the same key is a benign race (entries are
+    content-addressed, so both writers carried the same bytes), not a
+    failure. The [store.put] fault site injects [enospc] / [eio]
+    (abandoned write) and [short] (a torn document that reaches disk and
+    is caught by {!find} at read-back) here. *)
 
 val note_corrupt : unit -> unit
 (** Bump the [service.store.corrupt] counter. For callers ({!Checkpoint},

@@ -1,5 +1,5 @@
-(** Fleet protocol framing: newline-delimited JSON frames between the
-    coordinator ({!Fleet}) and worker processes ({!Worker}).
+(** Fleet protocol framing: newline-delimited, checksummed JSON frames
+    between the coordinator ({!Fleet}) and worker processes ({!Worker}).
 
     Coordinator → worker:
 
@@ -18,9 +18,14 @@
     - [{"frame":"result","seq":N,"row":{…}}] — the finished row for
       dispatch [seq].
 
-    A frame is one [Json.to_string] document plus ['\n']; rendered JSON
-    never contains a raw newline, so readers reassemble on newlines
-    alone. *)
+    Since protocol version 2, each frame line is a checksum envelope
+    ["!<16 hex digits>:<payload json>"]: the FNV-1a 64 digest of the
+    payload travels with it, and a mismatch (a bit flipped in transit, a
+    truncated write reassembled with the next frame) is a parse error.
+    The peer that sent the damaged frame is counted lost and its
+    in-flight work requeued — so transport corruption costs time, never
+    row correctness. Rendered JSON and the envelope contain no raw
+    newline, so readers reassemble on newlines alone. *)
 
 val protocol_version : int
 
@@ -36,25 +41,70 @@ type from_worker =
 val to_worker_to_json : to_worker -> Dcopt_util.Json.t
 val from_worker_to_json : from_worker -> Dcopt_util.Json.t
 
+val encode : Dcopt_util.Json.t -> string
+(** One frame line (checksum envelope around the rendered document),
+    without the trailing newline. *)
+
+val frame_line : string -> string
+(** Wrap an already-rendered payload in the checksum envelope (tests and
+    tools that need to feed the parser hand-built payloads). *)
+
 val to_worker_of_line : string -> (to_worker, string) result
 val from_worker_of_line : string -> (from_worker, string) result
-(** Parse one frame line; [Error] on non-JSON, a missing/mistyped
-    member, or an unknown ["frame"] kind. *)
+(** Parse one frame line; [Error] on a missing/forged checksum
+    envelope, non-JSON payload, a missing/mistyped member, or an
+    unknown ["frame"] kind. *)
 
 val write_frame : Unix.file_descr -> Dcopt_util.Json.t -> unit
-(** Write one frame (document + newline) whole, retrying short writes
+(** Write one frame (envelope + newline) whole, retrying short writes
     and [EINTR]. Raises [Unix.Unix_error] on a dead peer ([EPIPE] when
     [SIGPIPE] is ignored, which {!Fleet} and {!Worker} both arrange). *)
+
+val send : site:string -> Unix.file_descr -> Dcopt_util.Json.t -> unit
+(** {!write_frame} through the fault-injection seam: {!Faults.fire}d
+    wire actions ([drop]/[delay]/[truncate]/[corrupt]) are applied to
+    the frame bytes first. Every production send names its site and
+    goes through here; [site] is e.g. ["wire.send.result"]. *)
 
 (** {1 Addresses} *)
 
 type addr = Unix_path of string | Tcp of string * int
 
-val addr_of_string : string -> addr
-(** ["host:port"] with an integral port and no ['/'] is {!Tcp};
-    everything else is a unix-domain socket path. *)
+val addr_of_string : string -> (addr, string) result
+(** ["host:port"] and ["[v6-literal]:port"] are {!Tcp} (any port in
+    0..65535 — port 0 is only meaningful to {!listen}); anything with a
+    ['/'] or without a [':'] is a unix-domain socket path. A lone [':']
+    with a malformed port is an error, not a silent fallback to a unix
+    path. *)
 
-val connect : addr -> Unix.file_descr
-val listen : ?backlog:int -> addr -> Unix.file_descr
-(** [listen] unlinks a stale unix socket path and sets [SO_REUSEADDR]
-    for TCP. Both raise [Unix.Unix_error] on failure. *)
+val string_of_addr : addr -> string
+(** Inverse of {!addr_of_string} (IPv6 hosts re-bracketed). *)
+
+val sockaddr_of :
+  addr -> (Unix.socket_domain * Unix.sockaddr, string) result
+(** Resolve: unix paths verbatim; TCP hosts first as IPv4/IPv6 literals,
+    then through [getaddrinfo] (stream sockets only). [Error] carries a
+    human-readable reason (unknown host, malformed literal) for the
+    caller to wrap in a located [config.addr] diagnostic. *)
+
+val connect_sockaddr : Unix.socket_domain * Unix.sockaddr -> Unix.file_descr
+(** Dial an already-resolved address. Raises [Unix.Unix_error] (e.g.
+    [ECONNREFUSED]) — the transient-failure shape reconnect loops
+    retry on. *)
+
+val connect : addr -> (Unix.file_descr, string) result
+(** Resolve then dial. [Error] for configuration problems (resolution
+    failure, connecting to port 0) that no retry can fix; raises
+    [Unix.Unix_error] for transient dial failures, like
+    {!connect_sockaddr}. *)
+
+val listen : ?backlog:int -> addr -> (Unix.file_descr, string) result
+(** Bind and listen. Unlinks a stale unix socket path first and sets
+    [SO_REUSEADDR] for TCP; a TCP port of 0 binds an ephemeral port —
+    read it back with {!bound_addr}. [Error] on resolution failure;
+    raises [Unix.Unix_error] on bind/listen failure. *)
+
+val bound_addr : Unix.file_descr -> addr -> addr
+(** The address a {!listen} socket actually bound: for {!Tcp} the port
+    is read back via [getsockname] (resolving port 0 to the kernel's
+    pick); unix paths are returned unchanged. *)

@@ -1,16 +1,23 @@
 module Metrics = Dcopt_obs.Metrics
 module Events = Dcopt_obs.Events
 module Json = Dcopt_util.Json
+module Prng = Dcopt_util.Prng
 
 let jobs_c =
   Metrics.counter ~help:"Jobs this worker process executed"
     "service.worker.jobs"
 
+let reconnects_c =
+  Metrics.counter ~help:"Reconnection attempts this worker process made"
+    "service.worker.reconnects"
+
 (* Deterministic crash injection for the recovery tests:
    DCOPT_FLEET_CHAOS_KILL="<worker_id>:<nth>" makes the named worker
    SIGKILL itself in place of sending its nth result — the harshest
    possible death (job fully paid for, result never delivered), which
-   the coordinator must answer by requeuing onto survivors. *)
+   the coordinator must answer by requeuing onto survivors. The fault
+   plans (Faults, worker.result site) subsume this, but the hook
+   predates them and stays for compatibility. *)
 let chaos_kill_after ~worker_id =
   match Sys.getenv_opt "DCOPT_FLEET_CHAOS_KILL" with
   | None -> None
@@ -24,25 +31,36 @@ let chaos_kill_after ~worker_id =
       in
       if id = worker_id then nth else None)
 
-let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  Events.set_worker_id worker_id;
-  let fd = Wire.connect (Wire.addr_of_string connect) in
+(* Worker-side fault seam: stall silences the heartbeat (these sites
+   fire outside the computing window, so the coordinator sees dispatched
+   work with no liveness — the stall it must detect), exit/kill die in
+   place. *)
+let apply_worker_faults site =
+  List.iter
+    (function
+      | Faults.Stall s -> ( try Unix.sleepf s with Unix.Unix_error _ -> ())
+      | Faults.Exit -> Stdlib.exit 70
+      | Faults.Kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ())
+    (Faults.fire site)
+
+(* One connected session: hello, then the read-execute-reply loop until
+   a shutdown frame (`Clean), a dead/desynchronised coordinator
+   (`Lost), or an injected death. *)
+let session ?store ~heartbeat_interval_s ~worker_id ~chaos ~results_sent fd =
   let ic = Unix.in_channel_of_descr fd in
   (* results and heartbeats interleave from two threads; frames must hit
      the socket whole *)
   let write_mutex = Mutex.create () in
-  let send frame =
+  let send ~site frame =
     Mutex.lock write_mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock write_mutex)
-      (fun () -> Wire.write_frame fd (Wire.from_worker_to_json frame))
+      (fun () -> Wire.send ~site fd (Wire.from_worker_to_json frame))
   in
-  send
+  send ~site:"wire.send.hello"
     (Wire.Hello
        { worker_id; pid = Unix.getpid (); version = Wire.protocol_version });
-  Events.info "worker.start"
-    ~fields:[ ("pid", Json.Int (Unix.getpid ())) ];
   (* Heartbeats flow only while a job is computing: an idle worker is
      silent (nothing in flight means nothing for the coordinator to
      requeue), and a worker stuck inside an optimizer keeps proving it
@@ -55,14 +73,12 @@ let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
         while not (Atomic.get stop) do
           Thread.delay heartbeat_interval_s;
           if Atomic.get computing && not (Atomic.get stop) then
-            try send Wire.Heartbeat
+            try send ~site:"wire.send.heartbeat" Wire.Heartbeat
             with Unix.Unix_error _ | Sys_error _ -> Atomic.set stop true
         done)
       ()
   in
-  let chaos = chaos_kill_after ~worker_id in
-  let results_sent = ref 0 in
-  let clean =
+  let outcome =
     try
       let running = ref true in
       let clean = ref false in
@@ -74,7 +90,8 @@ let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
           | Error msg ->
             (* a coordinator speaking garbage means the stream is out of
                sync; there is no way to resynchronise a line protocol,
-               so exit and let the coordinator count us lost *)
+               so drop the connection and let the coordinator count us
+               lost *)
             Events.error "worker.bad_frame"
               ~fields:[ ("error", Json.String msg) ];
             running := false
@@ -83,6 +100,7 @@ let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
             running := false
           | Ok (Wire.Assign { seq; batch_id; job }) ->
             Metrics.incr jobs_c;
+            apply_worker_faults "worker.job";
             Atomic.set computing true;
             (* the full single-job pipeline, sharing the coordinator's
                batch_id: store hits work here too (any worker can serve
@@ -103,16 +121,73 @@ let run ?store ?(heartbeat_interval_s = 0.5) ~connect ~worker_id () =
             | Some nth when !results_sent = nth ->
               Unix.kill (Unix.getpid ()) Sys.sigkill
             | _ -> ());
-            send (Wire.Result { seq; row }))
+            apply_worker_faults "worker.result";
+            send ~site:"wire.send.result" (Wire.Result { seq; row }))
       done;
-      !clean
+      if !clean then `Clean else `Lost
     with Unix.Unix_error _ | Sys_error _ ->
       (* coordinator went away mid-send/mid-read: nothing left to serve *)
-      false
+      `Lost
   in
   Atomic.set stop true;
   Thread.join heartbeat;
   (try Unix.close fd with Unix.Unix_error _ -> ());
+  outcome
+
+let run ?store ?(heartbeat_interval_s = 0.5) ?(reconnect = 0) ~connect
+    ~worker_id () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Events.set_worker_id worker_id;
+  Faults.arm_from_env ();
+  Faults.set_role worker_id;
+  Events.info "worker.start" ~fields:[ ("pid", Json.Int (Unix.getpid ())) ];
+  let chaos = chaos_kill_after ~worker_id in
+  let results_sent = ref 0 in
+  (* The reconnect schedule is a pure function of the worker id: capped
+     exponential backoff, jitter drawn from an id-seeded PRNG. A budget
+     of 0 (spawned workers — the coordinator respawns them itself)
+     means one dial, and a dial error propagates to the caller. *)
+  let prng = Prng.of_string worker_id in
+  let attempts = ref 0 in
+  let backoff why =
+    incr attempts;
+    Metrics.incr reconnects_c;
+    let delay_s = Policy.backoff_delay_s ~prng ~attempt:!attempts () in
+    Events.warn "worker.reconnect"
+      ~fields:
+        [
+          ("attempt", Json.Int !attempts);
+          ("delay_s", Json.Float delay_s);
+          ("why", Json.String why);
+        ];
+    (try Unix.sleepf delay_s with Unix.Unix_error _ -> ())
+  in
+  let rec dial () =
+    match Wire.connect connect with
+    | Ok fd -> Some fd
+    | Error msg -> raise (Failure msg)
+    | exception Unix.Unix_error (e, _, _) when !attempts < reconnect ->
+      backoff (Unix.error_message e);
+      dial ()
+    | exception (Unix.Unix_error _ as e) ->
+      if reconnect = 0 then raise e else None
+  in
+  let rec sessions () =
+    match dial () with
+    | None -> false
+    | Some fd -> (
+      match
+        session ?store ~heartbeat_interval_s ~worker_id ~chaos ~results_sent fd
+      with
+      | `Clean -> true
+      | `Lost ->
+        if !attempts < reconnect then begin
+          backoff "connection lost";
+          sessions ()
+        end
+        else false)
+  in
+  let clean = sessions () in
   Events.info "worker.exit"
     ~fields:[ ("clean", if clean then Json.Bool true else Json.Bool false) ];
   clean

@@ -1,7 +1,7 @@
 (** Fleet worker process body: the [minpower worker] subcommand.
 
-    Connects to a coordinator ({!Fleet}) socket, announces itself with a
-    [hello] frame, then loops: read a [job] frame, run it through the
+    Connects to a coordinator ({!Fleet}) address, announces itself with
+    a [hello] frame, then loops: read a [job] frame, run it through the
     full single-job {!Service.run_batch} pipeline (sharing the
     coordinator's [batch_id], so the event-log correlation chain
     [run_id → batch_id → worker_id → job_id] spans processes), and send
@@ -9,24 +9,41 @@
     streams [heartbeat] frames so the coordinator can tell a slow
     optimizer from a dead process; an idle worker is silent.
 
+    With a [reconnect] budget, a lost coordinator connection (or a
+    refused dial) is retried under {!Policy.backoff_delay_s}: capped
+    exponential backoff whose jitter comes from a PRNG seeded with the
+    worker id, so the whole retry schedule is deterministic per worker.
+    A clean [shutdown] frame never triggers a reconnect. Spawned fleet
+    workers run with the default budget of 0 — their coordinator
+    respawns them — while externally-launched workers
+    ([minpower worker --connect host:port --reconnect N]) ride out
+    coordinator restarts and network blips themselves.
+
     Workers are meant to run with the domain pool at [jobs=1] — fleet
     parallelism replaces the in-process pool — which the CLI arranges.
 
-    Chaos hook (tests only): with
-    [DCOPT_FLEET_CHAOS_KILL="<worker_id>:<nth>"] in the environment, the
-    named worker [SIGKILL]s itself in place of sending its [nth] result,
-    exercising the coordinator's requeue path deterministically. *)
+    Fault injection: the worker arms [DCOPT_FAULT_PLAN] on entry
+    ({!Faults.arm_from_env}) and sets its role to the worker id, then
+    exposes the [worker.job] (before computing) and [worker.result]
+    (before replying) seams for [stall]/[exit]/[kill], and sends every
+    frame through {!Wire.send} sites. The older
+    [DCOPT_FLEET_CHAOS_KILL="<worker_id>:<nth>"] hook (SIGKILL in place
+    of the nth result) is kept for compatibility. *)
 
 val run :
   ?store:Store.t ->
   ?heartbeat_interval_s:float ->
-  connect:string ->
+  ?reconnect:int ->
+  connect:Wire.addr ->
   worker_id:string ->
   unit ->
   bool
-(** Run the worker loop until a [shutdown] frame ([true]) or until the
-    coordinator disappears / desynchronises ([false]). [connect] is
-    parsed by {!Wire.addr_of_string}; [store] is this worker's handle on
-    the shared warm tier (hits served worker-side); heartbeats default
-    to every 0.5 s. Sets the process event-log worker id and ignores
-    [SIGPIPE]. *)
+(** Run the worker loop until a clean [shutdown] frame ([true]) or until
+    the coordinator stays unreachable / desynchronises with the
+    reconnect budget spent ([false]). [reconnect] (default 0) caps
+    reconnection attempts across the whole run. [store] is this
+    worker's handle on the shared warm tier (hits served worker-side);
+    heartbeats default to every 0.5 s. Sets the process event-log
+    worker id and ignores [SIGPIPE]. Raises [Failure] on an unusable
+    address (resolution failure, port 0) and [Unix.Unix_error] on a
+    dial failure with no reconnect budget. *)

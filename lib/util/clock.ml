@@ -1,0 +1,15 @@
+external monotonic_ns : unit -> int64 = "dcopt_monotonic_ns"
+
+let monotonic_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
+(* Injected wall-clock displacement (fault plans only). Kept here, below
+   both the service and obs layers, so the observability clock can fold
+   it into wall timestamps while monotonic readers stay untouched. *)
+let offset = Atomic.make 0L
+
+let rec jump_wall_ns ns =
+  let prev = Atomic.get offset in
+  if not (Atomic.compare_and_set offset prev (Int64.add prev ns)) then
+    jump_wall_ns ns
+
+let wall_offset_ns () = Atomic.get offset

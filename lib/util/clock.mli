@@ -1,0 +1,31 @@
+(** Monotonic time, plus the injectable wall-clock displacement.
+
+    [Unix.gettimeofday] follows the system wall clock, so an NTP step or
+    a DST adjustment mid-run moves every deadline computed from it —
+    enough to falsely write off (or never write off) a fleet worker.
+    Everything that measures {e elapsed} time (heartbeat deadlines,
+    spawn timeouts, backoff sleeps) should use the monotonic readings
+    here instead: they come from [clock_gettime(CLOCK_MONOTONIC)] via a
+    local C stub (the installed unix library predates
+    [Unix.clock_gettime]) and never step.
+
+    The wall-clock {e offset} exists for deterministic fault injection:
+    a [clock.tick:jump=S] fault displaces the wall clock the
+    observability layer reads by [S] seconds without touching the
+    monotonic readings — so a correct consumer (monotonic deadlines) is
+    provably unaffected while timestamp consumers visibly shear. *)
+
+val monotonic_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The epoch is arbitrary (boot
+    time on Linux); only differences are meaningful. *)
+
+val monotonic_s : unit -> float
+(** {!monotonic_ns} in seconds. *)
+
+val jump_wall_ns : int64 -> unit
+(** Displace the injected wall-clock offset by this many nanoseconds
+    (negative jumps allowed). Atomic; callable from any domain. *)
+
+val wall_offset_ns : unit -> int64
+(** Current accumulated displacement; [0L] unless a fault plan jumped
+    the clock. Folded into {!Dcopt_obs.Clock.now_ns}. *)

@@ -1,0 +1,22 @@
+/* Monotonic clock for Dcopt_util.Clock.
+
+   The installed unix library predates Unix.clock_gettime, so the
+   monotonic source is a tiny stub over clock_gettime(CLOCK_MONOTONIC):
+   immune to NTP steps and DST jumps, which is exactly what heartbeat
+   deadlines and backoff timers need. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value dcopt_monotonic_ns(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  int64_t ns = 0;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    ns = (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+  CAMLreturn(caml_copy_int64(ns));
+}

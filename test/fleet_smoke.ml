@@ -15,15 +15,6 @@ let minpower = Sys.argv.(1)
 let fail fmt =
   Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
 
-let contains ~needle haystack =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec scan i =
-    if i + nn > nh then false
-    else if String.sub haystack i nn = needle then true
-    else scan (i + 1)
-  in
-  scan 0
-
 let jobs_path = "fleet_smoke_jobs.jsonl"
 
 (* 64 jobs: 56 distinct operating points plus 8 repeats, so the fleet
@@ -71,17 +62,6 @@ let run_batch ?(env = []) ~tag extra =
   let rows = go [] in
   close_in ic;
   rows
-
-let expect_metric om_path needle =
-  let ic = open_in om_path in
-  let rec go found =
-    match input_line ic with
-    | line -> go (found || contains ~needle line)
-    | exception End_of_file -> found
-  in
-  let found = go false in
-  close_in ic;
-  if not found then fail "%s is missing %S" om_path needle
 
 (* the value of a `name value` sample line *)
 let metric_value om_path name =
@@ -131,8 +111,16 @@ let () =
       [ "--workers"; "3"; "--open-metrics"; om ]
   in
   check_identical ~tag:"in-process vs crashed fleet" baseline chaos;
-  expect_metric om "service_fleet_worker_lost_total 1";
-  expect_metric om "service_fleet_spawned_total 3";
+  (* w1 is respawned mid-batch under the same id and the chaos hook kills
+     the replacement too (a fresh process, fresh result count), so the
+     exact loss/spawn totals depend on scheduling: at least one loss, at
+     least the initial 3 spawns, and never more deaths than the
+     quarantine budget (2) allows for w1 *)
+  let lost = metric_value om "service_fleet_worker_lost_total" in
+  if lost < 1.0 || lost > 2.0 then
+    fail "expected 1..2 worker losses, saw %g" lost;
+  if metric_value om "service_fleet_spawned_total" < 3.0 then
+    fail "expected at least 3 spawns";
   (* the un-delivered job was in flight when the worker died, so at
      least one requeue is guaranteed *)
   if metric_value om "service_fleet_requeued_total" < 1.0 then

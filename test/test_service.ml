@@ -312,7 +312,7 @@ let test_wire_roundtrip () =
   in
   List.iter
     (fun frame ->
-      let line = Json.to_string (Wire.to_worker_to_json frame) in
+      let line = Wire.encode (Wire.to_worker_to_json frame) in
       match Wire.to_worker_of_line line with
       | Ok frame' ->
         Alcotest.(check bool) "coordinator frame round-trips" true
@@ -331,7 +331,7 @@ let test_wire_roundtrip () =
   in
   List.iter
     (fun frame ->
-      let line = Json.to_string (Wire.from_worker_to_json frame) in
+      let line = Wire.encode (Wire.from_worker_to_json frame) in
       match Wire.from_worker_of_line line with
       | Ok frame' ->
         Alcotest.(check bool) "worker frame round-trips" true (frame = frame')
@@ -347,29 +347,211 @@ let test_wire_rejects_malformed () =
     | Error _ -> ()
     | Ok _ -> Alcotest.fail (what ^ " should not parse")
   in
-  expect_error "garbage" (Wire.to_worker_of_line "not json");
-  expect_error "no frame member" (Wire.to_worker_of_line "{\"seq\":1}");
-  expect_error "unknown kind" (Wire.to_worker_of_line "{\"frame\":\"nope\"}");
+  (* payload-level rejection: a valid envelope around a bad document *)
+  let framed s = Wire.frame_line s in
+  expect_error "garbage" (Wire.to_worker_of_line (framed "not json"));
+  expect_error "no frame member" (Wire.to_worker_of_line (framed "{\"seq\":1}"));
+  expect_error "unknown kind"
+    (Wire.to_worker_of_line (framed "{\"frame\":\"nope\"}"));
   expect_error "missing seq"
-    (Wire.to_worker_of_line "{\"frame\":\"job\",\"batch_id\":1}");
+    (Wire.to_worker_of_line (framed "{\"frame\":\"job\",\"batch_id\":1}"));
   expect_error "bad job"
     (Wire.to_worker_of_line
-       "{\"frame\":\"job\",\"seq\":1,\"batch_id\":1,\"job\":{\"x\":1}}");
-  expect_error "missing row" (Wire.from_worker_of_line "{\"frame\":\"result\",\"seq\":1}");
-  expect_error "non-json worker frame" (Wire.from_worker_of_line "\x00\x01")
+       (framed "{\"frame\":\"job\",\"seq\":1,\"batch_id\":1,\"job\":{\"x\":1}}"));
+  expect_error "missing row"
+    (Wire.from_worker_of_line (framed "{\"frame\":\"result\",\"seq\":1}"));
+  expect_error "non-json worker frame" (Wire.from_worker_of_line (framed "\x00\x01"));
+  (* envelope-level rejection: bare payloads (the protocol-1 shape) and
+     forged or damaged checksums never reach the JSON layer *)
+  expect_error "bare payload (no envelope)"
+    (Wire.to_worker_of_line "{\"frame\":\"shutdown\"}");
+  expect_error "empty line" (Wire.to_worker_of_line "");
+  let good = Wire.encode (Wire.to_worker_to_json Wire.Shutdown) in
+  (match Wire.to_worker_of_line good with
+  | Ok Wire.Shutdown -> ()
+  | _ -> Alcotest.fail "sane envelope should parse");
+  (* flip one payload byte: the checksum must catch it *)
+  let corrupted = Bytes.of_string good in
+  let last = Bytes.length corrupted - 1 in
+  Bytes.set corrupted last (Char.chr (Char.code (Bytes.get corrupted last) lxor 0x20));
+  expect_error "bit-flipped payload" (Wire.to_worker_of_line (Bytes.to_string corrupted));
+  (* truncate mid-payload: length/sum both disagree *)
+  expect_error "truncated frame"
+    (Wire.to_worker_of_line (String.sub good 0 (String.length good - 3)));
+  expect_error "forged checksum"
+    (Wire.to_worker_of_line
+       ("!0000000000000000:" ^ Json.to_string (Wire.to_worker_to_json Wire.Shutdown)))
 
 let test_wire_addr () =
   let check what want got =
     Alcotest.(check bool) what true (want = got)
   in
-  check "host:port is tcp" (Wire.Tcp ("localhost", 7070))
+  check "host:port is tcp" (Ok (Wire.Tcp ("localhost", 7070)))
     (Wire.addr_of_string "localhost:7070");
-  check "path stays unix" (Wire.Unix_path "/tmp/x.sock")
+  check "path stays unix"
+    (Ok (Wire.Unix_path "/tmp/x.sock"))
     (Wire.addr_of_string "/tmp/x.sock");
   check "path with colon-int suffix but slash stays unix"
-    (Wire.Unix_path "/tmp/x:1") (Wire.addr_of_string "/tmp/x:1");
-  check "non-numeric port stays unix" (Wire.Unix_path "foo:bar")
-    (Wire.addr_of_string "foo:bar")
+    (Ok (Wire.Unix_path "/tmp/x:1"))
+    (Wire.addr_of_string "/tmp/x:1");
+  check "bracketed v6 literal"
+    (Ok (Wire.Tcp ("::1", 9000)))
+    (Wire.addr_of_string "[::1]:9000");
+  check "v6 round-trips through string_of_addr" "[::1]:9000"
+    (Wire.string_of_addr (Wire.Tcp ("::1", 9000)));
+  check "port 0 accepted (ephemeral listen)"
+    (Ok (Wire.Tcp ("127.0.0.1", 0)))
+    (Wire.addr_of_string "127.0.0.1:0");
+  let expect_error what = function
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " should be an address error")
+  in
+  (* the old parser silently fell back to a unix path on every one of
+     these — each is far more plausibly a typo'd TCP address *)
+  expect_error "non-numeric port" (Wire.addr_of_string "foo:bar");
+  expect_error "out-of-range port" (Wire.addr_of_string "host:70000");
+  expect_error "empty host" (Wire.addr_of_string ":8080");
+  expect_error "unbracketed v6" (Wire.addr_of_string "::1:9000");
+  (* resolution errors carry a located story, not an exception *)
+  (match Wire.sockaddr_of (Wire.Tcp ("no-such-host.invalid", 80)) with
+  | Error msg ->
+    Alcotest.(check bool)
+      "resolution error names the problem" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "bogus hostname should not resolve");
+  match Wire.connect (Wire.Tcp ("127.0.0.1", 0)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connecting to port 0 should be refused"
+
+(* --- fault plans ------------------------------------------------------- *)
+
+module Faults = Dcopt_service.Faults
+
+let test_faults_parse () =
+  (match Faults.parse "seed=42;w0/wire.send.result@2:drop;store.put@*:enospc" with
+  | Ok plan ->
+    Alcotest.(check bool) "seed parsed" true (plan.Faults.seed = 42L);
+    Alcotest.(check int) "two entries" 2 (List.length plan.Faults.entries)
+  | Error e -> Alcotest.fail e);
+  (match Faults.parse "clock.tick@1:jump=-3600" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("negative jump should parse: " ^ e));
+  let expect_error what spec =
+    match Faults.parse spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ " should be rejected")
+  in
+  expect_error "unknown site" "wire.send.bogus@1:drop";
+  expect_error "unknown action" "store.put@1:explode";
+  expect_error "missing occurrence" "store.put:enospc";
+  expect_error "zero occurrence" "store.put@0:enospc";
+  expect_error "drop takes no arg" "store.put@1:drop=3";
+  expect_error "delay needs an arg" "wire.send.result@1:delay"
+
+let test_faults_schedule () =
+  (match Faults.parse "seed=7;wire.send.result@2:drop;store.put@*:eio" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Faults.arm plan;
+    Alcotest.(check bool) "occurrence 1 clean" true
+      (Faults.fire "wire.send.result" = []);
+    Alcotest.(check bool) "occurrence 2 fires" true
+      (Faults.fire "wire.send.result" = [ Faults.Drop ]);
+    Alcotest.(check bool) "occurrence 3 clean again" true
+      (Faults.fire "wire.send.result" = []);
+    Alcotest.(check bool) "every occurrence fires" true
+      (Faults.fire "store.put" = [ Faults.Eio ]
+      && Faults.fire "store.put" = [ Faults.Eio ]);
+    Alcotest.(check bool) "other sites untouched" true
+      (Faults.fire "store.find" = []);
+    (* re-arming the same plan resets occurrence counters *)
+    Faults.arm plan;
+    Alcotest.(check bool) "re-arm resets counts" true
+      (Faults.fire "wire.send.result" = []));
+  (* a role guard restricts the entry to one process identity *)
+  (match Faults.parse "w0/worker.job@*:exit" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Faults.arm plan;
+    Faults.set_role "w3";
+    Alcotest.(check bool) "wrong role never fires" true
+      (Faults.fire "worker.job" = []);
+    Faults.set_role "w0";
+    Alcotest.(check bool) "guarded role fires" true
+      (Faults.fire "worker.job" = [ Faults.Exit ]);
+    Faults.set_role "coord");
+  Faults.disarm ();
+  Alcotest.(check bool) "disarmed fires nothing" true
+    (Faults.fire "store.put" = [])
+
+let test_faults_corrupt_deterministic () =
+  let line = Wire.encode (Wire.to_worker_to_json Wire.Shutdown) ^ "\n" in
+  let a = Faults.corrupt_string line in
+  let b = Faults.corrupt_string line in
+  Alcotest.(check string) "corruption is deterministic" a b;
+  Alcotest.(check bool) "corruption changes bytes" true (a <> line);
+  Alcotest.(check bool) "newline framing survives" true
+    (a.[String.length a - 1] = '\n'
+    && not (String.contains (String.sub a 0 (String.length a - 1)) '\n'))
+
+(* --- retry/quarantine policy math -------------------------------------- *)
+
+module Policy = Dcopt_service.Policy
+module Prng = Dcopt_util.Prng
+
+let test_policy_backoff () =
+  (* property: over many attempts and seeds, every delay is positive,
+     capped, and no larger than the un-jittered exponential envelope *)
+  let base_s = 0.1 and cap_s = 5.0 in
+  for seed = 1 to 25 do
+    let prng = Prng.create (Int64.of_int seed) in
+    for attempt = 1 to 40 do
+      let d = Policy.backoff_delay_s ~base_s ~cap_s ~prng ~attempt () in
+      if not (d > 0.0 && d <= cap_s) then
+        Alcotest.failf "seed %d attempt %d: delay %g outside (0, %g]" seed
+          attempt d cap_s;
+      let envelope =
+        Float.min cap_s (base_s *. (2.0 ** float_of_int (min 62 (attempt - 1))))
+      in
+      if d > envelope then
+        Alcotest.failf "seed %d attempt %d: delay %g above envelope %g" seed
+          attempt d envelope
+    done
+  done;
+  (* determinism: the same worker id replays the same schedule *)
+  let schedule id =
+    let prng = Prng.of_string id in
+    List.init 10 (fun i -> Policy.backoff_delay_s ~prng ~attempt:(i + 1) ())
+  in
+  Alcotest.(check (list (float 0.0))) "per-id schedule is deterministic"
+    (schedule "w1") (schedule "w1");
+  Alcotest.(check bool) "different ids decorrelate" true
+    (schedule "w1" <> schedule "w2");
+  (* no jitter: exact doubling until the cap *)
+  let prng = Prng.create 1L in
+  let exact =
+    List.init 8 (fun i ->
+        Policy.backoff_delay_s ~base_s:0.5 ~cap_s:10.0 ~jitter_frac:0.0 ~prng
+          ~attempt:(i + 1) ())
+  in
+  Alcotest.(check (list (float 1e-9))) "un-jittered doubling"
+    [ 0.5; 1.0; 2.0; 4.0; 8.0; 10.0; 10.0; 10.0 ]
+    exact
+
+let test_policy_quarantine () =
+  let q = Policy.quarantine ~after:2 () in
+  Alcotest.(check bool) "fresh id not quarantined" false
+    (Policy.quarantined q "w0");
+  Alcotest.(check int) "first loss" 1 (Policy.note_loss q "w0");
+  Alcotest.(check bool) "one loss is not enough" false
+    (Policy.quarantined q "w0");
+  Alcotest.(check int) "second loss" 2 (Policy.note_loss q "w0");
+  Alcotest.(check bool) "second loss quarantines" true
+    (Policy.quarantined q "w0");
+  (* monotone: further losses never un-quarantine *)
+  ignore (Policy.note_loss q "w0");
+  Alcotest.(check bool) "still quarantined" true (Policy.quarantined q "w0");
+  Alcotest.(check bool) "ids are independent" false (Policy.quarantined q "w1")
 
 (* byte-identity of run_batch against a fleet-shaped executor that
    computes tasks out of order on the calling domain — the library half
@@ -438,6 +620,19 @@ let () =
           Alcotest.test_case "wire address parsing" `Quick test_wire_addr;
           Alcotest.test_case "out-of-order executor byte-identity" `Quick
             test_run_batch_via_out_of_order;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "plan parsing" `Quick test_faults_parse;
+          Alcotest.test_case "fire schedule" `Quick test_faults_schedule;
+          Alcotest.test_case "deterministic corruption" `Quick
+            test_faults_corrupt_deterministic;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "backoff properties" `Quick test_policy_backoff;
+          Alcotest.test_case "quarantine threshold" `Quick
+            test_policy_quarantine;
         ] );
       ( "isolation",
         [
